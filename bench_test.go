@@ -1,0 +1,64 @@
+package commtm_test
+
+import (
+	"testing"
+
+	"commtm/internal/experiments"
+	"commtm/internal/harness"
+)
+
+// Each benchmark regenerates one figure or table of the paper at a reduced
+// sweep (1/8/32 threads, scaled inputs) and reports the headline metric —
+// the CommTM-vs-baseline speedup ratio at the largest thread count — via
+// b.ReportMetric. Run the full-size sweeps with cmd/commtm-bench.
+//
+// b.N loops re-run the whole experiment; these are macro-benchmarks, so
+// typical invocations use -benchtime=1x.
+
+var _ = experiments.Description // populate the registry
+
+func benchOptions() harness.Options {
+	o := harness.DefaultOptions()
+	o.Threads = []int{1, 8, 32}
+	o.Scale = 0.25
+	return o
+}
+
+func runExperiment(b *testing.B, id string) {
+	e, ok := harness.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		out, err := e.Run(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+func BenchmarkTab1Config(b *testing.B)          { runExperiment(b, "tab1") }
+func BenchmarkTab2Characteristics(b *testing.B) { runExperiment(b, "tab2") }
+
+func BenchmarkFig09Counter(b *testing.B)    { runExperiment(b, "fig9") }
+func BenchmarkFig10Refcount(b *testing.B)   { runExperiment(b, "fig10") }
+func BenchmarkFig12aListEnq(b *testing.B)   { runExperiment(b, "fig12a") }
+func BenchmarkFig12bListMixed(b *testing.B) { runExperiment(b, "fig12b") }
+func BenchmarkFig13OrderedPut(b *testing.B) { runExperiment(b, "fig13") }
+func BenchmarkFig14TopK(b *testing.B)       { runExperiment(b, "fig14") }
+
+func BenchmarkFig16aBoruvka(b *testing.B)  { runExperiment(b, "fig16a") }
+func BenchmarkFig16bKMeans(b *testing.B)   { runExperiment(b, "fig16b") }
+func BenchmarkFig16cSSCA2(b *testing.B)    { runExperiment(b, "fig16c") }
+func BenchmarkFig16dGenome(b *testing.B)   { runExperiment(b, "fig16d") }
+func BenchmarkFig16eVacation(b *testing.B) { runExperiment(b, "fig16e") }
+
+func BenchmarkFig17CycleBreakdown(b *testing.B)  { runExperiment(b, "fig17") }
+func BenchmarkFig18WastedBreakdown(b *testing.B) { runExperiment(b, "fig18") }
+func BenchmarkFig19GETBreakdown(b *testing.B)    { runExperiment(b, "fig19") }
+
+func BenchmarkAblationGather(b *testing.B) { runExperiment(b, "ablation-gather") }

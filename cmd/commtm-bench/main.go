@@ -1,0 +1,81 @@
+// Command commtm-bench regenerates the figures and tables of the paper's
+// evaluation. Each experiment id corresponds to one figure or table; run
+// with -list to enumerate them, -exp all to run everything.
+//
+// Usage:
+//
+//	commtm-bench -list
+//	commtm-bench -exp fig9
+//	commtm-bench -exp all -scale 0.2 -threads 1,8,32,128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"commtm/internal/experiments"
+	"commtm/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id to run (or 'all')")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		scale   = flag.Float64("scale", 1.0, "input-size scale factor (1.0 = default sizes)")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		threads = flag.String("threads", "", "comma-separated thread counts (default 1,2,4,8,16,32,64,128)")
+	)
+	flag.Parse()
+	_ = experiments.Description // link the registry
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range harness.IDs() {
+			e, _ := harness.Get(id)
+			fmt.Printf("  %-10s %s\n", id, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	opts := harness.DefaultOptions()
+	opts.Scale = *scale
+	opts.Seed = *seed
+	if *threads != "" {
+		opts.Threads = nil
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
+				os.Exit(2)
+			}
+			opts.Threads = append(opts.Threads, n)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = harness.IDs()
+	}
+	for _, id := range ids {
+		e, ok := harness.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		out, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

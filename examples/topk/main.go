@@ -1,0 +1,25 @@
+// TopK: the paper's Sec. VI top-K set — a semantically (but not strictly)
+// commutative structure. Each cache builds a private min-heap of the K
+// largest values it has seen under the TOPK label; a conventional read
+// triggers a user-defined reduction that merges all partial heaps (Fig. 15).
+package main
+
+import (
+	"fmt"
+
+	"commtm/internal/harness"
+	"commtm/internal/workloads/micro"
+)
+
+func main() {
+	const k = 100
+	for _, v := range []harness.Variant{harness.VarBaseline, harness.VarCommTM} {
+		w := micro.NewTopK(20000, k)
+		st, err := harness.RunOne(func() harness.Workload { return w }, v, 32, 3)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s  cycles=%9d  commits=%6d  aborts=%6d  reductions=%d\n",
+			v.Label, st.Cycles, st.Commits, st.Aborts, st.Reductions)
+	}
+}

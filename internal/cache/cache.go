@@ -1,0 +1,217 @@
+// Package cache implements the set-associative cache arrays used for the
+// private L1 and L2 caches of each simulated core. It stores both timing
+// state (LRU) and protocol state per line: the MESI states plus the paper's
+// user-defined reducible (U) state, the line's label, and the speculative
+// read/write/labeled bits the HTM uses to track transaction footprints
+// (paper Fig. 5).
+package cache
+
+import (
+	"fmt"
+
+	"commtm/internal/mem"
+)
+
+// State is the coherence state of a cached line.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+	// ReducibleU is the paper's user-defined reducible state: the line holds
+	// a partial, label-tagged value that only labeled accesses with the same
+	// label may observe or update.
+	ReducibleU
+)
+
+// String implements fmt.Stringer for debugging output.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case ReducibleU:
+		return "U"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// NoLabel marks a line that carries no reducible label.
+const NoLabel int8 = -1
+
+// LineMeta is one cache way: tag, protocol state, speculative footprint
+// bits, and the data payload.
+type LineMeta struct {
+	Tag   mem.Addr // line-aligned address; valid iff State != Invalid
+	State State
+	Label int8 // label id when State == ReducibleU, else NoLabel
+	Dirty bool // data differs from the next level
+
+	// Speculative footprint bits (L1 only; paper Fig. 5). SpecRead and
+	// SpecWritten track conventional accesses, SpecLabeled tracks labeled
+	// accesses (the transaction's "labeled set").
+	SpecRead    bool
+	SpecWritten bool
+	SpecLabeled bool
+
+	Data mem.Line
+
+	lru uint64
+}
+
+// SpecAny reports whether the line is in the current transaction's read,
+// write, or labeled set.
+func (l *LineMeta) SpecAny() bool { return l.SpecRead || l.SpecWritten || l.SpecLabeled }
+
+// ClearSpec resets all speculative footprint bits.
+func (l *LineMeta) ClearSpec() { l.SpecRead, l.SpecWritten, l.SpecLabeled = false, false, false }
+
+// Cache is a set-associative array with LRU replacement.
+type Cache struct {
+	sets    [][]LineMeta
+	ways    int
+	setMask mem.Addr
+	tick    uint64
+}
+
+// New builds a cache of sizeBytes with the given associativity over 64-byte
+// lines. sizeBytes must yield a power-of-two number of sets.
+func New(sizeBytes, ways int) *Cache {
+	lines := sizeBytes / mem.LineBytes
+	if lines <= 0 || lines%ways != 0 {
+		panic(fmt.Sprintf("cache: %dB/%d-way is not a valid geometry", sizeBytes, ways))
+	}
+	nsets := lines / ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: %d sets is not a power of two", nsets))
+	}
+	sets := make([][]LineMeta, nsets)
+	backing := make([]LineMeta, nsets*ways)
+	for i := range sets {
+		sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+		for w := range sets[i] {
+			sets[i][w].Label = NoLabel
+		}
+	}
+	return &Cache{sets: sets, ways: ways, setMask: mem.Addr(nsets - 1)}
+}
+
+// Sets returns the number of sets; Ways the associativity.
+func (c *Cache) Sets() int { return len(c.sets) }
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) setOf(la mem.Addr) []LineMeta {
+	return c.sets[(la/mem.LineBytes)&c.setMask]
+}
+
+// Lookup returns the line holding la, or nil. It does not update LRU state;
+// callers that hit should call Touch.
+func (c *Cache) Lookup(la mem.Addr) *LineMeta {
+	set := c.setOf(la)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Tag == la {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Touch marks the line most recently used.
+func (c *Cache) Touch(l *LineMeta) {
+	c.tick++
+	l.lru = c.tick
+}
+
+// Victim selects the way that an insertion of la would replace: an invalid
+// way if any, else the least recently used among non-avoided ways. The
+// avoid predicate (may be nil) deprioritizes ways — e.g. U-state lines (the
+// paper reserves a way for non-U data so reduction handler misses never
+// force a reduction) or speculative lines (whose eviction aborts the
+// transaction). Avoided ways are chosen only when every way is avoided.
+func (c *Cache) Victim(la mem.Addr, avoid func(*LineMeta) bool) *LineMeta {
+	set := c.setOf(la)
+	for i := range set {
+		if set[i].State == Invalid {
+			return &set[i]
+		}
+	}
+	var best *LineMeta
+	for i := range set {
+		w := &set[i]
+		if avoid != nil && avoid(w) {
+			continue
+		}
+		if best == nil || w.lru < best.lru {
+			best = w
+		}
+	}
+	if best == nil { // every way avoided; fall back to plain LRU
+		for i := range set {
+			w := &set[i]
+			if best == nil || w.lru < best.lru {
+				best = w
+			}
+		}
+	}
+	return best
+}
+
+// AvoidU is a Victim predicate that skips U-state lines.
+func AvoidU(l *LineMeta) bool { return l.State == ReducibleU }
+
+// AvoidSpec is a Victim predicate that skips lines in a transaction's
+// footprint (evicting them would abort the transaction).
+func AvoidSpec(l *LineMeta) bool { return l.SpecAny() }
+
+// AvoidSpecOrU skips both speculative and U-state lines.
+func AvoidSpecOrU(l *LineMeta) bool { return l.SpecAny() || l.State == ReducibleU }
+
+// Insert installs la into the cache, evicting the victim way if it holds a
+// valid line. It returns the installed line (already tagged, state Invalid
+// for the caller to initialize) and a copy of the evicted line metadata, if
+// any. The caller is responsible for protocol actions on the eviction.
+func (c *Cache) Insert(la mem.Addr, avoid func(*LineMeta) bool) (inserted *LineMeta, evicted *LineMeta) {
+	if got := c.Lookup(la); got != nil {
+		panic(fmt.Sprintf("cache: Insert of already-present line %#x", uint64(la)))
+	}
+	w := c.Victim(la, avoid)
+	if w.State != Invalid {
+		ev := *w // copy out for the caller
+		evicted = &ev
+	}
+	*w = LineMeta{Tag: la, State: Invalid, Label: NoLabel}
+	c.Touch(w)
+	return w, evicted
+}
+
+// Invalidate drops la from the cache if present.
+func (c *Cache) Invalidate(la mem.Addr) {
+	if l := c.Lookup(la); l != nil {
+		*l = LineMeta{Label: NoLabel}
+	}
+}
+
+// ForEach calls fn for every valid line. fn must not insert or invalidate.
+func (c *Cache) ForEach(fn func(*LineMeta)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].State != Invalid {
+				fn(&c.sets[s][w])
+			}
+		}
+	}
+}
+
+// CountValid returns the number of valid lines (test helper).
+func (c *Cache) CountValid() int {
+	n := 0
+	c.ForEach(func(*LineMeta) { n++ })
+	return n
+}

@@ -1,0 +1,181 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"commtm/internal/mem"
+)
+
+func la(i int) mem.Addr { return mem.Addr(i * mem.LineBytes) }
+
+func TestGeometry(t *testing.T) {
+	c := New(32*1024, 8) // L1: 64 sets
+	if c.Sets() != 64 || c.Ways() != 8 {
+		t.Fatalf("32KB/8-way: got %d sets × %d ways, want 64×8", c.Sets(), c.Ways())
+	}
+	c2 := New(128*1024, 8) // L2: 256 sets
+	if c2.Sets() != 256 {
+		t.Fatalf("128KB/8-way: got %d sets, want 256", c2.Sets())
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	c := New(4096, 4) // 16 sets
+	l, ev := c.Insert(la(3), nil)
+	if ev != nil {
+		t.Fatal("eviction from empty cache")
+	}
+	l.State = Modified
+	l.Data[0] = 99
+	got := c.Lookup(la(3))
+	if got == nil || got.Data[0] != 99 || got.State != Modified {
+		t.Fatal("Lookup did not return inserted line")
+	}
+	if c.Lookup(la(4)) != nil {
+		t.Fatal("Lookup returned a line never inserted")
+	}
+}
+
+func TestDoubleInsertPanics(t *testing.T) {
+	c := New(4096, 4)
+	l, _ := c.Insert(la(1), nil)
+	l.State = Shared
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double insert did not panic")
+		}
+	}()
+	c.Insert(la(1), nil)
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(4*mem.LineBytes, 4) // 1 set, 4 ways
+	for i := 0; i < 4; i++ {
+		l, ev := c.Insert(la(i), nil)
+		l.State = Shared
+		if ev != nil {
+			t.Fatalf("unexpected eviction inserting %d", i)
+		}
+	}
+	// Touch line 0 so line 1 becomes LRU.
+	c.Touch(c.Lookup(la(0)))
+	_, ev := c.Insert(la(10), nil)
+	if ev == nil || ev.Tag != la(1) {
+		t.Fatalf("evicted %+v, want line 1", ev)
+	}
+	if c.Lookup(la(1)) != nil {
+		t.Fatal("evicted line still present")
+	}
+}
+
+func TestVictimPrefersInvalid(t *testing.T) {
+	c := New(4*mem.LineBytes, 4)
+	l, _ := c.Insert(la(0), nil)
+	l.State = Modified
+	v := c.Victim(la(5), nil)
+	if v.State != Invalid {
+		t.Fatal("Victim chose a valid way while invalid ways exist")
+	}
+}
+
+func TestVictimAvoidsU(t *testing.T) {
+	c := New(4*mem.LineBytes, 4)
+	for i := 0; i < 4; i++ {
+		l, _ := c.Insert(la(i), nil)
+		if i < 3 {
+			l.State = ReducibleU
+			l.Label = 0
+		} else {
+			l.State = Shared
+		}
+	}
+	// Make the S line most-recently-used; avoidU must still pick it.
+	c.Touch(c.Lookup(la(3)))
+	v := c.Victim(la(9), AvoidU)
+	if v.State != Shared {
+		t.Fatalf("avoidU victim state = %v, want S", v.State)
+	}
+	// With every way U, fall back to LRU among U lines.
+	c.Lookup(la(3)).State = ReducibleU
+	v = c.Victim(la(9), AvoidU)
+	if v.State != ReducibleU {
+		t.Fatal("all-U set must still yield a victim")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(4096, 4)
+	l, _ := c.Insert(la(2), nil)
+	l.State = Exclusive
+	c.Invalidate(la(2))
+	if c.Lookup(la(2)) != nil {
+		t.Fatal("line present after Invalidate")
+	}
+	c.Invalidate(la(2)) // no-op must not panic
+}
+
+func TestSpecBits(t *testing.T) {
+	var l LineMeta
+	if l.SpecAny() {
+		t.Fatal("zero LineMeta has spec bits set")
+	}
+	l.SpecRead = true
+	if !l.SpecAny() {
+		t.Fatal("SpecAny false with SpecRead set")
+	}
+	l.SpecWritten, l.SpecLabeled = true, true
+	l.ClearSpec()
+	if l.SpecAny() {
+		t.Fatal("ClearSpec left bits set")
+	}
+}
+
+// Property: after any sequence of inserts, (a) no two ways in a set hold the
+// same tag, (b) every lookup of a previously inserted & not-yet-evicted line
+// succeeds, (c) valid count never exceeds capacity.
+func TestCacheInvariants(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New(16*mem.LineBytes, 2) // 8 sets × 2 ways
+		live := map[mem.Addr]bool{}
+		for _, a := range addrs {
+			laddr := mem.LineOf(mem.Addr(a) * 8)
+			if c.Lookup(laddr) != nil {
+				c.Touch(c.Lookup(laddr))
+				continue
+			}
+			l, ev := c.Insert(laddr, nil)
+			l.State = Shared
+			if ev != nil {
+				if !live[ev.Tag] {
+					return false // evicted something never live
+				}
+				delete(live, ev.Tag)
+			}
+			live[laddr] = true
+			if c.Lookup(laddr) == nil {
+				return false
+			}
+		}
+		if c.CountValid() > 16 || c.CountValid() != len(live) {
+			return false
+		}
+		for a := range live {
+			if c.Lookup(a) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M", ReducibleU: "U"} {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

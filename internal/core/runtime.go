@@ -1,0 +1,342 @@
+// Package core implements the paper's transactional runtime on top of the
+// memsys coherence substrate: an eager-conflict-detection, lazy-versioning
+// HTM in the style of LTM/TSX (Sec. III-B1) extended with CommTM's labeled
+// memory operations, user-defined reductions, and gather requests.
+//
+// Transactions are timestamped at first begin and keep their timestamp
+// across retries, so conflict resolution (older wins; younger victims
+// abort; older victims NACK the requester) is livelock-free. Aborted
+// transactions perform randomized exponential backoff (Sec. III-B1).
+//
+// The package is the hardware/runtime boundary: workloads see only the
+// Thread API (Load64, Store64, LoadL, StoreL, LoadGather, Txn, Cycles,
+// Barrier), which corresponds to the paper's ISA additions.
+package core
+
+import (
+	"fmt"
+
+	"commtm/internal/engine"
+	"commtm/internal/mem"
+	"commtm/internal/memsys"
+	"commtm/internal/xrand"
+)
+
+// Cost constants model the fixed overheads of the TSX-style interface
+// (checkpointing registers, validating and publishing the write set —
+// several tens of cycles on real TSX hardware).
+const (
+	txBeginCost  = 16
+	txCommitCost = 24
+	txAbortCost  = 20
+	backoffBase  = 256
+	backoffMaxSh = 8 // max exponential backoff shift
+	// stallThreshold: accesses with latency above this yield to the
+	// scheduler (global events); cheaper accesses only tick the local clock.
+	stallThreshold = 8
+)
+
+// txState is the per-core transaction context.
+type txState struct {
+	active  bool
+	doomed  bool
+	demote  bool // retry labeled ops as conventional ops (Sec. III-B4)
+	nacked  bool // last abort was a NACKed request (retry soon: we win by age)
+	ts      uint64
+	cause   memsys.Cause
+	attempt int
+}
+
+// CoreStats accumulates per-core runtime statistics.
+type CoreStats struct {
+	Commits         uint64
+	Aborts          uint64
+	CommittedCycles uint64
+	WastedCycles    uint64
+	WastedByCause   [5]uint64 // indexed by memsys.Cause
+	Instructions    uint64
+	LabeledOps      uint64
+	TotalCycles     uint64 // final core clock, filled in by the caller after Run
+}
+
+// Runtime is the per-machine transactional runtime. It implements
+// memsys.Arbiter for conflict resolution callbacks.
+type Runtime struct {
+	ms      *memsys.MemSys
+	txs     []txState
+	stats   []CoreStats
+	tsClock uint64
+}
+
+// NewRuntime creates a runtime managing cores transactional contexts. The
+// memory system may be nil at construction (the runtime is the memsys
+// arbiter, so the two are built mutually); wire it with SetMemSys before
+// any thread runs.
+func NewRuntime(ms *memsys.MemSys, cores int) *Runtime {
+	return &Runtime{
+		ms:    ms,
+		txs:   make([]txState, cores),
+		stats: make([]CoreStats, cores),
+	}
+}
+
+// SetMemSys wires the memory system after mutual construction.
+func (rt *Runtime) SetMemSys(ms *memsys.MemSys) { rt.ms = ms }
+
+// TxTS implements memsys.Arbiter.
+func (rt *Runtime) TxTS(core int) (uint64, bool) {
+	tx := &rt.txs[core]
+	return tx.ts, tx.active && !tx.doomed
+}
+
+// NotifyAbort implements memsys.Arbiter: memsys has already rolled back the
+// victim's speculative cache state; mark the context doomed so the victim
+// unwinds at its next operation.
+func (rt *Runtime) NotifyAbort(core int, cause memsys.Cause) {
+	tx := &rt.txs[core]
+	if !tx.active || tx.doomed {
+		return
+	}
+	tx.doomed = true
+	tx.cause = cause
+}
+
+// MemSys returns the underlying memory system.
+func (rt *Runtime) MemSys() *memsys.MemSys { return rt.ms }
+
+// CoreStats returns core i's statistics block.
+func (rt *Runtime) CoreStats(i int) *CoreStats { return &rt.stats[i] }
+
+func (rt *Runtime) nextTS() uint64 {
+	rt.tsClock++
+	return rt.tsClock
+}
+
+// Thread binds an engine proc to a core's transactional context. Thread i
+// runs on core i.
+type Thread struct {
+	rt   *Runtime
+	proc *engine.Proc
+	core int
+}
+
+// NewThread wraps proc as the execution context of core proc.ID.
+func (rt *Runtime) NewThread(p *engine.Proc) *Thread {
+	if p.ID >= len(rt.txs) {
+		panic(fmt.Sprintf("core: proc %d exceeds runtime core count %d", p.ID, len(rt.txs)))
+	}
+	return &Thread{rt: rt, proc: p, core: p.ID}
+}
+
+// ID returns the thread/core id.
+func (t *Thread) ID() int { return t.core }
+
+// Rand returns the thread's deterministic PRNG stream.
+func (t *Thread) Rand() *xrand.RNG { return t.proc.Rand }
+
+// Clock returns the thread's current cycle count.
+func (t *Thread) Clock() uint64 { return t.proc.Clock() }
+
+// InTx reports whether the thread is inside a transaction.
+func (t *Thread) InTx() bool { return t.rt.txs[t.core].active }
+
+// Cycles models n cycles of local, non-memory work (IPC-1 ALU work).
+func (t *Thread) Cycles(n uint64) {
+	t.rt.stats[t.core].Instructions += n
+	t.proc.Tick(n)
+	t.checkDoomed()
+}
+
+// Barrier synchronizes all threads of the parallel region.
+func (t *Thread) Barrier() {
+	if t.InTx() {
+		panic("core: Barrier inside a transaction")
+	}
+	t.proc.Barrier()
+}
+
+// abortSig unwinds a doomed transaction body via panic/recover.
+type abortSig struct{}
+
+func (t *Thread) checkDoomed() {
+	tx := &t.rt.txs[t.core]
+	if tx.active && tx.doomed {
+		panic(abortSig{})
+	}
+}
+
+// access issues one memory operation, advances the clock by its latency,
+// and handles self-abort verdicts and remotely induced dooms.
+func (t *Thread) access(op memsys.Op, a mem.Addr, label memsys.LabelID, wval uint64) uint64 {
+	tx := &t.rt.txs[t.core]
+	st := &t.rt.stats[t.core]
+	t.checkDoomed()
+	st.Instructions++
+	if op == memsys.OpLabeledRead || op == memsys.OpLabeledWrite || op == memsys.OpGather {
+		st.LabeledOps++
+		if tx.active && tx.demote {
+			// Sec. III-B4: after an unlabeled access to speculatively
+			// modified labeled data, the retry performs labeled loads and
+			// stores as conventional loads and stores.
+			switch op {
+			case memsys.OpLabeledRead, memsys.OpGather:
+				op, label = memsys.OpRead, memsys.NoLabel
+			case memsys.OpLabeledWrite:
+				op, label = memsys.OpWrite, memsys.NoLabel
+			}
+		}
+	}
+	req := memsys.Req{Core: t.core, TS: tx.ts, InTx: tx.active, Now: t.proc.Clock()}
+	val, lat, self := t.rt.ms.Access(req, a, op, label, wval)
+	if lat > stallThreshold {
+		t.proc.Stall(lat)
+	} else {
+		t.proc.Tick(lat)
+	}
+	if self != memsys.SelfNone {
+		if !tx.active {
+			panic(fmt.Sprintf("core: non-transactional access self-aborted (%d)", self))
+		}
+		t.rt.ms.AbortCore(t.core)
+		tx.doomed = true
+		tx.cause = selfCause(op, self)
+		tx.nacked = self == memsys.SelfNacked
+		if self == memsys.SelfDemote {
+			tx.demote = true
+		}
+		panic(abortSig{})
+	}
+	// A conflict may have doomed us while we were stalled; unwind before
+	// the body can observe a value from a rolled-back context.
+	t.checkDoomed()
+	return val
+}
+
+// selfCause maps a self-abort to the paper's wasted-cycle categories.
+func selfCause(op memsys.Op, self memsys.SelfAbort) memsys.Cause {
+	switch self {
+	case memsys.SelfNacked:
+		switch op {
+		case memsys.OpGather:
+			return memsys.CauseGatherLabeled
+		case memsys.OpRead:
+			return memsys.CauseReadAfterWrite
+		case memsys.OpWrite:
+			return memsys.CauseWriteAfterRead
+		}
+		return memsys.CauseOther
+	default:
+		return memsys.CauseOther
+	}
+}
+
+// Load64 performs a conventional load.
+func (t *Thread) Load64(a mem.Addr) uint64 {
+	return t.access(memsys.OpRead, a, memsys.NoLabel, 0)
+}
+
+// Store64 performs a conventional store.
+func (t *Thread) Store64(a mem.Addr, v uint64) {
+	t.access(memsys.OpWrite, a, memsys.NoLabel, v)
+}
+
+// LoadL performs a labeled load (load[label], Sec. III-A).
+func (t *Thread) LoadL(a mem.Addr, label memsys.LabelID) uint64 {
+	return t.access(memsys.OpLabeledRead, a, label, 0)
+}
+
+// StoreL performs a labeled store (store[label], Sec. III-A).
+func (t *Thread) StoreL(a mem.Addr, label memsys.LabelID, v uint64) {
+	t.access(memsys.OpLabeledWrite, a, label, v)
+}
+
+// LoadGather performs a gather request (load_gather[label], Sec. IV).
+func (t *Thread) LoadGather(a mem.Addr, label memsys.LabelID) uint64 {
+	return t.access(memsys.OpGather, a, label, 0)
+}
+
+// Txn runs body as a transaction, retrying on aborts until it commits.
+// Nested calls flatten into the outer transaction (closed nesting with
+// subsumption). The transaction keeps its timestamp across retries, which
+// together with older-wins arbitration guarantees progress.
+func (t *Thread) Txn(body func()) {
+	tx := &t.rt.txs[t.core]
+	if tx.active {
+		body()
+		return
+	}
+	st := &t.rt.stats[t.core]
+	tx.ts = t.rt.nextTS()
+	tx.demote = false
+	tx.attempt = 0
+	for {
+		tx.attempt++
+		tx.active, tx.doomed, tx.cause, tx.nacked = true, false, memsys.CauseNone, false
+		start := t.proc.Clock()
+		t.proc.Tick(txBeginCost)
+		aborted := t.runBody(body)
+		if !aborted && !tx.doomed {
+			// Commit is a memory-ordering event and a scheduling point:
+			// other cores' requests may arrive (and conflict) while this
+			// transaction is completing, so stall — then re-check for dooms
+			// that landed during the stall before making state visible.
+			t.proc.Stall(txCommitCost)
+			if !tx.doomed {
+				t.rt.ms.CommitCore(t.core)
+				tx.active = false
+				st.Commits++
+				st.CommittedCycles += t.proc.Clock() - start
+				return
+			}
+			aborted = true
+		}
+		_ = aborted
+		// Abort path: memsys rolled the footprint back already.
+		cause := tx.cause
+		tx.active = false
+		t.proc.Tick(txAbortCost)
+		backoff := t.backoff(tx.attempt, tx.nacked)
+		t.proc.Stall(backoff)
+		wasted := t.proc.Clock() - start
+		st.Aborts++
+		st.WastedCycles += wasted
+		st.WastedByCause[cause] += wasted
+	}
+}
+
+// runBody executes the transaction body, converting abort signals into a
+// clean return. Other panics propagate.
+func (t *Thread) runBody(body func()) (aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSig); ok {
+				aborted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	body()
+	return false
+}
+
+// backoff returns the randomized exponential backoff for the given attempt.
+// NACKed transactions retry with a short, flat backoff: the NACKing
+// transaction is older and will commit soon, and the retained timestamp
+// makes this transaction ever older, so aggressive retry converges
+// (Sec. III-B4, "the transaction will retry the reduction, and will
+// eventually succeed thanks to timestamp-based conflict resolution").
+func (t *Thread) backoff(attempt int, nacked bool) uint64 {
+	sh := attempt - 1
+	maxSh := backoffMaxSh
+	base := uint64(backoffBase)
+	if nacked {
+		base = backoffBase / 4
+		maxSh = 2
+	}
+	if sh > maxSh {
+		sh = maxSh
+	}
+	b := base << uint(sh)
+	return b/2 + t.proc.Rand.Uint64n(b)
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"commtm/internal/engine"
+	"commtm/internal/mem"
+	"commtm/internal/memsys"
+)
+
+// buildStack wires engine + memsys + runtime directly (without the public
+// facade) to unit-test the transactional runtime mechanics.
+func buildStack(cores int, enableU bool) (*Runtime, *memsys.MemSys, *mem.Store, *engine.Kernel) {
+	store := mem.NewStore()
+	rt := NewRuntime(nil, cores)
+	p := memsys.DefaultParams(cores)
+	p.EnableU = enableU
+	p.EnableGather = enableU
+	ms := memsys.New(p, store, rt)
+	rt.SetMemSys(ms)
+	return rt, ms, store, engine.NewKernel(cores, 1)
+}
+
+func addSpec() memsys.LabelSpec {
+	return memsys.LabelSpec{
+		Name: "ADD",
+		Reduce: func(_ *memsys.ReduceCtx, dst, src *mem.Line) {
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		},
+	}
+}
+
+func TestTxnCommitsOnce(t *testing.T) {
+	rt, ms, store, k := buildStack(1, true)
+	_ = ms
+	a := mem.Addr(4096)
+	k.Run(func(p *engine.Proc) {
+		th := rt.NewThread(p)
+		th.Txn(func() {
+			th.Store64(a, th.Load64(a)+5)
+		})
+	})
+	ms.Drain()
+	if got := store.Read64(a); got != 5 {
+		t.Fatalf("memory = %d, want 5", got)
+	}
+	if cs := rt.CoreStats(0); cs.Commits != 1 || cs.Aborts != 0 {
+		t.Fatalf("commits=%d aborts=%d, want 1/0", cs.Commits, cs.Aborts)
+	}
+}
+
+func TestNestedTxnFlattens(t *testing.T) {
+	rt, ms, store, k := buildStack(1, true)
+	a := mem.Addr(4096)
+	k.Run(func(p *engine.Proc) {
+		th := rt.NewThread(p)
+		th.Txn(func() {
+			th.Store64(a, 1)
+			th.Txn(func() { // nested: must subsume, not commit separately
+				th.Store64(a+8, 2)
+			})
+			th.Store64(a+16, 3)
+		})
+	})
+	if cs := rt.CoreStats(0); cs.Commits != 1 {
+		t.Fatalf("commits = %d, want 1 (flattened)", cs.Commits)
+	}
+	ms.Drain()
+	if store.Read64(a) != 1 || store.Read64(a+8) != 2 || store.Read64(a+16) != 3 {
+		t.Fatal("nested transaction state lost")
+	}
+}
+
+func TestConflictingTxnsSerialize(t *testing.T) {
+	rt, ms, store, k := buildStack(4, true)
+	a := mem.Addr(4096)
+	k.Run(func(p *engine.Proc) {
+		th := rt.NewThread(p)
+		for i := 0; i < 25; i++ {
+			th.Txn(func() {
+				th.Store64(a, th.Load64(a)+1)
+			})
+		}
+	})
+	ms.Drain()
+	if got := store.Read64(a); got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+	var aborts uint64
+	for i := 0; i < 4; i++ {
+		aborts += rt.CoreStats(i).Aborts
+	}
+	if aborts == 0 {
+		t.Error("contended read-modify-write produced zero aborts")
+	}
+}
+
+func TestWastedCyclesAccounting(t *testing.T) {
+	rt, _, _, k := buildStack(4, true)
+	a := mem.Addr(4096)
+	k.Run(func(p *engine.Proc) {
+		th := rt.NewThread(p)
+		for i := 0; i < 20; i++ {
+			th.Txn(func() {
+				th.Store64(a, th.Load64(a)+1)
+			})
+		}
+	})
+	for i := 0; i < 4; i++ {
+		cs := rt.CoreStats(i)
+		var byCause uint64
+		for _, w := range cs.WastedByCause {
+			byCause += w
+		}
+		if byCause != cs.WastedCycles {
+			t.Fatalf("core %d: cause breakdown %d != wasted %d", i, byCause, cs.WastedCycles)
+		}
+		if cs.Aborts == 0 && cs.WastedCycles != 0 {
+			t.Fatalf("core %d: wasted cycles without aborts", i)
+		}
+	}
+}
+
+func TestBarrierInsideTxnPanics(t *testing.T) {
+	rt, _, _, k := buildStack(1, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Barrier inside Txn did not panic")
+		}
+	}()
+	k.Run(func(p *engine.Proc) {
+		th := rt.NewThread(p)
+		th.Txn(func() { th.Barrier() })
+	})
+}
+
+func TestLabeledOpsCountedAndDemoted(t *testing.T) {
+	rt, ms, store, k := buildStack(2, true)
+	add := ms.RegisterLabel(addSpec())
+	a := mem.Addr(4096)
+	k.Run(func(p *engine.Proc) {
+		th := rt.NewThread(p)
+		for i := 0; i < 10; i++ {
+			th.Txn(func() {
+				v := th.LoadL(a, add)
+				th.StoreL(a, add, v+1)
+				// Unlabeled read of own labeled data forces a demote-retry
+				// when another core shares the line in U.
+				_ = th.Load64(a)
+			})
+		}
+	})
+	ms.Drain()
+	if got := store.Read64(a); got != 20 {
+		t.Fatalf("counter = %d, want 20", got)
+	}
+	for i := 0; i < 2; i++ {
+		if rt.CoreStats(i).LabeledOps == 0 {
+			t.Errorf("core %d recorded no labeled ops", i)
+		}
+	}
+}
+
+func TestBackoffGrowsAndIsBounded(t *testing.T) {
+	rt, _, _, k := buildStack(1, true)
+	k.Run(func(p *engine.Proc) {
+		th := rt.NewThread(p)
+		prevMax := uint64(0)
+		for attempt := 1; attempt <= 12; attempt++ {
+			maxSeen := uint64(0)
+			for trial := 0; trial < 200; trial++ {
+				b := th.backoff(attempt, false)
+				if b > maxSeen {
+					maxSeen = b
+				}
+			}
+			if maxSeen > (backoffBase<<backoffMaxSh)*3/2 {
+				t.Fatalf("attempt %d: backoff %d exceeds cap", attempt, maxSeen)
+			}
+			if attempt <= backoffMaxSh && maxSeen <= prevMax/2 {
+				t.Fatalf("attempt %d: backoff not growing (%d after %d)", attempt, maxSeen, prevMax)
+			}
+			prevMax = maxSeen
+			// NACK backoffs stay short and flat.
+			if nb := th.backoff(attempt, true); nb > backoffBase*2 {
+				t.Fatalf("NACK backoff %d too large", nb)
+			}
+		}
+	})
+}
+
+func TestTimestampsMonotonic(t *testing.T) {
+	rt := NewRuntime(nil, 1)
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		ts := rt.nextTS()
+		if ts <= prev {
+			t.Fatalf("timestamp %d not greater than %d", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestNotifyAbortIgnoresInactive(t *testing.T) {
+	rt := NewRuntime(nil, 2)
+	rt.NotifyAbort(1, memsys.CauseOther) // no active tx: must be a no-op
+	if ts, active := rt.TxTS(1); active || ts != 0 {
+		t.Fatal("inactive core reported an active transaction")
+	}
+}

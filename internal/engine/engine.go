@@ -1,0 +1,203 @@
+// Package engine provides the deterministic execution kernel of the
+// simulator. Each simulated core runs its workload as a Go closure on its
+// own goroutine, but the kernel schedules exactly one core at a time — the
+// runnable core with the smallest (clock, id) — so all simulator state can
+// be mutated without locks and every run is bit-identical for a given seed.
+//
+// Cores advance their local clocks through Tick (cheap local work: L1 hits,
+// ALU ops) and Stall (global events: misses, protocol transactions). Tick
+// does not yield to the scheduler unless the core has run too far ahead of
+// its last scheduling point; Stall always yields. Barrier implements the
+// usual all-threads rendezvous used between parallel phases.
+package engine
+
+import (
+	"fmt"
+
+	"commtm/internal/xrand"
+)
+
+type status uint8
+
+const (
+	statusRunnable status = iota
+	statusBlocked         // waiting at a barrier
+	statusDone
+)
+
+// MaxSkew bounds how far a core may run ahead on local work before it must
+// yield, keeping cross-core event ordering close to true timestamp order.
+const MaxSkew = 2000
+
+// Proc is one simulated hardware context (core).
+type Proc struct {
+	ID   int
+	Rand *xrand.RNG
+
+	k          *Kernel
+	clock      uint64
+	lastYield  uint64
+	waitCycles uint64 // cycles spent blocked at barriers
+	status     status
+	resume     chan struct{}
+}
+
+// Kernel owns the procs of one parallel region and schedules them.
+type Kernel struct {
+	procs    []*Proc
+	sched    chan struct{}
+	panicVal any
+	running  bool
+}
+
+// NewKernel creates a kernel with n procs whose PRNGs derive from seed.
+func NewKernel(n int, seed uint64) *Kernel {
+	if n <= 0 {
+		panic("engine: kernel needs at least one proc")
+	}
+	k := &Kernel{sched: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		k.procs = append(k.procs, &Proc{
+			ID:     i,
+			Rand:   xrand.Derive(seed, uint64(i)),
+			k:      k,
+			resume: make(chan struct{}),
+		})
+	}
+	return k
+}
+
+// Procs returns the number of procs.
+func (k *Kernel) Procs() int { return len(k.procs) }
+
+// Proc returns proc i.
+func (k *Kernel) Proc(i int) *Proc { return k.procs[i] }
+
+// Clock returns proc i's current local clock.
+func (p *Proc) Clock() uint64 { return p.clock }
+
+// Run executes body once per proc, scheduling deterministically until every
+// proc returns. It panics if any body panics (with the original value) or
+// if Run is re-entered.
+func (k *Kernel) Run(body func(p *Proc)) {
+	if k.running {
+		panic("engine: Kernel.Run re-entered")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	for _, p := range k.procs {
+		p.status = statusRunnable
+		go func(p *Proc) {
+			defer func() {
+				if r := recover(); r != nil && k.panicVal == nil {
+					k.panicVal = fmt.Sprintf("engine: proc %d panicked: %v", p.ID, r)
+				}
+				p.status = statusDone
+				k.sched <- struct{}{}
+			}()
+			<-p.resume
+			body(p)
+		}(p)
+	}
+
+	for {
+		best := k.pickRunnable()
+		if best == nil {
+			if k.allDone() {
+				break
+			}
+			k.releaseBarrier()
+			continue
+		}
+		best.resume <- struct{}{}
+		<-k.sched
+		if k.panicVal != nil {
+			// Drain remaining procs is impossible mid-panic; fail loudly.
+			panic(k.panicVal)
+		}
+	}
+}
+
+func (k *Kernel) pickRunnable() *Proc {
+	var best *Proc
+	for _, p := range k.procs {
+		if p.status != statusRunnable {
+			continue
+		}
+		if best == nil || p.clock < best.clock || (p.clock == best.clock && p.ID < best.ID) {
+			best = p
+		}
+	}
+	return best
+}
+
+func (k *Kernel) allDone() bool {
+	for _, p := range k.procs {
+		if p.status != statusDone {
+			return false
+		}
+	}
+	return true
+}
+
+// releaseBarrier wakes every barrier-blocked proc at the max clock among
+// them, modelling a hardware barrier where all threads leave together.
+func (k *Kernel) releaseBarrier() {
+	var maxClock uint64
+	any := false
+	for _, p := range k.procs {
+		if p.status == statusBlocked {
+			any = true
+			if p.clock > maxClock {
+				maxClock = p.clock
+			}
+		}
+	}
+	if !any {
+		panic("engine: scheduler stuck with no runnable, no blocked, not all done")
+	}
+	for _, p := range k.procs {
+		if p.status == statusBlocked {
+			p.waitCycles += maxClock - p.clock
+			p.clock = maxClock
+			p.lastYield = maxClock
+			p.status = statusRunnable
+		}
+	}
+}
+
+// yield hands control back to the scheduler and waits to be resumed.
+func (p *Proc) yield() {
+	p.k.sched <- struct{}{}
+	<-p.resume
+}
+
+// Tick advances the local clock by cycles of purely local work. It yields
+// only if the proc has drifted more than MaxSkew past its last yield.
+func (p *Proc) Tick(cycles uint64) {
+	p.clock += cycles
+	if p.clock-p.lastYield > MaxSkew {
+		p.lastYield = p.clock
+		p.yield()
+	}
+}
+
+// Stall advances the local clock by cycles and yields, modelling an event
+// whose timing other cores may observe (cache miss, protocol transaction).
+func (p *Proc) Stall(cycles uint64) {
+	p.clock += cycles
+	p.lastYield = p.clock
+	p.yield()
+}
+
+// Barrier blocks until every non-finished proc reaches a barrier, then all
+// are released at the maximum clock among them.
+func (p *Proc) Barrier() {
+	p.status = statusBlocked
+	p.yield()
+}
+
+// BarrierWaitCycles returns the total cycles this proc has spent waiting at
+// barriers so far.
+func (p *Proc) BarrierWaitCycles() uint64 { return p.waitCycles }

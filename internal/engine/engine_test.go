@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestSingleProcRuns(t *testing.T) {
+	k := NewKernel(1, 1)
+	ran := false
+	k.Run(func(p *Proc) {
+		ran = true
+		p.Tick(10)
+		p.Stall(5)
+	})
+	if !ran {
+		t.Fatal("body never ran")
+	}
+	if got := k.Proc(0).Clock(); got != 15 {
+		t.Fatalf("clock = %d, want 15", got)
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []int {
+		k := NewKernel(4, 7)
+		var order []int
+		k.Run(func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				order = append(order, p.ID)
+				p.Stall(uint64(1 + p.ID)) // different speeds
+			}
+		})
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 20 {
+		t.Fatalf("got %d events, want 20", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interleavings diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestMinClockScheduling(t *testing.T) {
+	// Proc 1 stalls long; proc 0 should get many turns in between.
+	k := NewKernel(2, 1)
+	var trace []int
+	k.Run(func(p *Proc) {
+		if p.ID == 0 {
+			for i := 0; i < 10; i++ {
+				trace = append(trace, 0)
+				p.Stall(10)
+			}
+		} else {
+			trace = append(trace, 1)
+			p.Stall(1000)
+			trace = append(trace, 1)
+		}
+	})
+	// After proc 1's first event at t=0, proc 0 runs its 10 events
+	// (t=0..90) before proc 1 resumes at t=1000.
+	if trace[len(trace)-1] != 1 {
+		t.Fatalf("proc 1's long stall did not finish last: %v", trace)
+	}
+	count0 := 0
+	for _, id := range trace[:len(trace)-1] {
+		if id == 0 {
+			count0++
+		}
+	}
+	if count0 != 10 {
+		t.Fatalf("proc 0 had %d events before proc 1 finished, want 10", count0)
+	}
+}
+
+func TestTieBreakByID(t *testing.T) {
+	k := NewKernel(3, 1)
+	var first []int
+	k.Run(func(p *Proc) {
+		first = append(first, p.ID)
+		p.Stall(1)
+	})
+	for i, id := range first[:3] {
+		if id != i {
+			t.Fatalf("equal-clock procs ran out of id order: %v", first)
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	k := NewKernel(3, 1)
+	phase := make([]int, 3)
+	k.Run(func(p *Proc) {
+		p.Stall(uint64(100 * (p.ID + 1))) // skewed arrival
+		phase[p.ID] = 1
+		p.Barrier()
+		// After the barrier every proc must observe all phases complete
+		// and all clocks equal to the max arrival clock (300).
+		for i, ph := range phase {
+			if ph != 1 {
+				t.Errorf("proc %d passed barrier before proc %d arrived", p.ID, i)
+			}
+		}
+		if p.Clock() != 300 {
+			t.Errorf("proc %d clock after barrier = %d, want 300", p.ID, p.Clock())
+		}
+	})
+	if w := k.Proc(0).BarrierWaitCycles(); w != 200 {
+		t.Errorf("proc 0 barrier wait = %d, want 200", w)
+	}
+	if w := k.Proc(2).BarrierWaitCycles(); w != 0 {
+		t.Errorf("proc 2 barrier wait = %d, want 0", w)
+	}
+}
+
+func TestMultipleBarriers(t *testing.T) {
+	k := NewKernel(4, 1)
+	counter := 0
+	k.Run(func(p *Proc) {
+		for round := 0; round < 5; round++ {
+			if p.ID == 0 {
+				counter++ // sequential section
+			}
+			p.Barrier()
+			if counter != round+1 {
+				t.Errorf("round %d: counter = %d", round, counter)
+			}
+			p.Barrier()
+		}
+	})
+	if counter != 5 {
+		t.Fatalf("counter = %d, want 5", counter)
+	}
+}
+
+func TestTickSkewYields(t *testing.T) {
+	// A proc doing only Ticks must still let others run within MaxSkew.
+	k := NewKernel(2, 1)
+	maxGap := uint64(0)
+	var last0 uint64
+	k.Run(func(p *Proc) {
+		if p.ID == 0 {
+			for i := 0; i < 1000; i++ {
+				p.Tick(50)
+				last0 = p.Clock()
+			}
+		} else {
+			for i := 0; i < 1000; i++ {
+				p.Stall(50)
+				if last0 > p.Clock() && last0-p.Clock() > maxGap {
+					maxGap = last0 - p.Clock()
+				}
+			}
+		}
+	})
+	if maxGap > MaxSkew+50 {
+		t.Fatalf("tick-only proc ran %d cycles ahead, want <= %d", maxGap, MaxSkew+50)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("body panic did not propagate out of Run")
+		}
+	}()
+	k := NewKernel(2, 1)
+	k.Run(func(p *Proc) {
+		if p.ID == 1 {
+			panic("boom")
+		}
+		p.Stall(1)
+	})
+}
+
+func TestHeterogeneousFinish(t *testing.T) {
+	// Procs finishing at different times must not wedge the scheduler.
+	k := NewKernel(4, 1)
+	done := 0
+	k.Run(func(p *Proc) {
+		for i := 0; i <= p.ID; i++ {
+			p.Stall(3)
+		}
+		done++
+	})
+	if done != 4 {
+		t.Fatalf("done = %d, want 4", done)
+	}
+}
+
+func TestBarrierAfterSomeFinish(t *testing.T) {
+	// Procs 2,3 exit early; procs 0,1 still synchronize at barriers.
+	k := NewKernel(4, 1)
+	k.Run(func(p *Proc) {
+		if p.ID >= 2 {
+			p.Stall(1)
+			return
+		}
+		p.Stall(uint64(10 * (p.ID + 1)))
+		p.Barrier()
+		if p.Clock() != 20 {
+			t.Errorf("proc %d clock = %d, want 20", p.ID, p.Clock())
+		}
+	})
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"commtm"
+	"commtm/internal/harness"
+	"commtm/internal/workloads/apps"
+	"commtm/internal/workloads/micro"
+)
+
+// Application default inputs, scaled from the paper's (Table II) so the
+// full suite regenerates in minutes. Options.Scale grows them.
+func appWorkloads(o harness.Options) map[string]func() harness.Workload {
+	return map[string]func() harness.Workload{
+		"boruvka": func() harness.Workload {
+			side := 24 + int(24*o.Scale)
+			return apps.NewBoruvka(side, side, 0.7, o.Seed)
+		},
+		"kmeans": func() harness.Workload {
+			return apps.NewKMeans(o.ScaledOps(4096), 8, 12, 3, o.Seed)
+		},
+		"ssca2": func() harness.Workload {
+			return apps.NewSSCA2(14, o.ScaledOps(24576), o.Seed)
+		},
+		"genome": func() harness.Workload {
+			return apps.NewGenome(512, 32, o.ScaledOps(32768), o.Seed)
+		},
+		"vacation": func() harness.Workload {
+			return apps.NewVacation(1024, 256, o.ScaledOps(8192), 4, o.Seed)
+		},
+	}
+}
+
+// appOrder fixes the paper's sub-figure order.
+var appOrder = []string{"boruvka", "kmeans", "ssca2", "genome", "vacation"}
+
+var appFigLetter = map[string]string{
+	"boruvka": "a", "kmeans": "b", "ssca2": "c", "genome": "d", "vacation": "e",
+}
+
+func init() {
+	for _, name := range appOrder {
+		name := name
+		letter := appFigLetter[name]
+		registerSpeedup("fig16"+letter,
+			fmt.Sprintf("Fig. 16%s: %s speedup, CommTM vs baseline HTM", letter, name),
+			func(o harness.Options) func() harness.Workload { return appWorkloads(o)[name] },
+			[]harness.Variant{harness.VarCommTM, harness.VarBaseline})
+	}
+	harness.Register(harness.Experiment{
+		ID:    "fig16",
+		Title: "Fig. 16: per-application speedups (all five applications)",
+		Run:   combine("fig16a", "fig16b", "fig16c", "fig16d", "fig16e"),
+	})
+	harness.Register(harness.Experiment{
+		ID:    "fig17",
+		Title: "Fig. 17: breakdown of core cycles at 8/32/128 threads",
+		Run:   breakdownRun(func(bd *harness.Breakdown) string { return bd.CycleTable() }),
+	})
+	harness.Register(harness.Experiment{
+		ID:    "fig18",
+		Title: "Fig. 18: breakdown of wasted cycles by cause at 8/32/128 threads",
+		Run:   breakdownRun(func(bd *harness.Breakdown) string { return bd.WastedTable() }),
+	})
+	harness.Register(harness.Experiment{
+		ID:    "fig19",
+		Title: "Fig. 19: GET requests between L2s and L3 (boruvka, kmeans)",
+		Run: func(o harness.Options) (string, error) {
+			var out strings.Builder
+			wl := appWorkloads(o)
+			for _, name := range []string{"boruvka", "kmeans"} {
+				bd, err := harness.BreakdownSweep("fig19", name, wl[name],
+					[]harness.Variant{harness.VarBaseline, harness.VarCommTM}, breakThreads(o), o.Seed)
+				if err != nil {
+					return "", err
+				}
+				out.WriteString(bd.GetTable())
+				out.WriteByte('\n')
+			}
+			return out.String(), nil
+		},
+	})
+	harness.Register(harness.Experiment{
+		ID:    "tab2",
+		Title: "Table II: benchmark characteristics (measured)",
+		Run:   tableII,
+	})
+	harness.Register(harness.Experiment{
+		ID:    "ablation-gather",
+		Title: "Ablation: gather requests on/off for gather-dependent workloads",
+		Run:   ablationGather,
+	})
+}
+
+// combine runs several experiments and concatenates their reports.
+func combine(ids ...string) func(harness.Options) (string, error) {
+	return func(o harness.Options) (string, error) {
+		var out strings.Builder
+		for _, id := range ids {
+			e, ok := harness.Get(id)
+			if !ok {
+				return "", fmt.Errorf("experiments: %s not registered", id)
+			}
+			s, err := e.Run(o)
+			if err != nil {
+				return "", err
+			}
+			out.WriteString(s)
+			out.WriteByte('\n')
+		}
+		return out.String(), nil
+	}
+}
+
+// breakThreads picks the paper's 8/32/128 points, clipped to the sweep.
+func breakThreads(o harness.Options) []int {
+	std := []int{8, 32, 128}
+	maxT := 0
+	for _, t := range o.Threads {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	var out []int
+	for _, t := range std {
+		if t <= maxT {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{maxT}
+	}
+	return out
+}
+
+func breakdownRun(render func(*harness.Breakdown) string) func(harness.Options) (string, error) {
+	return func(o harness.Options) (string, error) {
+		var out strings.Builder
+		wl := appWorkloads(o)
+		for _, name := range appOrder {
+			bd, err := harness.BreakdownSweep("fig17/18", name, wl[name],
+				[]harness.Variant{harness.VarBaseline, harness.VarCommTM}, breakThreads(o), o.Seed)
+			if err != nil {
+				return "", err
+			}
+			out.WriteString(render(bd))
+			out.WriteByte('\n')
+		}
+		return out.String(), nil
+	}
+}
+
+// tableII reports each application's commutative operations (static) plus
+// the measured labeled-operation fraction and gather usage at the largest
+// sweep point, mirroring the paper's Table II and its Sec. VII fractions.
+func tableII(o harness.Options) (string, error) {
+	ops := map[string]string{
+		"boruvka":  "min-weight edges (64b OPUT); union (64b MIN); mark edges (64b MAX); MST weight (64b ADD)",
+		"kmeans":   "cluster centroid updates (ADD)",
+		"ssca2":    "global graph metadata (ADD)",
+		"genome":   "remaining-space counter of resizable hash table (bounded ADD)",
+		"vacation": "remaining-space counter of resizable hash tables (bounded ADD)",
+	}
+	th := breakThreads(o)
+	threads := th[len(th)-1]
+	var b strings.Builder
+	fmt.Fprintf(&b, "# tab2: Table II — benchmark characteristics (measured at %d threads, CommTM)\n", threads)
+	fmt.Fprintf(&b, "%-10s %-12s %-14s %s\n", "app", "uses gather", "labeled frac", "commutative operations")
+	wl := appWorkloads(o)
+	for _, name := range appOrder {
+		st, err := harness.RunOne(wl[name], harness.VarCommTM, threads, o.Seed)
+		if err != nil {
+			return "", err
+		}
+		gather := "no"
+		if st.Gathers > 0 {
+			gather = "yes"
+		}
+		fmt.Fprintf(&b, "%-10s %-12s %-14.6f %s\n", name, gather, st.LabeledFraction(), ops[name])
+	}
+	return b.String(), nil
+}
+
+// ablationGather quantifies what gather requests buy on the workloads that
+// use them (Sec. IV's contribution beyond semantic locking).
+func ablationGather(o harness.Options) (string, error) {
+	th := breakThreads(o)
+	threads := th[len(th)-1]
+	mks := map[string]func() harness.Workload{
+		"refcount":   func() harness.Workload { return micro.NewRefcount(o.ScaledOps(30000), 16) },
+		"list-mixed": func() harness.Workload { return micro.NewList(o.ScaledOps(60000), 0.5) },
+		"genome":     appWorkloads(o)["genome"],
+		"vacation":   appWorkloads(o)["vacation"],
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# ablation-gather: CommTM with vs without gather requests (%d threads)\n", threads)
+	fmt.Fprintf(&b, "%-12s %14s %14s %10s %12s %12s\n", "workload", "with (cyc)", "without (cyc)", "gain", "gathers", "reductions")
+	for _, name := range []string{"refcount", "list-mixed", "genome", "vacation"} {
+		with, err := harness.RunOne(mks[name], harness.VarCommTM, threads, o.Seed)
+		if err != nil {
+			return "", err
+		}
+		without, err := harness.RunOne(mks[name], harness.VarCommTMNoGather, threads, o.Seed)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-12s %14d %14d %9.2fx %12d %12d\n",
+			name, with.Cycles, without.Cycles,
+			float64(without.Cycles)/float64(with.Cycles), with.Gathers, without.Reductions)
+	}
+	_ = commtm.CommTM
+	return b.String(), nil
+}

@@ -1,0 +1,319 @@
+// Package harness runs workloads on simulated machines and regenerates the
+// paper's figures and tables: thread-count sweeps for the speedup figures
+// (Figs. 9–16), cycle and wasted-cycle breakdowns (Figs. 17–18), coherence
+// traffic breakdowns (Fig. 19), and the configuration/characteristics
+// tables (Tables I–II).
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"commtm"
+)
+
+// Workload is one benchmark: it allocates and initializes simulated memory,
+// runs a per-thread body, and validates the final state against a
+// sequential reference. A Workload instance is single-use; build a fresh
+// one per machine.
+type Workload interface {
+	Name() string
+	Setup(m *commtm.Machine)
+	Body(t *commtm.Thread)
+	Validate(m *commtm.Machine) error
+}
+
+// Variant labels one protocol configuration in a sweep.
+type Variant struct {
+	Label         string
+	Protocol      commtm.Protocol
+	DisableGather bool
+}
+
+// Baseline and CommTM are the paper's two standard variants.
+var (
+	VarBaseline = Variant{Label: "Baseline", Protocol: commtm.Baseline}
+	VarCommTM   = Variant{Label: "CommTM", Protocol: commtm.CommTM}
+	// VarCommTMNoGather is the "CommTM w/o gather" configuration (Fig. 10).
+	VarCommTMNoGather = Variant{Label: "CommTM w/o gather", Protocol: commtm.CommTM, DisableGather: true}
+)
+
+// DefaultThreads is the sweep used by the paper's figures (1–128 threads).
+var DefaultThreads = []int{1, 2, 4, 8, 16, 32, 64, 128}
+
+// RunOne builds a machine, runs the workload, validates, and returns stats.
+func RunOne(mk func() Workload, v Variant, threads int, seed uint64) (commtm.Stats, error) {
+	w := mk()
+	m := commtm.New(commtm.Config{
+		Threads:       threads,
+		Protocol:      v.Protocol,
+		DisableGather: v.DisableGather,
+		Seed:          seed,
+	})
+	w.Setup(m)
+	m.Run(w.Body)
+	if err := w.Validate(m); err != nil {
+		return commtm.Stats{}, fmt.Errorf("%s [%s, %d threads]: %w", w.Name(), v.Label, threads, err)
+	}
+	return m.Stats(), nil
+}
+
+// Point is one measurement in a sweep.
+type Point struct {
+	Threads int
+	Speedup float64
+	Stats   commtm.Stats
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduced figure: one or more speedup curves over threads,
+// all normalized to the 1-thread baseline runtime (as in the paper).
+type Figure struct {
+	ID, Title string
+	Series    []Series
+}
+
+// SpeedupSweep reproduces a speedup-vs-threads figure. The reference
+// runtime is the 1-thread baseline run (always executed, even if the
+// baseline variant is not in the requested series).
+func SpeedupSweep(id, title string, mk func() Workload, variants []Variant, threads []int, seed uint64) (*Figure, error) {
+	refStats, err := RunOne(mk, VarBaseline, 1, seed)
+	if err != nil {
+		return nil, err
+	}
+	ref := float64(refStats.Cycles)
+	fig := &Figure{ID: id, Title: title}
+	for _, v := range variants {
+		s := Series{Label: v.Label}
+		for _, th := range threads {
+			var st commtm.Stats
+			if v == VarBaseline && th == 1 {
+				st = refStats
+			} else {
+				st, err = RunOne(mk, v, th, seed)
+				if err != nil {
+					return nil, err
+				}
+			}
+			s.Points = append(s.Points, Point{
+				Threads: th,
+				Speedup: ref / float64(st.Cycles),
+				Stats:   st,
+			})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// String renders the figure as an aligned text table, one row per thread
+// count and one column per series.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-8s", "threads")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %18s", s.Label)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(&b, "%-8d", f.Series[0].Points[i].Threads)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "  %17.2fx", s.Points[i].Speedup)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MaxSpeedup returns the best speedup of the named series.
+func (f *Figure) MaxSpeedup(label string) float64 {
+	best := 0.0
+	for _, s := range f.Series {
+		if s.Label != label {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.Speedup > best {
+				best = p.Speedup
+			}
+		}
+	}
+	return best
+}
+
+// At returns the point of series label at the given thread count.
+func (f *Figure) At(label string, threads int) (Point, bool) {
+	for _, s := range f.Series {
+		if s.Label != label {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.Threads == threads {
+				return p, true
+			}
+		}
+	}
+	return Point{}, false
+}
+
+// Breakdown reproduces the Fig. 17/18/19 bar groups: for each thread count
+// and variant, the cycle breakdown, wasted-cycle breakdown, and GET-request
+// breakdown, normalized like the paper (to the 8-thread baseline totals).
+type Breakdown struct {
+	ID, Title string
+	Rows      []BreakdownRow
+}
+
+// BreakdownRow is one (variant, threads) bar.
+type BreakdownRow struct {
+	Variant string
+	Threads int
+	Stats   commtm.Stats
+}
+
+// BreakdownSweep measures the workload at the paper's 8/32/128-thread
+// points for both variants.
+func BreakdownSweep(id, title string, mk func() Workload, variants []Variant, threads []int, seed uint64) (*Breakdown, error) {
+	bd := &Breakdown{ID: id, Title: title}
+	for _, th := range threads {
+		for _, v := range variants {
+			st, err := RunOne(mk, v, th, seed)
+			if err != nil {
+				return nil, err
+			}
+			bd.Rows = append(bd.Rows, BreakdownRow{Variant: v.Label, Threads: th, Stats: st})
+		}
+	}
+	return bd, nil
+}
+
+// norm returns the normalization base: the first row's total core cycles
+// (the paper normalizes to the baseline at 8 threads).
+func (bd *Breakdown) norm(metric func(commtm.Stats) float64) float64 {
+	for _, r := range bd.Rows {
+		if v := metric(r.Stats); v > 0 {
+			return v
+		}
+	}
+	return 1
+}
+
+// CycleTable renders the Fig. 17-style breakdown (non-tx / committed /
+// aborted core cycles, normalized to the first row's total).
+func (bd *Breakdown) CycleTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s (cycles normalized to %s @%d threads)\n",
+		bd.ID, bd.Title, bd.Rows[0].Variant, bd.Rows[0].Threads)
+	base := float64(bd.Rows[0].Stats.TotalCoreCycles)
+	fmt.Fprintf(&b, "%-10s %8s %10s %12s %10s %10s\n", "variant", "threads", "non-tx", "committed", "aborted", "total")
+	for _, r := range bd.Rows {
+		s := r.Stats
+		fmt.Fprintf(&b, "%-10s %8d %10.3f %12.3f %10.3f %10.3f\n",
+			r.Variant, r.Threads,
+			float64(s.NonTxCycles)/base, float64(s.CommittedCycles)/base,
+			float64(s.WastedCycles)/base, float64(s.TotalCoreCycles)/base)
+	}
+	return b.String()
+}
+
+// WastedTable renders the Fig. 18-style wasted-cycle breakdown by cause,
+// normalized to the first row's wasted cycles (or 1 if none).
+func (bd *Breakdown) WastedTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s (wasted cycles by cause, normalized)\n", bd.ID, bd.Title)
+	base := bd.norm(func(s commtm.Stats) float64 { return float64(s.WastedCycles) })
+	fmt.Fprintf(&b, "%-10s %8s %10s %10s %10s %10s %10s\n",
+		"variant", "threads", "RaW", "WaR", "gather", "other", "total")
+	for _, r := range bd.Rows {
+		s := r.Stats
+		fmt.Fprintf(&b, "%-10s %8d %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			r.Variant, r.Threads,
+			float64(s.WastedReadAfterWrite)/base, float64(s.WastedWriteAfterRead)/base,
+			float64(s.WastedGather)/base, float64(s.WastedOther)/base,
+			float64(s.WastedCycles)/base)
+	}
+	return b.String()
+}
+
+// GetTable renders the Fig. 19-style GET-request breakdown between the
+// private L2s and the L3, normalized to the first row's total.
+func (bd *Breakdown) GetTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s (GET requests L2→L3, normalized)\n", bd.ID, bd.Title)
+	base := bd.norm(func(s commtm.Stats) float64 { return float64(s.GETS + s.GETX + s.GETU) })
+	fmt.Fprintf(&b, "%-10s %8s %10s %10s %10s %10s\n", "variant", "threads", "GETS", "GETX", "GETU", "total")
+	for _, r := range bd.Rows {
+		s := r.Stats
+		fmt.Fprintf(&b, "%-10s %8d %10.3f %10.3f %10.3f %10.3f\n",
+			r.Variant, r.Threads,
+			float64(s.GETS)/base, float64(s.GETX)/base, float64(s.GETU)/base,
+			float64(s.GETS+s.GETX+s.GETU)/base)
+	}
+	return b.String()
+}
+
+// Registry of named experiments (one per paper figure/table), populated by
+// the experiments file and consumed by cmd/commtm-bench and bench_test.go.
+type Experiment struct {
+	ID, Title string
+	Run       func(o Options) (string, error)
+}
+
+// Options scales experiments: Quick shrinks inputs for CI-speed runs.
+type Options struct {
+	Threads []int
+	Seed    uint64
+	Scale   float64 // 1.0 = paper-shaped default size; <1 shrinks inputs
+}
+
+// DefaultOptions is used when flags don't override.
+func DefaultOptions() Options {
+	return Options{Threads: DefaultThreads, Seed: 1, Scale: 1.0}
+}
+
+func (o Options) scaled(n int) int {
+	v := int(float64(n) * o.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// ScaledOps exposes input scaling to workload constructors.
+func (o Options) ScaledOps(n int) int { return o.scaled(n) }
+
+var registry = map[string]Experiment{}
+
+// Register adds an experiment; duplicate ids panic (registration bug).
+func Register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns a registered experiment.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

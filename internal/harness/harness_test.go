@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"commtm"
+)
+
+// incWorkload is a minimal workload for harness plumbing tests.
+type incWorkload struct {
+	ops     int
+	threads int
+	ctr     commtm.Addr
+	add     commtm.LabelID
+}
+
+func (w *incWorkload) Name() string { return "inc" }
+
+func (w *incWorkload) Setup(m *commtm.Machine) {
+	w.threads = m.Config().Threads
+	w.add = m.DefineLabel(commtm.AddLabel("ADD"))
+	w.ctr = m.AllocLines(1)
+}
+
+func (w *incWorkload) Body(t *commtm.Thread) {
+	n := w.ops / w.threads
+	for i := 0; i < n; i++ {
+		t.Txn(func() {
+			t.StoreL(w.ctr, w.add, t.LoadL(w.ctr, w.add)+1)
+		})
+	}
+}
+
+func (w *incWorkload) Validate(m *commtm.Machine) error {
+	want := uint64(w.ops / w.threads * w.threads)
+	if got := m.MemRead64(w.ctr); got != want {
+		return fmt.Errorf("counter %d != %d", got, want)
+	}
+	return nil
+}
+
+func mk() Workload { return &incWorkload{ops: 400} }
+
+func TestRunOneValidates(t *testing.T) {
+	st, err := RunOne(mk, VarCommTM, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Commits == 0 || st.Cycles == 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+}
+
+func TestRunOneSurfacesValidationErrors(t *testing.T) {
+	bad := func() Workload { return &badWorkload{} }
+	if _, err := RunOne(bad, VarBaseline, 2, 1); err == nil {
+		t.Fatal("validation error not surfaced")
+	} else if !strings.Contains(err.Error(), "Baseline") {
+		t.Fatalf("error lacks context: %v", err)
+	}
+}
+
+type badWorkload struct{ incWorkload }
+
+func (w *badWorkload) Validate(*commtm.Machine) error { return fmt.Errorf("nope") }
+
+func TestSpeedupSweepNormalization(t *testing.T) {
+	fig, err := SpeedupSweep("t", "test", mk,
+		[]Variant{VarBaseline, VarCommTM}, []int{1, 2, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := fig.At("Baseline", 1)
+	if !ok {
+		t.Fatal("baseline 1-thread point missing")
+	}
+	if p.Speedup != 1.0 {
+		t.Fatalf("baseline @1 thread speedup = %v, want exactly 1.0", p.Speedup)
+	}
+	if fig.MaxSpeedup("CommTM") <= 1.0 {
+		t.Error("CommTM never beat the 1-thread baseline on a scalable counter")
+	}
+	out := fig.String()
+	for _, needle := range []string{"threads", "Baseline", "CommTM", "1.00x"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("rendered figure missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestBreakdownTables(t *testing.T) {
+	bd, err := BreakdownSweep("t", "test", mk, []Variant{VarBaseline, VarCommTM}, []int{2, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bd.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(bd.Rows))
+	}
+	for _, render := range []func() string{bd.CycleTable, bd.WastedTable, bd.GetTable} {
+		out := render()
+		if !strings.Contains(out, "Baseline") || !strings.Contains(out, "CommTM") {
+			t.Errorf("table missing variants:\n%s", out)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	Register(Experiment{ID: "zz-test", Title: "t", Run: func(Options) (string, error) { return "ok", nil }})
+	e, found := Get("zz-test")
+	if !found {
+		t.Fatal("registered experiment not found")
+	}
+	out, err := e.Run(DefaultOptions())
+	if err != nil || out != "ok" {
+		t.Fatalf("run = %q, %v", out, err)
+	}
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("IDs not sorted")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(Experiment{ID: "zz-test"})
+}
+
+func TestOptionsScaling(t *testing.T) {
+	o := Options{Scale: 0.5}
+	if got := o.ScaledOps(100); got != 50 {
+		t.Errorf("ScaledOps(100) = %d, want 50", got)
+	}
+	o.Scale = 0.0001
+	if got := o.ScaledOps(100); got != 1 {
+		t.Errorf("tiny scale floor: got %d, want 1", got)
+	}
+}

@@ -1,0 +1,127 @@
+// Package mem models the simulated physical memory: a flat address space
+// accessed at 64-bit word granularity, organized in 64-byte cache lines,
+// with a canonical backing store and a bump allocator.
+//
+// The backing store holds the architectural (committed, fully reduced) value
+// of every line that is not currently cached somewhere more authoritative;
+// the coherence layer in internal/memsys decides when the backing store is
+// stale (e.g. while private caches hold a line in M or U state).
+package mem
+
+import "fmt"
+
+// Addr is a simulated physical byte address.
+type Addr uint64
+
+// Line geometry. The paper (Table I) uses 64-byte lines throughout.
+const (
+	LineBytes    = 64
+	WordBytes    = 8
+	WordsPerLine = LineBytes / WordBytes
+	lineMask     = Addr(LineBytes - 1)
+)
+
+// Line is the data payload of one cache line: eight 64-bit words.
+type Line [WordsPerLine]uint64
+
+// LineOf returns the line-aligned base address containing a.
+func LineOf(a Addr) Addr { return a &^ lineMask }
+
+// WordIdx returns the index (0..7) of the word containing a within its line.
+func WordIdx(a Addr) int { return int(a>>3) & (WordsPerLine - 1) }
+
+// IsWordAligned reports whether a is 8-byte aligned. All simulated memory
+// operations are word-granular and require word alignment.
+func IsWordAligned(a Addr) bool { return a&7 == 0 }
+
+// Store is the canonical memory backing store, line granular. Lines are
+// materialized lazily and zero-initialized, like freshly mapped pages.
+type Store struct {
+	lines map[Addr]*Line
+}
+
+// NewStore returns an empty backing store.
+func NewStore() *Store {
+	return &Store{lines: make(map[Addr]*Line)}
+}
+
+// Line returns the backing line containing a, materializing it if needed.
+// The returned pointer aliases store state; callers mutate it in place.
+func (s *Store) Line(a Addr) *Line {
+	la := LineOf(a)
+	l, ok := s.lines[la]
+	if !ok {
+		l = new(Line)
+		s.lines[la] = l
+	}
+	return l
+}
+
+// Peek returns the line if present without materializing it.
+func (s *Store) Peek(a Addr) (*Line, bool) {
+	l, ok := s.lines[LineOf(a)]
+	return l, ok
+}
+
+// Read64 reads the word containing a directly from the backing store,
+// bypassing any caches. Intended for initialization and validation only.
+func (s *Store) Read64(a Addr) uint64 {
+	mustAligned(a)
+	return s.Line(a)[WordIdx(a)]
+}
+
+// Write64 writes the word containing a directly to the backing store,
+// bypassing any caches. Intended for initialization and validation only.
+func (s *Store) Write64(a Addr, v uint64) {
+	mustAligned(a)
+	s.Line(a)[WordIdx(a)] = v
+}
+
+// Len returns the number of materialized lines.
+func (s *Store) Len() int { return len(s.lines) }
+
+func mustAligned(a Addr) {
+	if !IsWordAligned(a) {
+		panic(fmt.Sprintf("mem: unaligned word access at %#x", uint64(a)))
+	}
+}
+
+// Allocator is a bump allocator over the simulated address space. The zero
+// page is left unmapped so that address 0 can serve as a null pointer in
+// simulated data structures.
+type Allocator struct {
+	next Addr
+}
+
+// NewAllocator returns an allocator whose first allocation starts at 4 KiB.
+func NewAllocator() *Allocator {
+	return &Allocator{next: 4096}
+}
+
+// Alloc reserves size bytes aligned to align (which must be a power of two,
+// at least 1) and returns the base address.
+func (al *Allocator) Alloc(size int, align int) Addr {
+	if size < 0 {
+		panic("mem: negative allocation size")
+	}
+	if align <= 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d is not a positive power of two", align))
+	}
+	mask := Addr(align - 1)
+	base := (al.next + mask) &^ mask
+	al.next = base + Addr(size)
+	return base
+}
+
+// AllocLines reserves n whole cache lines, line aligned.
+func (al *Allocator) AllocLines(n int) Addr {
+	return al.Alloc(n*LineBytes, LineBytes)
+}
+
+// AllocWords reserves n words, word aligned.
+func (al *Allocator) AllocWords(n int) Addr {
+	return al.Alloc(n*WordBytes, WordBytes)
+}
+
+// Brk returns the current top of the allocated region.
+func (al *Allocator) Brk() Addr { return al.next }

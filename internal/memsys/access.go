@@ -1,0 +1,481 @@
+package memsys
+
+import (
+	"fmt"
+
+	"commtm/internal/cache"
+	"commtm/internal/mem"
+)
+
+func must(cond bool, format string, args ...any) {
+	if !cond {
+		panic("memsys: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// Access performs one word-granular memory operation for a core and returns
+// the loaded value (for loads), the access latency in cycles, and a
+// self-abort verdict. When self != SelfNone the calling transaction must
+// abort: the runtime calls AbortCore and unwinds; the returned value must
+// not be used.
+//
+// Under the baseline protocol (EnableU false) labeled operations execute as
+// conventional ones and gathers as conventional loads — the paper's
+// comparison runs the same program on both machines.
+func (ms *MemSys) Access(req Req, a mem.Addr, op Op, label LabelID, wval uint64) (val uint64, lat uint64, self SelfAbort) {
+	must(mem.IsWordAligned(a), "unaligned access at %#x", uint64(a))
+	ms.ctr.TotalAccess++
+	if op == OpLabeledRead || op == OpLabeledWrite || op == OpGather {
+		ms.ctr.LabeledAccess++
+		must(label >= 0 && int(label) < len(ms.labels), "access with unregistered label %d", label)
+		if !ms.p.EnableU {
+			switch op {
+			case OpLabeledRead, OpGather:
+				op, label = OpRead, NoLabel
+			case OpLabeledWrite:
+				op, label = OpWrite, NoLabel
+			}
+		} else if op == OpGather && !ms.p.EnableGather {
+			op = OpLabeledRead
+		}
+	}
+
+	la := mem.LineOf(a)
+	wi := mem.WordIdx(a)
+	pv := &ms.privs[req.Core]
+	lat = ms.p.L1Lat
+
+	// L1 fast path.
+	if l1 := pv.l1.Lookup(la); l1 != nil {
+		if satisfies(l1.State, l1.Label, op, label) {
+			pv.l1.Touch(l1)
+			ms.ctr.L1Hits++
+			l2 := pv.l2.Lookup(la)
+			must(l2 != nil, "L1 line %#x absent from inclusive L2", uint64(la))
+			val = ms.finish(req, l1, l2, op, wi, wval)
+			return val, lat, SelfNone
+		}
+	} else if l2 := pv.l2.Lookup(la); l2 != nil {
+		// L2 hit: refill the L1 if the L2 copy satisfies the request.
+		lat += ms.p.L2Lat
+		if satisfies(l2.State, l2.Label, op, label) {
+			pv.l2.Touch(l2)
+			ms.ctr.L2Hits++
+			l1, fillAbort := ms.refillL1(req.Core, la)
+			if fillAbort != SelfNone {
+				self = fillAbort
+			}
+			val = ms.finish(req, l1, l2, op, wi, wval)
+			return val, lat, self
+		}
+	} else {
+		lat += ms.p.L2Lat // checked and missed
+	}
+
+	// Slow path: request to the L3 home bank / directory. Requests to a
+	// line whose previous coherence transaction is still in flight queue
+	// behind it — contended lines serialize.
+	if free, ok := ms.busy[la]; ok && free > req.Now {
+		lat += free - req.Now
+	}
+	e := ms.entry(la)
+	lat += ms.dirLat(req.Core, la, e)
+	switch op {
+	case OpRead:
+		ms.ctr.GETS++
+		val, lat, self = ms.slowRead(req, la, wi, e, lat)
+	case OpWrite:
+		ms.ctr.GETX++
+		val, lat, self = ms.slowWrite(req, la, wi, wval, e, lat)
+	case OpLabeledRead, OpLabeledWrite:
+		ms.ctr.GETU++
+		val, lat, self = ms.slowLabeled(req, la, wi, op, label, wval, e, lat)
+	case OpGather:
+		ms.ctr.GETU++
+		val, lat, self = ms.slowGather(req, la, wi, label, e, lat)
+	default:
+		must(false, "unknown op %v", op)
+	}
+	occ := lat
+	if op == OpGather && occ > gatherOccupancy {
+		// A gather occupies the directory only while it forwards the
+		// request; splits run at the sharers and donations stream to the
+		// requester, so the line is released long before the requester has
+		// merged everything.
+		occ = gatherOccupancy
+	}
+	ms.busy[la] = req.Now + occ
+	return val, lat, self
+}
+
+// gatherOccupancy bounds how long a gather request serializes its line at
+// the directory.
+const gatherOccupancy = 60
+
+// satisfies reports whether a private line in state st with line label ll
+// can serve op with label rl without a directory transaction (the state
+// diagram of Fig. 3).
+func satisfies(st cache.State, ll LabelID, op Op, rl LabelID) bool {
+	switch st {
+	case cache.Modified, cache.Exclusive:
+		// M (and E) satisfy all requests, conventional and labeled. Gathers
+		// degenerate to a local read: the owner holds the entire value.
+		return true
+	case cache.Shared:
+		return op == OpRead
+	case cache.ReducibleU:
+		// U lines satisfy only labeled accesses with a matching label.
+		// Gathers always interact with the directory.
+		return (op == OpLabeledRead || op == OpLabeledWrite) && ll == rl
+	}
+	return false
+}
+
+// refillL1 installs an L2-resident line into the L1 (an L1 refill after an
+// L1 miss / L2 hit). L1 evictions of speculative lines abort the
+// transaction; other L1 evictions are silent because the inclusive L2
+// retains the line and the non-speculative data.
+func (ms *MemSys) refillL1(core int, la mem.Addr) (*cache.LineMeta, SelfAbort) {
+	pv := &ms.privs[core]
+	l2 := pv.l2.Lookup(la)
+	must(l2 != nil, "refillL1 without L2 copy of %#x", uint64(la))
+	l1, ev := pv.l1.Insert(la, cache.AvoidSpecOrU)
+	self := SelfNone
+	if ev != nil && ev.SpecAny() {
+		self = SelfEvicted
+	}
+	l1.State, l1.Label, l1.Data, l1.Dirty = l2.State, l2.Label, l2.Data, l2.Dirty
+	return l1, self
+}
+
+// ensurePrivate guarantees la is resident in the core's L1 and L2, handling
+// evictions. If the L2 already held the line, a freshly inserted L1 copy is
+// refilled from it; if the line is new to the hierarchy both copies are
+// returned with state Invalid for the caller to initialize via setLine.
+func (ms *MemSys) ensurePrivate(core int, la mem.Addr) (l1, l2 *cache.LineMeta, self SelfAbort) {
+	pv := &ms.privs[core]
+	l2 = pv.l2.Lookup(la)
+	hadL2 := l2 != nil
+	if !hadL2 {
+		// Normal fills avoid only speculative lines (whose eviction aborts
+		// the transaction); U lines are evictable — the paper's reserved
+		// non-U way applies to reduction-handler fills, which in this model
+		// bypass the private caches entirely.
+		avoid := func(m *cache.LineMeta) bool {
+			c := pv.l1.Lookup(m.Tag)
+			return c != nil && c.SpecAny()
+		}
+		var ev *cache.LineMeta
+		l2, ev = pv.l2.Insert(la, avoid)
+		if ev != nil && ms.evictL2(core, ev) {
+			self = SelfEvicted
+		}
+	} else {
+		pv.l2.Touch(l2)
+	}
+	l1 = pv.l1.Lookup(la)
+	if l1 == nil {
+		var ev *cache.LineMeta
+		l1, ev = pv.l1.Insert(la, cache.AvoidSpec)
+		if ev != nil && ev.SpecAny() {
+			self = SelfEvicted
+		}
+		if hadL2 {
+			l1.State, l1.Label, l1.Data, l1.Dirty = l2.State, l2.Label, l2.Data, l2.Dirty
+		}
+	} else {
+		pv.l1.Touch(l1)
+	}
+	return l1, l2, self
+}
+
+// evictL2 performs the protocol actions for an L2 eviction (the line copy v
+// has already been removed from the L2 array). Returns true if the eviction
+// hit the current transaction's footprint, which aborts the transaction
+// (Sec. III-B1). U-line evictions follow Sec. III-B5: with other sharers
+// present the data is forwarded to a random sharer, which reduces it into
+// its own line (aborting that sharer's transaction if it touched the line);
+// otherwise the partial value is the whole value and is written back.
+func (ms *MemSys) evictL2(core int, v *cache.LineMeta) (specHit bool) {
+	la := v.Tag
+	pv := &ms.privs[core]
+	if l1 := pv.l1.Lookup(la); l1 != nil {
+		specHit = l1.SpecAny()
+		pv.l1.Invalidate(la) // inclusion: L1 copy goes with the L2 line
+	}
+	e := ms.entry(la)
+	switch v.State {
+	case cache.Shared:
+		// Table I: no silent drops — the directory is always notified.
+		e.sharers.Clear(core)
+		if e.sharers.Empty() {
+			e.state = dirInvalid
+		}
+	case cache.Exclusive, cache.Modified:
+		must(e.state == dirExclusive && e.owner == core, "evicting E/M line %#x not owned per directory", uint64(la))
+		*ms.store.Line(la) = v.Data
+		ms.ctr.Writebacks++
+		e.state, e.owner = dirInvalid, -1
+	case cache.ReducibleU:
+		must(e.state == dirU, "evicting U line %#x not dirU", uint64(la))
+		e.sharers.Clear(core)
+		others := e.sharers.Members()
+		if len(others) == 0 {
+			// Last sharer: the partial value is the full value.
+			*ms.store.Line(la) = v.Data
+			ms.ctr.Writebacks++
+			e.state, e.label = dirInvalid, cache.NoLabel
+			break
+		}
+		r := others[ms.rng.Intn(len(others))]
+		if rl1 := ms.privs[r].l1.Lookup(la); rl1 != nil && rl1.SpecAny() {
+			// Paper: if the chosen core's transaction touches this data,
+			// the transaction is aborted (unconditionally — evictions carry
+			// no timestamp).
+			ms.abortVictim(r, CauseOther)
+		}
+		spec := &ms.labels[v.Label]
+		rl2 := ms.privs[r].l2.Lookup(la)
+		must(rl2 != nil, "U sharer %d of %#x missing L2 copy", r, uint64(la))
+		rc := &ReduceCtx{ms: ms, core: core}
+		spec.Reduce(rc, &rl2.Data, &v.Data)
+		if rl1 := ms.privs[r].l1.Lookup(la); rl1 != nil {
+			rl1.Data = rl2.Data
+		}
+		ms.ctr.UForwards++
+	}
+	return specHit
+}
+
+// finish performs the data movement and speculative bookkeeping of an
+// access that has obtained sufficient permissions on l1/l2.
+func (ms *MemSys) finish(req Req, l1, l2 *cache.LineMeta, op Op, wi int, wval uint64) (val uint64) {
+	core := req.Core
+	switch op {
+	case OpRead:
+		val = l1.Data[wi]
+		if req.InTx {
+			ms.markSpec(core, l1, true, false, false)
+		}
+	case OpLabeledRead, OpGather:
+		val = l1.Data[wi]
+		if req.InTx {
+			if l1.State == cache.ReducibleU {
+				ms.markSpec(core, l1, false, false, true)
+			} else {
+				ms.markSpec(core, l1, true, false, false)
+			}
+		}
+	case OpWrite, OpLabeledWrite:
+		if l1.State == cache.Exclusive {
+			l1.State = cache.Modified
+			l2.State = cache.Modified
+		}
+		labeled := op == OpLabeledWrite && l1.State == cache.ReducibleU
+		if req.InTx {
+			l1.Data[wi] = wval
+			ms.markSpec(core, l1, false, true, labeled)
+		} else {
+			// Non-transactional stores write through to the L2 so the
+			// invariant "L2 = committed value" holds.
+			l1.Data[wi] = wval
+			l2.Data[wi] = wval
+			l1.Dirty, l2.Dirty = true, true
+		}
+	}
+	return val
+}
+
+// setLine initializes both private copies of a line.
+func setLine(l1, l2 *cache.LineMeta, st cache.State, label LabelID, data *mem.Line, dirty bool) {
+	l1.State, l1.Label, l1.Data, l1.Dirty = st, label, *data, dirty
+	l2.State, l2.Label, l2.Data, l2.Dirty = st, label, *data, dirty
+}
+
+// slowRead handles a GETS at the directory.
+func (ms *MemSys) slowRead(req Req, la mem.Addr, wi int, e *dirEntry, lat uint64) (uint64, uint64, SelfAbort) {
+	switch e.state {
+	case dirInvalid:
+		l1, l2, self := ms.ensurePrivate(req.Core, la)
+		setLine(l1, l2, cache.Exclusive, cache.NoLabel, ms.store.Line(la), false)
+		e.state, e.owner = dirExclusive, req.Core
+		return ms.finish(req, l1, l2, OpRead, wi, 0), lat, self
+
+	case dirShared:
+		l1, l2, self := ms.ensurePrivate(req.Core, la)
+		setLine(l1, l2, cache.Shared, cache.NoLabel, ms.store.Line(la), false)
+		e.sharers.Set(req.Core)
+		return ms.finish(req, l1, l2, OpRead, wi, 0), lat, self
+
+	case dirExclusive:
+		o := e.owner
+		must(o != req.Core, "GETS with self-owned line %#x escaped the fast path", uint64(la))
+		if ol1 := ms.privs[o].l1.Lookup(la); ol1 != nil && ol1.SpecWritten {
+			if ms.arbitrate(req, o, CauseReadAfterWrite) {
+				return 0, lat, SelfNacked
+			}
+		}
+		lat += ms.invalLat(req.Core, o, la)
+		data := *ms.nonSpecData(o, la)
+		*ms.store.Line(la) = data // writeback on downgrade
+		ms.setPrivState(o, la, cache.Shared, cache.NoLabel)
+		e.state, e.owner = dirShared, -1
+		e.sharers.Reset()
+		e.sharers.Set(o)
+		e.sharers.Set(req.Core)
+		ms.ctr.Writebacks++
+		l1, l2, self := ms.ensurePrivate(req.Core, la)
+		setLine(l1, l2, cache.Shared, cache.NoLabel, &data, false)
+		return ms.finish(req, l1, l2, OpRead, wi, 0), lat, self
+
+	case dirU:
+		return ms.reduceAndFinish(req, la, wi, OpRead, cache.NoLabel, 0, e, lat)
+	}
+	panic("unreachable")
+}
+
+// slowWrite handles a GETX at the directory.
+func (ms *MemSys) slowWrite(req Req, la mem.Addr, wi int, wval uint64, e *dirEntry, lat uint64) (uint64, uint64, SelfAbort) {
+	switch e.state {
+	case dirInvalid:
+		l1, l2, self := ms.ensurePrivate(req.Core, la)
+		setLine(l1, l2, cache.Modified, cache.NoLabel, ms.store.Line(la), true)
+		e.state, e.owner = dirExclusive, req.Core
+		return ms.finish(req, l1, l2, OpWrite, wi, wval), lat, self
+
+	case dirShared:
+		var maxInval uint64
+		for _, s := range e.sharers.Members() {
+			if s == req.Core {
+				continue
+			}
+			if sl1 := ms.privs[s].l1.Lookup(la); sl1 != nil && sl1.SpecAny() {
+				if ms.arbitrate(req, s, CauseWriteAfterRead) {
+					return 0, lat, SelfNacked
+				}
+			}
+			ms.dropPrivate(s, la)
+			e.sharers.Clear(s)
+			ms.ctr.Invalidations++
+			if l := ms.invalLat(req.Core, s, la); l > maxInval {
+				maxInval = l
+			}
+		}
+		lat += maxInval
+		wasSharer := e.sharers.Has(req.Core)
+		l1, l2, self := ms.ensurePrivate(req.Core, la)
+		if wasSharer {
+			l1.State, l2.State = cache.Modified, cache.Modified
+			l1.Dirty, l2.Dirty = true, true
+		} else {
+			setLine(l1, l2, cache.Modified, cache.NoLabel, ms.store.Line(la), true)
+		}
+		e.state, e.owner = dirExclusive, req.Core
+		e.sharers.Reset()
+		return ms.finish(req, l1, l2, OpWrite, wi, wval), lat, self
+
+	case dirExclusive:
+		o := e.owner
+		must(o != req.Core, "GETX with self-owned line %#x escaped the fast path", uint64(la))
+		if ol1 := ms.privs[o].l1.Lookup(la); ol1 != nil && ol1.SpecAny() {
+			cause := CauseWriteAfterRead
+			if ol1.SpecWritten {
+				cause = CauseOther // write-write
+			}
+			if ms.arbitrate(req, o, cause) {
+				return 0, lat, SelfNacked
+			}
+		}
+		lat += ms.invalLat(req.Core, o, la)
+		data := *ms.nonSpecData(o, la)
+		ms.dropPrivate(o, la)
+		ms.ctr.Invalidations++
+		e.owner = req.Core
+		l1, l2, self := ms.ensurePrivate(req.Core, la)
+		setLine(l1, l2, cache.Modified, cache.NoLabel, &data, true)
+		return ms.finish(req, l1, l2, OpWrite, wi, wval), lat, self
+
+	case dirU:
+		return ms.reduceAndFinish(req, la, wi, OpWrite, cache.NoLabel, wval, e, lat)
+	}
+	panic("unreachable")
+}
+
+// slowLabeled handles a GETU at the directory (the five cases of
+// Sec. III-B3).
+func (ms *MemSys) slowLabeled(req Req, la mem.Addr, wi int, op Op, label LabelID, wval uint64, e *dirEntry, lat uint64) (uint64, uint64, SelfAbort) {
+	switch e.state {
+	case dirInvalid:
+		// Case 1: no other private copies — the requester receives the data.
+		l1, l2, self := ms.ensurePrivate(req.Core, la)
+		setLine(l1, l2, cache.ReducibleU, label, ms.store.Line(la), true)
+		e.state, e.label = dirU, label
+		e.sharers.Reset()
+		e.sharers.Set(req.Core)
+		return ms.finish(req, l1, l2, op, wi, wval), lat, self
+
+	case dirShared:
+		// Case 2: invalidate the read-only sharers, then serve the data.
+		var maxInval uint64
+		for _, s := range e.sharers.Members() {
+			if s == req.Core {
+				continue
+			}
+			if sl1 := ms.privs[s].l1.Lookup(la); sl1 != nil && sl1.SpecAny() {
+				if ms.arbitrate(req, s, CauseWriteAfterRead) {
+					return 0, lat, SelfNacked
+				}
+			}
+			ms.dropPrivate(s, la)
+			e.sharers.Clear(s)
+			ms.ctr.Invalidations++
+			if l := ms.invalLat(req.Core, s, la); l > maxInval {
+				maxInval = l
+			}
+		}
+		lat += maxInval
+		l1, l2, self := ms.ensurePrivate(req.Core, la)
+		setLine(l1, l2, cache.ReducibleU, label, ms.store.Line(la), true)
+		e.state, e.label = dirU, label
+		e.sharers.Reset()
+		e.sharers.Set(req.Core)
+		return ms.finish(req, l1, l2, op, wi, wval), lat, self
+
+	case dirU:
+		if e.label == label {
+			// Case 4: same label — grant U permission without data; the
+			// requester initializes its copy with the identity value.
+			must(!e.sharers.Has(req.Core), "GETU from existing same-label sharer of %#x escaped the fast path", uint64(la))
+			l1, l2, self := ms.ensurePrivate(req.Core, la)
+			id := ms.labels[label].Identity
+			setLine(l1, l2, cache.ReducibleU, label, &id, true)
+			e.sharers.Set(req.Core)
+			return ms.finish(req, l1, l2, op, wi, wval), lat, self
+		}
+		// Case 3: different label — reduce the current reducible data at
+		// the requester, then enter U with the new label holding the total.
+		return ms.reduceAndFinish(req, la, wi, op, label, wval, e, lat)
+
+	case dirExclusive:
+		// Case 5: downgrade the exclusive owner to U; it keeps the data
+		// (its partial is the whole value); the requester gets identity.
+		o := e.owner
+		must(o != req.Core, "GETU with self-owned line %#x escaped the fast path", uint64(la))
+		if ol1 := ms.privs[o].l1.Lookup(la); ol1 != nil && ol1.SpecWritten {
+			if ms.arbitrate(req, o, CauseOther) {
+				return 0, lat, SelfNacked
+			}
+		}
+		lat += ms.invalLat(req.Core, o, la)
+		ms.setPrivState(o, la, cache.ReducibleU, label)
+		e.state, e.owner, e.label = dirU, -1, label
+		e.sharers.Reset()
+		e.sharers.Set(o)
+		e.sharers.Set(req.Core)
+		l1, l2, self := ms.ensurePrivate(req.Core, la)
+		id := ms.labels[label].Identity
+		setLine(l1, l2, cache.ReducibleU, label, &id, true)
+		return ms.finish(req, l1, l2, op, wi, wval), lat, self
+	}
+	panic("unreachable")
+}

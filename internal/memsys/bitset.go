@@ -1,0 +1,46 @@
+package memsys
+
+import "math/bits"
+
+// maxBitSet is the largest core count a BitSet can track.
+const maxBitSet = 128
+
+// BitSet is a fixed 128-bit set used for directory sharer lists.
+type BitSet [2]uint64
+
+// Set adds i to the set.
+func (b *BitSet) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes i from the set.
+func (b *BitSet) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether i is in the set.
+func (b *BitSet) Has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of elements.
+func (b *BitSet) Count() int { return bits.OnesCount64(b[0]) + bits.OnesCount64(b[1]) }
+
+// Empty reports whether the set has no elements.
+func (b *BitSet) Empty() bool { return b[0] == 0 && b[1] == 0 }
+
+// Reset removes all elements.
+func (b *BitSet) Reset() { b[0], b[1] = 0, 0 }
+
+// Members returns the elements in ascending order.
+func (b *BitSet) Members() []int {
+	out := make([]int, 0, b.Count())
+	for w := 0; w < 2; w++ {
+		v := b[w]
+		for v != 0 {
+			i := bits.TrailingZeros64(v)
+			out = append(out, w*64+i)
+			v &= v - 1
+		}
+	}
+	return out
+}
+
+// Only reports whether i is the single element of the set.
+func (b *BitSet) Only(i int) bool {
+	return b.Count() == 1 && b.Has(i)
+}

@@ -1,0 +1,87 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	var b BitSet
+	if !b.Empty() || b.Count() != 0 {
+		t.Fatal("zero BitSet not empty")
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(127)
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+	for _, i := range []int{0, 63, 64, 127} {
+		if !b.Has(i) {
+			t.Errorf("Has(%d) = false", i)
+		}
+	}
+	if b.Has(1) || b.Has(65) {
+		t.Error("Has returned true for absent element")
+	}
+	got := b.Members()
+	want := []int{0, 63, 64, 127}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+	b.Clear(63)
+	if b.Has(63) || b.Count() != 3 {
+		t.Error("Clear failed")
+	}
+	b.Reset()
+	if !b.Empty() {
+		t.Error("Reset failed")
+	}
+}
+
+func TestBitSetOnly(t *testing.T) {
+	var b BitSet
+	b.Set(77)
+	if !b.Only(77) {
+		t.Error("Only(77) = false for singleton {77}")
+	}
+	if b.Only(5) {
+		t.Error("Only(5) = true for {77}")
+	}
+	b.Set(5)
+	if b.Only(77) {
+		t.Error("Only(77) = true for {5,77}")
+	}
+}
+
+func TestBitSetSetClearProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var b BitSet
+		ref := map[int]bool{}
+		for _, op := range ops {
+			i := int(op) % maxBitSet
+			if op&0x80 != 0 {
+				b.Clear(i)
+				delete(ref, i)
+			} else {
+				b.Set(i)
+				ref[i] = true
+			}
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for _, m := range b.Members() {
+			if !ref[m] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,628 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"commtm/internal/mem"
+)
+
+// fakeArb is a scriptable arbiter standing in for the transactional runtime.
+type fakeArb struct {
+	ts      map[int]uint64
+	aborted map[int]Cause
+	ms      *MemSys
+}
+
+func newFakeArb() *fakeArb {
+	return &fakeArb{ts: map[int]uint64{}, aborted: map[int]Cause{}}
+}
+
+func (f *fakeArb) TxTS(core int) (uint64, bool) {
+	ts, ok := f.ts[core]
+	return ts, ok
+}
+
+func (f *fakeArb) NotifyAbort(core int, cause Cause) {
+	f.aborted[core] = cause
+	delete(f.ts, core) // the transaction is gone
+}
+
+func testParams(cores int, enableU bool) Params {
+	p := DefaultParams(cores)
+	p.EnableU = enableU
+	p.EnableGather = enableU
+	return p
+}
+
+func setup(t *testing.T, cores int, enableU bool) (*MemSys, *mem.Store, *fakeArb) {
+	t.Helper()
+	store := mem.NewStore()
+	arb := newFakeArb()
+	ms := New(testParams(cores, enableU), store, arb)
+	arb.ms = ms
+	return ms, store, arb
+}
+
+func addSpec() LabelSpec {
+	return LabelSpec{
+		Name: "ADD",
+		Reduce: func(_ *ReduceCtx, dst, src *mem.Line) {
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		},
+		Split: func(_ *ReduceCtx, local, out *mem.Line, n int) {
+			for i := range local {
+				d := (local[i] + uint64(n) - 1) / uint64(n)
+				out[i] = d
+				local[i] -= d
+			}
+		},
+	}
+}
+
+func ntx(core int) Req { return Req{Core: core} }
+
+func tx(core int, ts uint64) Req { return Req{Core: core, TS: ts, InTx: true} }
+
+// mustAccess is a test helper asserting no self-abort.
+func mustAccess(t *testing.T, ms *MemSys, req Req, a mem.Addr, op Op, label LabelID, wval uint64) uint64 {
+	t.Helper()
+	v, _, self := ms.Access(req, a, op, label, wval)
+	if self != SelfNone {
+		t.Fatalf("access %v at %#x by core %d self-aborted (%d)", op, uint64(a), req.Core, self)
+	}
+	return v
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	ms, store, _ := setup(t, 4, true)
+	a := mem.Addr(4096)
+	store.Write64(a, 17)
+	if v := mustAccess(t, ms, ntx(0), a, OpRead, NoLabel, 0); v != 17 {
+		t.Fatalf("read = %d, want 17", v)
+	}
+	mustAccess(t, ms, ntx(0), a, OpWrite, NoLabel, 99)
+	if v := mustAccess(t, ms, ntx(1), a, OpRead, NoLabel, 0); v != 99 {
+		t.Fatalf("cross-core read = %d, want 99", v)
+	}
+	ms.Drain()
+	if v := store.Read64(a); v != 99 {
+		t.Fatalf("drained memory = %d, want 99", v)
+	}
+}
+
+func TestMESICountersAndLatency(t *testing.T) {
+	ms, _, _ := setup(t, 4, true)
+	a := mem.Addr(4096)
+	_, lat1, _ := ms.Access(ntx(0), a, OpRead, NoLabel, 0)
+	if lat1 < ms.Params().MemLat {
+		t.Errorf("cold miss latency %d < memory latency %d", lat1, ms.Params().MemLat)
+	}
+	_, lat2, _ := ms.Access(ntx(0), a, OpRead, NoLabel, 0)
+	if lat2 != ms.Params().L1Lat {
+		t.Errorf("L1 hit latency = %d, want %d", lat2, ms.Params().L1Lat)
+	}
+	c := ms.Counters()
+	if c.GETS != 1 {
+		t.Errorf("GETS = %d, want 1", c.GETS)
+	}
+	// A write by another core is a GETX.
+	mustAccess(t, ms, ntx(1), a, OpWrite, NoLabel, 5)
+	if c.GETX != 1 {
+		t.Errorf("GETX = %d, want 1", c.GETX)
+	}
+	// Re-read by core 0 must miss again (it was invalidated).
+	_, lat3, _ := ms.Access(ntx(0), a, OpRead, NoLabel, 0)
+	if lat3 == ms.Params().L1Lat {
+		t.Error("core 0 hit locally after invalidation")
+	}
+	if v := mustAccess(t, ms, ntx(0), a, OpRead, NoLabel, 0); v != 5 {
+		t.Errorf("read after remote write = %d, want 5", v)
+	}
+}
+
+func TestWriteReadSharingSequence(t *testing.T) {
+	ms, _, _ := setup(t, 8, true)
+	a := mem.Addr(8192)
+	mustAccess(t, ms, ntx(0), a, OpWrite, NoLabel, 7) // 0: M
+	mustAccess(t, ms, ntx(1), a, OpRead, NoLabel, 0)  // downgrade to S
+	mustAccess(t, ms, ntx(2), a, OpRead, NoLabel, 0)  // more sharers
+	mustAccess(t, ms, ntx(3), a, OpWrite, NoLabel, 8) // invalidate all
+	if v := mustAccess(t, ms, ntx(1), a, OpRead, NoLabel, 0); v != 8 {
+		t.Fatalf("read = %d, want 8", v)
+	}
+}
+
+func TestLabeledCase1RequesterGetsData(t *testing.T) {
+	ms, store, _ := setup(t, 4, true)
+	add := ms.RegisterLabel(addSpec())
+	a := mem.Addr(4096)
+	store.Write64(a, 24)
+	// Paper Fig. 4a: the first GETU requester obtains the data.
+	if v := mustAccess(t, ms, ntx(0), a, OpLabeledRead, add, 0); v != 24 {
+		t.Fatalf("first labeled read = %d, want 24", v)
+	}
+}
+
+func TestLabeledCase4SecondSharerGetsIdentity(t *testing.T) {
+	ms, store, _ := setup(t, 4, true)
+	add := ms.RegisterLabel(addSpec())
+	a := mem.Addr(4096)
+	store.Write64(a, 24)
+	mustAccess(t, ms, ntx(0), a, OpLabeledRead, add, 0)
+	// Second sharer with the same label receives no data, only identity.
+	if v := mustAccess(t, ms, ntx(1), a, OpLabeledRead, add, 0); v != 0 {
+		t.Fatalf("second labeled read = %d, want identity 0", v)
+	}
+	// Invariant: reduction of the two partials yields the total.
+	if v := mustAccess(t, ms, ntx(2), a, OpRead, NoLabel, 0); v != 24 {
+		t.Fatalf("reduced read = %d, want 24", v)
+	}
+	if ms.Counters().Reductions != 1 {
+		t.Errorf("Reductions = %d, want 1", ms.Counters().Reductions)
+	}
+}
+
+func TestLabeledCase5DowngradeFromM(t *testing.T) {
+	ms, _, _ := setup(t, 4, true)
+	add := ms.RegisterLabel(addSpec())
+	a := mem.Addr(4096)
+	// Paper Fig. 4b: core 0 holds the line in M with value 24; core 1's
+	// GETU downgrades core 0 to U (it keeps the data) and core 1
+	// initializes with identity.
+	mustAccess(t, ms, ntx(0), a, OpWrite, NoLabel, 24)
+	if v := mustAccess(t, ms, ntx(1), a, OpLabeledRead, add, 0); v != 0 {
+		t.Fatalf("labeled read after M downgrade = %d, want identity 0", v)
+	}
+	// Core 0's copy can still serve labeled ops locally with the data.
+	if v := mustAccess(t, ms, ntx(0), a, OpLabeledRead, add, 0); v != 24 {
+		t.Fatalf("downgraded owner's labeled read = %d, want 24", v)
+	}
+	// Total preserved.
+	if v := mustAccess(t, ms, ntx(2), a, OpRead, NoLabel, 0); v != 24 {
+		t.Fatalf("reduced total = %d, want 24", v)
+	}
+}
+
+func TestConcurrentCommutativeAddsReduceToTotal(t *testing.T) {
+	ms, store, _ := setup(t, 8, true)
+	add := ms.RegisterLabel(addSpec())
+	a := mem.Addr(4096)
+	store.Write64(a, 100)
+	// Each core increments its local partial several times.
+	for core := 0; core < 8; core++ {
+		for k := 0; k < 10; k++ {
+			v := mustAccess(t, ms, ntx(core), a, OpLabeledRead, add, 0)
+			mustAccess(t, ms, ntx(core), a, OpLabeledWrite, add, v+1)
+		}
+	}
+	// No communication after the first acquisition: all GETU counted once
+	// per core.
+	if got := ms.Counters().GETU; got != 8 {
+		t.Errorf("GETU = %d, want 8 (one per core)", got)
+	}
+	if v := mustAccess(t, ms, ntx(0), a, OpRead, NoLabel, 0); v != 180 {
+		t.Fatalf("total = %d, want 180", v)
+	}
+}
+
+func TestDifferentLabelTriggersReduction(t *testing.T) {
+	ms, store, _ := setup(t, 4, true)
+	add := ms.RegisterLabel(addSpec())
+	max := ms.RegisterLabel(LabelSpec{
+		Name: "MAX",
+		Reduce: func(_ *ReduceCtx, dst, src *mem.Line) {
+			for i := range dst {
+				if src[i] > dst[i] {
+					dst[i] = src[i]
+				}
+			}
+		},
+	})
+	a := mem.Addr(4096)
+	store.Write64(a, 5)
+	for core := 0; core < 3; core++ {
+		v := mustAccess(t, ms, ntx(core), a, OpLabeledRead, add, 0)
+		mustAccess(t, ms, ntx(core), a, OpLabeledWrite, add, v+1)
+	}
+	// A differently labeled access reduces first (case 3), then re-enters U
+	// under the new label holding the total.
+	if v := mustAccess(t, ms, ntx(3), a, OpLabeledRead, max, 0); v != 8 {
+		t.Fatalf("different-label read = %d, want reduced total 8", v)
+	}
+	if ms.Counters().Reductions != 1 {
+		t.Errorf("Reductions = %d, want 1", ms.Counters().Reductions)
+	}
+}
+
+func TestBaselineDemotesLabeledOps(t *testing.T) {
+	ms, store, _ := setup(t, 4, false) // EnableU off
+	add := ms.RegisterLabel(addSpec())
+	a := mem.Addr(4096)
+	store.Write64(a, 3)
+	if v := mustAccess(t, ms, ntx(0), a, OpLabeledRead, add, 0); v != 3 {
+		t.Fatalf("baseline labeled read = %d, want 3 (plain load)", v)
+	}
+	mustAccess(t, ms, ntx(0), a, OpLabeledWrite, add, 4)
+	if v := mustAccess(t, ms, ntx(1), a, OpGather, add, 0); v != 4 {
+		t.Fatalf("baseline gather = %d, want 4 (plain load)", v)
+	}
+	if ms.Counters().GETU != 0 {
+		t.Errorf("baseline issued %d GETU requests", ms.Counters().GETU)
+	}
+}
+
+func TestConflictYoungerVictimAborts(t *testing.T) {
+	ms, _, arb := setup(t, 4, true)
+	a := mem.Addr(4096)
+	// Core 0 runs an older tx (ts 1) and speculatively writes the line.
+	arb.ts[0] = 5
+	mustAccess(t, ms, tx(0, 5), a, OpWrite, NoLabel, 42)
+	// A younger tx? No: requester with LOWER ts (older) wins: core 1 ts=3.
+	arb.ts[1] = 3
+	v, _, self := ms.Access(tx(1, 3), a, OpRead, NoLabel, 0)
+	if self != SelfNone {
+		t.Fatalf("older requester was refused (self=%d)", self)
+	}
+	if cause, ok := arb.aborted[0]; !ok || cause != CauseReadAfterWrite {
+		t.Fatalf("victim not aborted with RaW; aborted=%v", arb.aborted)
+	}
+	// The victim's speculative write is rolled back: value is pre-tx (0).
+	if v != 0 {
+		t.Fatalf("read observed speculative data: %d", v)
+	}
+}
+
+func TestConflictOlderVictimNACKs(t *testing.T) {
+	ms, _, arb := setup(t, 4, true)
+	a := mem.Addr(4096)
+	arb.ts[0] = 3 // older
+	mustAccess(t, ms, tx(0, 3), a, OpWrite, NoLabel, 42)
+	arb.ts[1] = 7 // younger requester
+	_, _, self := ms.Access(tx(1, 7), a, OpRead, NoLabel, 0)
+	if self != SelfNacked {
+		t.Fatalf("younger requester self = %d, want SelfNacked", self)
+	}
+	if len(arb.aborted) != 0 {
+		t.Fatalf("older victim was aborted: %v", arb.aborted)
+	}
+	// Victim keeps its speculative state; a commit makes the write visible.
+	ms.CommitCore(0)
+	delete(arb.ts, 0)
+	if v := mustAccess(t, ms, ntx(1), a, OpRead, NoLabel, 0); v != 42 {
+		t.Fatalf("post-commit read = %d, want 42", v)
+	}
+}
+
+func TestNonTxRequestCannotBeNACKed(t *testing.T) {
+	ms, _, arb := setup(t, 4, true)
+	a := mem.Addr(4096)
+	arb.ts[0] = 1 // oldest possible
+	mustAccess(t, ms, tx(0, 1), a, OpWrite, NoLabel, 42)
+	v, _, self := ms.Access(ntx(1), a, OpRead, NoLabel, 0)
+	if self != SelfNone {
+		t.Fatal("non-transactional request was refused")
+	}
+	if _, ok := arb.aborted[0]; !ok {
+		t.Fatal("victim survived a non-transactional invalidation")
+	}
+	if v != 0 {
+		t.Fatalf("non-tx read observed speculative data: %d", v)
+	}
+}
+
+func TestAbortRollsBackOnlySpeculativeState(t *testing.T) {
+	ms, _, arb := setup(t, 4, true)
+	a := mem.Addr(4096)
+	b := mem.Addr(8192)
+	// Committed write to a, then a tx speculatively writes a and b.
+	mustAccess(t, ms, ntx(0), a, OpWrite, NoLabel, 10)
+	arb.ts[0] = 2
+	mustAccess(t, ms, tx(0, 2), a, OpWrite, NoLabel, 11)
+	mustAccess(t, ms, tx(0, 2), b, OpWrite, NoLabel, 20)
+	ms.AbortCore(0)
+	delete(arb.ts, 0)
+	if v := mustAccess(t, ms, ntx(1), a, OpRead, NoLabel, 0); v != 10 {
+		t.Fatalf("a = %d after abort, want committed 10", v)
+	}
+	if v := mustAccess(t, ms, ntx(1), b, OpRead, NoLabel, 0); v != 0 {
+		t.Fatalf("b = %d after abort, want 0", v)
+	}
+}
+
+func TestCommitMakesSpecStateVisible(t *testing.T) {
+	ms, _, arb := setup(t, 4, true)
+	a := mem.Addr(4096)
+	arb.ts[0] = 2
+	mustAccess(t, ms, tx(0, 2), a, OpWrite, NoLabel, 33)
+	ms.CommitCore(0)
+	delete(arb.ts, 0)
+	if v := mustAccess(t, ms, ntx(1), a, OpRead, NoLabel, 0); v != 33 {
+		t.Fatalf("read after commit = %d, want 33", v)
+	}
+}
+
+func TestLabeledSetConflictOnReduction(t *testing.T) {
+	ms, _, arb := setup(t, 4, true)
+	add := ms.RegisterLabel(addSpec())
+	a := mem.Addr(4096)
+	// Core 0's tx performs a labeled update (in its labeled set).
+	arb.ts[0] = 5
+	v := mustAccess(t, ms, tx(0, 5), a, OpLabeledRead, add, 0)
+	mustAccess(t, ms, tx(0, 5), a, OpLabeledWrite, add, v+1)
+	// An older reader triggers a reduction; the younger labeled tx aborts.
+	arb.ts[1] = 2
+	got, _, self := ms.Access(tx(1, 2), a, OpRead, NoLabel, 0)
+	if self != SelfNone {
+		t.Fatalf("older reducer was refused (self=%d)", self)
+	}
+	if cause, ok := arb.aborted[0]; !ok || cause != CauseReadAfterWrite {
+		t.Fatalf("labeled victim not aborted with RaW: %v", arb.aborted)
+	}
+	if got != 0 {
+		t.Fatalf("reduced value includes aborted speculative delta: %d", got)
+	}
+}
+
+func TestNACKedReductionKeepsPartialsConsistent(t *testing.T) {
+	ms, _, arb := setup(t, 4, true)
+	add := ms.RegisterLabel(addSpec())
+	a := mem.Addr(4096)
+	// Non-speculative partials on cores 0 and 1.
+	for core := 0; core < 2; core++ {
+		v := mustAccess(t, ms, ntx(core), a, OpLabeledRead, add, 0)
+		mustAccess(t, ms, ntx(core), a, OpLabeledWrite, add, v+5)
+	}
+	// Core 2 joins and updates speculatively under an old tx.
+	arb.ts[2] = 1
+	v := mustAccess(t, ms, tx(2, 1), a, OpLabeledRead, add, 0)
+	mustAccess(t, ms, tx(2, 1), a, OpLabeledWrite, add, v+7)
+	// A younger reader's reduction is NACKed by core 2, but it still
+	// collects cores 0/1 and retains U state.
+	arb.ts[3] = 9
+	_, _, self := ms.Access(tx(3, 9), a, OpRead, NoLabel, 0)
+	if self != SelfNacked {
+		t.Fatalf("self = %d, want SelfNacked", self)
+	}
+	// Core 2 commits its delta; then a full reduction must see 5+5+7.
+	ms.CommitCore(2)
+	delete(arb.ts, 2)
+	if got := mustAccess(t, ms, ntx(3), a, OpRead, NoLabel, 0); got != 17 {
+		t.Fatalf("total after NACKed partial reduction = %d, want 17", got)
+	}
+}
+
+func TestSelfDemoteOnUnlabeledAccessToOwnLabeledData(t *testing.T) {
+	ms, _, arb := setup(t, 4, true)
+	add := ms.RegisterLabel(addSpec())
+	a := mem.Addr(4096)
+	// Another core shares the line in U so the unlabeled read cannot be
+	// served without a reduction.
+	mustAccess(t, ms, ntx(1), a, OpLabeledRead, add, 0)
+	arb.ts[0] = 3
+	v := mustAccess(t, ms, tx(0, 3), a, OpLabeledRead, add, 0)
+	mustAccess(t, ms, tx(0, 3), a, OpLabeledWrite, add, v+1)
+	_, _, self := ms.Access(tx(0, 3), a, OpRead, NoLabel, 0)
+	if self != SelfDemote {
+		t.Fatalf("self = %d, want SelfDemote", self)
+	}
+}
+
+func TestGatherRebalances(t *testing.T) {
+	ms, store, _ := setup(t, 4, true)
+	add := ms.RegisterLabel(addSpec())
+	a := mem.Addr(4096)
+	store.Write64(a, 16)
+	// Core 0 takes the line (value 16); cores 1..3 join with identity.
+	for core := 0; core < 4; core++ {
+		mustAccess(t, ms, ntx(core), a, OpLabeledRead, add, 0)
+	}
+	// Core 3 gathers: splitters donate ceil(local/numSharers).
+	v := mustAccess(t, ms, ntx(3), a, OpGather, add, 0)
+	if v == 0 {
+		t.Fatal("gather collected nothing")
+	}
+	if ms.Counters().Gathers != 1 || ms.Counters().Splits != 3 {
+		t.Errorf("Gathers=%d Splits=%d, want 1 and 3", ms.Counters().Gathers, ms.Counters().Splits)
+	}
+	// Conservation: the total is unchanged.
+	if total := mustAccess(t, ms, ntx(2), a, OpRead, NoLabel, 0); total != 16 {
+		t.Fatalf("total after gather = %d, want 16", total)
+	}
+}
+
+func TestGatherConflictClassification(t *testing.T) {
+	ms, _, arb := setup(t, 4, true)
+	add := ms.RegisterLabel(addSpec())
+	a := mem.Addr(4096)
+	mustAccess(t, ms, ntx(0), a, OpLabeledRead, add, 0)
+	// Core 1's tx touches the line with a labeled update (younger).
+	arb.ts[1] = 9
+	v := mustAccess(t, ms, tx(1, 9), a, OpLabeledRead, add, 0)
+	mustAccess(t, ms, tx(1, 9), a, OpLabeledWrite, add, v+1)
+	// Core 2's older tx gathers: core 1 must abort with the gather cause.
+	arb.ts[2] = 2
+	mustAccess(t, ms, tx(2, 2), a, OpLabeledRead, add, 0)
+	_, _, self := ms.Access(tx(2, 2), a, OpGather, add, 0)
+	if self != SelfNone {
+		t.Fatalf("older gatherer refused: self=%d", self)
+	}
+	if cause, ok := arb.aborted[1]; !ok || cause != CauseGatherLabeled {
+		t.Fatalf("split victim cause = %v, want gather-after-labeled", arb.aborted)
+	}
+}
+
+func TestUEvictionForwardsToSharer(t *testing.T) {
+	store := mem.NewStore()
+	arb := newFakeArb()
+	p := testParams(2, true)
+	p.L2Bytes = 4 * mem.LineBytes // 1 set × 4 ways: tiny L2 forces evictions
+	p.L2Ways = 4
+	p.L1Bytes = 2 * mem.LineBytes
+	p.L1Ways = 2
+	ms := New(p, store, arb)
+	add := ms.RegisterLabel(addSpec())
+
+	hot := mem.Addr(0x10000)
+	store.Write64(hot, 50)
+	// Both cores share `hot` in U; core 0 adds 5 locally.
+	v := mustAccess(t, ms, ntx(0), hot, OpLabeledRead, add, 0)
+	mustAccess(t, ms, ntx(0), hot, OpLabeledWrite, add, v+5)
+	mustAccess(t, ms, ntx(1), hot, OpLabeledRead, add, 0)
+	// Thrash core 0's single L2 set to force the U line out.
+	for i := 1; i <= 8; i++ {
+		mustAccess(t, ms, ntx(0), hot+mem.Addr(i*4*mem.LineBytes), OpWrite, NoLabel, 1)
+	}
+	if ms.Counters().UForwards == 0 {
+		t.Fatal("U eviction did not forward to the other sharer")
+	}
+	// The forwarded partial (50+5) merged into core 1's line: total intact.
+	if total := mustAccess(t, ms, ntx(1), hot, OpRead, NoLabel, 0); total != 55 {
+		t.Fatalf("total after U eviction = %d, want 55", total)
+	}
+}
+
+func TestDrainReducesEverything(t *testing.T) {
+	ms, store, _ := setup(t, 8, true)
+	add := ms.RegisterLabel(addSpec())
+	a := mem.Addr(4096)
+	for core := 0; core < 8; core++ {
+		v := mustAccess(t, ms, ntx(core), a, OpLabeledRead, add, 0)
+		mustAccess(t, ms, ntx(core), a, OpLabeledWrite, add, v+uint64(core))
+	}
+	ms.Drain()
+	if v := store.Read64(a); v != 28 { // 0+1+...+7
+		t.Fatalf("drained total = %d, want 28", v)
+	}
+}
+
+// Property: for any interleaving of labeled adds from random cores with
+// occasional unlabeled reads (forcing reductions), the final total equals
+// the sequential sum. This is the paper's central invariant: reducing the
+// private versions always produces the right value.
+func TestReducibleInvariantProperty(t *testing.T) {
+	type step struct {
+		Core  uint8
+		Delta uint8
+		Read  bool
+	}
+	f := func(steps []step) bool {
+		ms, store, _ := setup(t, 8, true)
+		add := ms.RegisterLabel(addSpec())
+		a := mem.Addr(4096)
+		var want uint64
+		for _, s := range steps {
+			core := int(s.Core) % 8
+			if s.Read {
+				if got := mustAccess(t, ms, ntx(core), a, OpRead, NoLabel, 0); got != want {
+					return false
+				}
+				continue
+			}
+			v := mustAccess(t, ms, ntx(core), a, OpLabeledRead, add, 0)
+			mustAccess(t, ms, ntx(core), a, OpLabeledWrite, add, v+uint64(s.Delta))
+			want += uint64(s.Delta)
+		}
+		ms.Drain()
+		return store.Read64(a) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gathers never change the global total, for any pattern of adds
+// and gathers across cores.
+func TestGatherConservationProperty(t *testing.T) {
+	type step struct {
+		Core   uint8
+		Delta  uint8
+		Gather bool
+	}
+	f := func(steps []step) bool {
+		ms, store, _ := setup(t, 8, true)
+		add := ms.RegisterLabel(addSpec())
+		a := mem.Addr(4096)
+		var want uint64
+		for _, s := range steps {
+			core := int(s.Core) % 8
+			if s.Gather {
+				mustAccess(t, ms, ntx(core), a, OpGather, add, 0)
+				continue
+			}
+			v := mustAccess(t, ms, ntx(core), a, OpLabeledRead, add, 0)
+			mustAccess(t, ms, ntx(core), a, OpLabeledWrite, add, v+uint64(s.Delta))
+			want += uint64(s.Delta)
+		}
+		ms.Drain()
+		return store.Read64(a) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordNeighborsUnaffectedByLabeledOps(t *testing.T) {
+	// Objects smaller than a line: reduction with identity elements leaves
+	// neighbors unchanged (Sec. III-A, arbitrary object sizes).
+	ms, store, _ := setup(t, 4, true)
+	add := ms.RegisterLabel(addSpec())
+	base := mem.Addr(4096)
+	for i := 0; i < mem.WordsPerLine; i++ {
+		store.Write64(base+mem.Addr(i*8), uint64(1000+i))
+	}
+	a := base + 3*8
+	v := mustAccess(t, ms, ntx(0), a, OpLabeledRead, add, 0)
+	mustAccess(t, ms, ntx(0), a, OpLabeledWrite, add, v+1)
+	v2 := mustAccess(t, ms, ntx(1), a, OpLabeledRead, add, 0)
+	mustAccess(t, ms, ntx(1), a, OpLabeledWrite, add, v2+1)
+	ms.Drain()
+	for i := 0; i < mem.WordsPerLine; i++ {
+		want := uint64(1000 + i)
+		if i == 3 {
+			want += 2
+		}
+		if got := store.Read64(base + mem.Addr(i*8)); got != want {
+			t.Errorf("word %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestReductionHandlerCannotTouchULines(t *testing.T) {
+	ms, store, _ := setup(t, 4, true)
+	other := mem.Addr(8192)
+	bad := ms.RegisterLabel(LabelSpec{
+		Name: "BAD",
+		Reduce: func(rc *ReduceCtx, dst, src *mem.Line) {
+			rc.Load64(other) // touches a reducible line: must panic
+		},
+	})
+	add := ms.RegisterLabel(addSpec())
+	store.Write64(other, 1)
+	mustAccess(t, ms, ntx(0), other, OpLabeledRead, add, 0)
+	mustAccess(t, ms, ntx(1), other, OpLabeledRead, add, 0)
+	a := mem.Addr(4096)
+	mustAccess(t, ms, ntx(0), a, OpLabeledRead, bad, 0)
+	mustAccess(t, ms, ntx(1), a, OpLabeledRead, bad, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested reduction did not panic")
+		}
+	}()
+	ms.Access(ntx(2), a, OpRead, NoLabel, 0)
+}
+
+func TestLabelLimit(t *testing.T) {
+	ms, _, _ := setup(t, 2, true)
+	for i := 0; i < MaxLabels; i++ {
+		ms.RegisterLabel(addSpec())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ninth label did not panic")
+		}
+	}()
+	ms.RegisterLabel(addSpec())
+}

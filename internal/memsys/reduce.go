@@ -1,0 +1,319 @@
+package memsys
+
+import (
+	"sort"
+
+	"commtm/internal/cache"
+	"commtm/internal/mem"
+)
+
+// ReduceCtx gives reduction handlers and splitters direct, non-speculative,
+// coherent access to memory. It models the shadow hardware thread of
+// Sec. III-B4: handlers run at the requesting core, are not transactional,
+// and may access arbitrary data with read-only and exclusive permissions —
+// but must not touch other reducible lines (no nested reductions); doing so
+// panics, surfacing the programming error the paper's restriction forbids.
+type ReduceCtx struct {
+	ms   *MemSys
+	core int
+	lat  uint64
+}
+
+// handlerAccessLat is the charged latency per handler memory access,
+// modelling mostly-L1-resident shadow-thread accesses.
+const handlerAccessLat = 2
+
+// Load64 reads a word with read-only permission.
+func (rc *ReduceCtx) Load64(a mem.Addr) uint64 {
+	rc.prepare(a, false)
+	return rc.ms.store.Read64(a)
+}
+
+// Store64 writes a word with exclusive permission.
+func (rc *ReduceCtx) Store64(a mem.Addr, v uint64) {
+	rc.prepare(a, true)
+	rc.ms.store.Write64(a, v)
+}
+
+// Lat returns the cycles accumulated by handler memory accesses so far.
+func (rc *ReduceCtx) Lat() uint64 { return rc.lat }
+
+// prepare makes the canonical (backing-store) copy of a's line current and
+// sole, flushing private copies as needed. Transactions whose footprint is
+// flushed abort — reduction handlers are non-speculative and cannot be
+// NACKed.
+func (rc *ReduceCtx) prepare(a mem.Addr, write bool) {
+	ms := rc.ms
+	la := mem.LineOf(a)
+	e := ms.entry(la)
+	rc.lat += handlerAccessLat
+	switch e.state {
+	case dirInvalid:
+		return
+	case dirU:
+		must(false, "reduction handler accessed reducible line %#x (nested reduction forbidden, Sec. III-A)", uint64(la))
+	case dirExclusive:
+		o := e.owner
+		if ol1 := ms.privs[o].l1.Lookup(la); ol1 != nil && ol1.SpecAny() {
+			ms.abortVictim(o, CauseOther)
+		}
+		*ms.store.Line(la) = *ms.nonSpecData(o, la)
+		ms.dropPrivate(o, la)
+		e.state, e.owner = dirInvalid, -1
+		ms.ctr.Writebacks++
+		rc.lat += ms.p.L3Lat
+	case dirShared:
+		if !write {
+			return // S copies match the backing store
+		}
+		for _, s := range e.sharers.Members() {
+			if sl1 := ms.privs[s].l1.Lookup(la); sl1 != nil && sl1.SpecAny() {
+				ms.abortVictim(s, CauseOther)
+			}
+			ms.dropPrivate(s, la)
+			ms.ctr.Invalidations++
+		}
+		e.sharers.Reset()
+		e.state = dirInvalid
+		rc.lat += ms.p.L3Lat
+	}
+}
+
+// reduceAndFinish implements the transparent reduction of Sec. III-B4: a
+// non-commutative request (conventional load/store, or a labeled op with a
+// different label) arrives at a line in dirU. All sharers' partial values
+// are invalidated, forwarded to the requester, and merged by the
+// user-defined reduction handler on the shadow thread.
+//
+// Timestamp arbitration follows Fig. 6: younger sharers abort and forward
+// their (rolled-back, non-speculative) data; older sharers NACK. On any
+// NACK the requester still reduces the values it received into its own
+// U-state line, then aborts itself, retaining the data in U (the retry will
+// eventually win). Without NACKs the requester ends with the line in M
+// holding the full value, and the original request completes: a
+// conventional op proceeds on the M line; a different-label op re-enters U
+// under the new label holding the total.
+func (ms *MemSys) reduceAndFinish(req Req, la mem.Addr, wi int, op Op, newLabel LabelID, wval uint64, e *dirEntry, lat uint64) (uint64, uint64, SelfAbort) {
+	must(e.state == dirU, "reduceAndFinish on non-U line %#x", uint64(la))
+	pv := &ms.privs[req.Core]
+
+	// Sec. III-B4, "handling unlabeled operations to speculatively-modified
+	// labeled data": if this transaction modified the line through labeled
+	// ops, abort and retry with labels demoted to conventional accesses.
+	if ol1 := pv.l1.Lookup(la); ol1 != nil && ol1.State == cache.ReducibleU && ol1.SpecWritten {
+		return 0, lat, SelfDemote
+	}
+
+	spec := &ms.labels[e.label]
+	rc := &ReduceCtx{ms: ms, core: req.Core}
+
+	// The accumulator starts from the requester's own partial (if it is a
+	// sharer) or the identity value. The directory/L3 copy is stale while
+	// the line is in dirU: its value was handed to the first sharer.
+	var acc mem.Line
+	if l2 := pv.l2.Lookup(la); l2 != nil {
+		must(l2.State == cache.ReducibleU, "requester's copy of dirU line %#x is %v", uint64(la), l2.State)
+		acc = l2.Data
+	} else {
+		acc = spec.Identity
+	}
+
+	anyNACK := false
+	var maxFwd uint64
+	cause := CauseReadAfterWrite // a reduction consumes others' labeled updates
+	if op != OpRead {
+		cause = CauseOther
+	}
+	for _, s := range e.sharers.Members() {
+		if s == req.Core {
+			continue
+		}
+		if sl1 := ms.privs[s].l1.Lookup(la); sl1 != nil && sl1.SpecAny() {
+			if ms.arbitrate(req, s, cause) {
+				anyNACK = true
+				continue // NACKer keeps its line and sharer membership
+			}
+		}
+		if l := ms.invalLat(req.Core, s, la); l > maxFwd {
+			maxFwd = l
+		}
+		src := *ms.nonSpecData(s, la)
+		ms.dropPrivate(s, la)
+		e.sharers.Clear(s)
+		ms.ctr.Invalidations++
+		spec.Reduce(rc, &acc, &src)
+		lat += spec.ReduceCost
+		ms.ctr.ReducedLines++
+	}
+	lat += maxFwd + rc.lat
+	ms.ctr.Reductions++
+
+	if anyNACK {
+		// Keep/enter U with the partially merged value as the
+		// non-speculative state; the requester aborts afterwards.
+		l1, l2, _ := ms.ensurePrivate(req.Core, la)
+		setLine(l1, l2, cache.ReducibleU, e.label, &acc, true)
+		e.sharers.Set(req.Core)
+		return 0, lat, SelfNacked
+	}
+
+	l1, l2, self := ms.ensurePrivate(req.Core, la)
+	if op == OpLabeledRead || op == OpLabeledWrite {
+		// GETU case 3: enter U under the new label, holding the total.
+		setLine(l1, l2, cache.ReducibleU, newLabel, &acc, true)
+		e.state, e.label = dirU, newLabel
+		e.sharers.Reset()
+		e.sharers.Set(req.Core)
+	} else {
+		setLine(l1, l2, cache.Modified, cache.NoLabel, &acc, true)
+		e.state, e.owner, e.label = dirExclusive, req.Core, cache.NoLabel
+		e.sharers.Reset()
+	}
+	return ms.finish(req, l1, l2, op, wi, wval), lat, self
+}
+
+// slowGather implements gather requests (Sec. IV). The requester first
+// ensures it holds the line in U with the requested label (a plain GETU if
+// not), then the directory forwards the gather to every other sharer, whose
+// user-defined splitter donates part of its local value. Donations are
+// merged into the requester's line by the reduction handler. Splits to
+// speculatively accessed lines arbitrate like invalidations; a NACK lets
+// the requester merge what it received and then abort.
+func (ms *MemSys) slowGather(req Req, la mem.Addr, wi int, label LabelID, e *dirEntry, lat uint64) (uint64, uint64, SelfAbort) {
+	pv := &ms.privs[req.Core]
+
+	// Acquire U permission first if needed.
+	if !(e.state == dirU && e.label == label && e.sharers.Has(req.Core)) {
+		switch e.state {
+		case dirExclusive:
+			if e.owner == req.Core {
+				// Degenerate gather: the owner holds the entire value.
+				l1, l2, self := ms.ensurePrivate(req.Core, la)
+				return ms.finish(req, l1, l2, OpGather, wi, 0), lat, self
+			}
+		case dirU:
+			if e.label != label {
+				v, lat2, self := ms.reduceAndFinish(req, la, wi, OpLabeledRead, label, 0, e, lat)
+				if self != SelfNone {
+					return v, lat2, self
+				}
+				lat = lat2
+			}
+		}
+		if !(e.state == dirU && e.label == label && e.sharers.Has(req.Core)) {
+			v, lat2, self := ms.slowLabeled(req, la, wi, OpLabeledRead, label, 0, e, lat)
+			if self != SelfNone {
+				return v, lat2, self
+			}
+			lat = lat2
+		}
+	}
+
+	spec := &ms.labels[label]
+	rc := &ReduceCtx{ms: ms, core: req.Core}
+	ms.ctr.Gathers++
+
+	l1 := pv.l1.Lookup(la)
+	l2 := pv.l2.Lookup(la)
+	if l1 == nil {
+		var self SelfAbort
+		l1, self = ms.refillL1(req.Core, la)
+		if self != SelfNone {
+			return 0, lat, self
+		}
+	}
+	must(l2 != nil, "gather requester lost its L2 copy of %#x", uint64(la))
+
+	numSharers := e.sharers.Count()
+	anySplit := false
+	var maxFwd uint64
+	for _, s := range e.sharers.Members() {
+		if s == req.Core {
+			continue
+		}
+		if sl1 := ms.privs[s].l1.Lookup(la); sl1 != nil && sl1.SpecAny() {
+			// Split conflict (Sec. IV): a younger sharer aborts and its
+			// rolled-back partial is split; an older sharer is skipped —
+			// unlike a reduction, a gather promises no completeness, so
+			// not splitting a sharer is indistinguishable from that sharer
+			// holding the identity value, and skipping avoids convoys of
+			// NACKed retries against long-running older transactions.
+			vts, active := ms.txActive(s)
+			if active && req.InTx && req.TS > vts {
+				continue
+			}
+			if active {
+				ms.abortVictim(s, CauseGatherLabeled)
+			}
+		}
+		if spec.Split == nil {
+			continue
+		}
+		sl2 := ms.privs[s].l2.Lookup(la)
+		must(sl2 != nil, "U sharer %d of %#x missing L2 copy", s, uint64(la))
+		var donation mem.Line
+		spec.Split(rc, &sl2.Data, &donation, numSharers)
+		if sl1 := ms.privs[s].l1.Lookup(la); sl1 != nil {
+			sl1.Data = sl2.Data
+		}
+		anySplit = true
+		ms.ctr.Splits++
+		if l := ms.invalLat(req.Core, s, la); l > maxFwd {
+			maxFwd = l
+		}
+		// Merge the donation into the requester's partial: both the
+		// non-speculative L2 copy and the L1 view, which carries at most
+		// this transaction's own commutative updates on top.
+		spec.Reduce(rc, &l2.Data, &donation)
+		spec.Reduce(rc, &l1.Data, &donation)
+		lat += spec.ReduceCost // donations merge serially at the requester
+	}
+	// Splitters run in parallel at their cores; charge one split time plus
+	// the slowest forward path.
+	if anySplit {
+		lat += spec.SplitCost
+	}
+	lat += maxFwd + rc.lat
+	return ms.finish(req, l1, l2, OpGather, wi, 0), lat, SelfNone
+}
+
+// Drain flushes the entire memory system to the backing store: reducible
+// lines are reduced (deterministically, in ascending sharer order), owned
+// lines are written back, and all private copies and directory state are
+// invalidated. Drain must only be called with no transactions in flight; it
+// exists so validation code and end-of-run reporting can read architectural
+// memory directly.
+func (ms *MemSys) Drain() {
+	addrs := make([]mem.Addr, 0, len(ms.dir))
+	for la := range ms.dir {
+		addrs = append(addrs, la)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, la := range addrs {
+		e := ms.dir[la]
+		switch e.state {
+		case dirExclusive:
+			*ms.store.Line(la) = *ms.nonSpecData(e.owner, la)
+			ms.dropPrivate(e.owner, la)
+			e.state, e.owner = dirInvalid, -1
+		case dirShared:
+			for _, s := range e.sharers.Members() {
+				ms.dropPrivate(s, la)
+			}
+			e.sharers.Reset()
+			e.state = dirInvalid
+		case dirU:
+			spec := &ms.labels[e.label]
+			rc := &ReduceCtx{ms: ms, core: 0}
+			acc := spec.Identity
+			for _, s := range e.sharers.Members() {
+				src := *ms.nonSpecData(s, la)
+				ms.dropPrivate(s, la)
+				spec.Reduce(rc, &acc, &src)
+			}
+			e.sharers.Reset()
+			e.state, e.label = dirInvalid, cache.NoLabel
+			*ms.store.Line(la) = acc
+		}
+	}
+}

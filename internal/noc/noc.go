@@ -1,0 +1,85 @@
+// Package noc models the on-chip interconnect of the simulated chip: a 2D
+// mesh of tiles with per-hop router and link latencies (Table I of the
+// paper: 4×4 mesh, 2-cycle routers, 1-cycle 256-bit links).
+//
+// The model is analytic: message latency is a function of Manhattan distance
+// only. Contention is not modeled — the paper's results depend on latency
+// scaling and message counts, not on flit-level queueing — but every message
+// is counted so traffic breakdowns (Fig. 19) can be reproduced.
+package noc
+
+import "fmt"
+
+// Mesh describes the interconnect geometry and timing.
+type Mesh struct {
+	Width, Height int // tiles per dimension
+	CoresPerTile  int
+	RouterCycles  uint64 // per-router traversal latency
+	LinkCycles    uint64 // per-link traversal latency
+}
+
+// Default4x4 returns the paper's 16-tile, 128-core configuration.
+func Default4x4() *Mesh {
+	return &Mesh{Width: 4, Height: 4, CoresPerTile: 8, RouterCycles: 2, LinkCycles: 1}
+}
+
+// Tiles returns the total number of tiles.
+func (m *Mesh) Tiles() int { return m.Width * m.Height }
+
+// Cores returns the total number of cores.
+func (m *Mesh) Cores() int { return m.Tiles() * m.CoresPerTile }
+
+// TileOfCore maps a core id to its tile id.
+func (m *Mesh) TileOfCore(core int) int {
+	if core < 0 || core >= m.Cores() {
+		panic(fmt.Sprintf("noc: core %d out of range [0,%d)", core, m.Cores()))
+	}
+	return core / m.CoresPerTile
+}
+
+// TileOfBank maps an L3 bank id to its tile id. The paper places one L3 bank
+// per tile (16 banks, 4 MB each).
+func (m *Mesh) TileOfBank(bank int) int {
+	if bank < 0 || bank >= m.Tiles() {
+		panic(fmt.Sprintf("noc: bank %d out of range [0,%d)", bank, m.Tiles()))
+	}
+	return bank
+}
+
+// Hops returns the Manhattan distance between two tiles.
+func (m *Mesh) Hops(srcTile, dstTile int) int {
+	sx, sy := srcTile%m.Width, srcTile/m.Width
+	dx, dy := dstTile%m.Width, dstTile/m.Width
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+// Latency returns the cycles for one message from srcTile to dstTile:
+// (hops+1) router traversals (injection + one per hop) plus hops links.
+// A tile-local message still pays one router traversal.
+func (m *Mesh) Latency(srcTile, dstTile int) uint64 {
+	h := uint64(m.Hops(srcTile, dstTile))
+	return (h+1)*m.RouterCycles + h*m.LinkCycles
+}
+
+// CoreToBank returns the latency of a message from a core's tile to a bank.
+func (m *Mesh) CoreToBank(core, bank int) uint64 {
+	return m.Latency(m.TileOfCore(core), m.TileOfBank(bank))
+}
+
+// CoreToCore returns the latency of a message between two cores' tiles.
+func (m *Mesh) CoreToCore(a, b int) uint64 {
+	return m.Latency(m.TileOfCore(a), m.TileOfCore(b))
+}
+
+// MaxLatency returns the worst-case corner-to-corner latency, useful for
+// sizing timeout-free protocol interactions in tests.
+func (m *Mesh) MaxLatency() uint64 {
+	return m.Latency(0, m.Tiles()-1)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

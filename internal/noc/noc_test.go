@@ -1,0 +1,106 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	m := Default4x4()
+	if m.Tiles() != 16 {
+		t.Errorf("Tiles = %d, want 16", m.Tiles())
+	}
+	if m.Cores() != 128 {
+		t.Errorf("Cores = %d, want 128", m.Cores())
+	}
+	if m.TileOfCore(0) != 0 || m.TileOfCore(7) != 0 || m.TileOfCore(8) != 1 || m.TileOfCore(127) != 15 {
+		t.Error("TileOfCore mapping wrong")
+	}
+}
+
+func TestHops(t *testing.T) {
+	m := Default4x4()
+	cases := []struct {
+		s, d, want int
+	}{
+		{0, 0, 0},  // same tile
+		{0, 1, 1},  // adjacent x
+		{0, 4, 1},  // adjacent y
+		{0, 5, 2},  // diagonal
+		{0, 15, 6}, // corner to corner: 3+3
+		{3, 12, 6}, // other corners
+		{5, 10, 2}, // interior diagonal
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.s, c.d); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.s, c.d, got, c.want)
+		}
+	}
+}
+
+func TestLatencyValues(t *testing.T) {
+	m := Default4x4()
+	// Local: 1 router = 2 cycles.
+	if got := m.Latency(0, 0); got != 2 {
+		t.Errorf("local latency = %d, want 2", got)
+	}
+	// One hop: 2 routers + 1 link = 5.
+	if got := m.Latency(0, 1); got != 5 {
+		t.Errorf("1-hop latency = %d, want 5", got)
+	}
+	// Corner to corner: 6 hops -> 7 routers + 6 links = 20.
+	if got := m.MaxLatency(); got != 20 {
+		t.Errorf("max latency = %d, want 20", got)
+	}
+}
+
+// Latency must be a symmetric metric: d(x,x) minimal, d(x,y)=d(y,x), and
+// triangle inequality holds (Manhattan distance is a metric).
+func TestLatencyMetricProperties(t *testing.T) {
+	m := Default4x4()
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%16, int(b)%16, int(c)%16
+		dxy, dyx := m.Latency(x, y), m.Latency(y, x)
+		if dxy != dyx {
+			return false
+		}
+		if m.Latency(x, x) != 2 { // single router
+			return false
+		}
+		// Triangle inequality on hop counts.
+		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoreToBankAgreesWithTiles(t *testing.T) {
+	m := Default4x4()
+	for core := 0; core < m.Cores(); core += 13 {
+		for bank := 0; bank < m.Tiles(); bank++ {
+			want := m.Latency(m.TileOfCore(core), m.TileOfBank(bank))
+			if got := m.CoreToBank(core, bank); got != want {
+				t.Fatalf("CoreToBank(%d,%d) = %d, want %d", core, bank, got, want)
+			}
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := Default4x4()
+	for _, f := range []func(){
+		func() { m.TileOfCore(-1) },
+		func() { m.TileOfCore(128) },
+		func() { m.TileOfBank(16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

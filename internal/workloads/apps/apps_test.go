@@ -1,0 +1,68 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+
+	"commtm/internal/harness"
+)
+
+// checkApp validates a workload across protocols and thread counts.
+func checkApp(t *testing.T, name string, mk func() harness.Workload) {
+	t.Helper()
+	for _, v := range []harness.Variant{harness.VarBaseline, harness.VarCommTM} {
+		for _, th := range []int{1, 3, 8} {
+			v, th := v, th
+			t.Run(fmt.Sprintf("%s/%s/%dthr", name, v.Label, th), func(t *testing.T) {
+				if _, err := harness.RunOne(mk, v, th, 99); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestKMeansCorrect(t *testing.T) {
+	checkApp(t, "kmeans", func() harness.Workload { return NewKMeans(256, 4, 5, 3, 7) })
+}
+
+func TestSSCA2Correct(t *testing.T) {
+	checkApp(t, "ssca2", func() harness.Workload { return NewSSCA2(8, 2048, 7) })
+}
+
+func TestBoruvkaCorrect(t *testing.T) {
+	checkApp(t, "boruvka", func() harness.Workload { return NewBoruvka(12, 12, 0.7, 7) })
+}
+
+func TestBoruvkaLargerGraph(t *testing.T) {
+	if _, err := harness.RunOne(func() harness.Workload { return NewBoruvka(24, 24, 0.65, 3) },
+		harness.VarCommTM, 8, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansMoreClustersThanThreads(t *testing.T) {
+	if _, err := harness.RunOne(func() harness.Workload { return NewKMeans(128, 3, 11, 2, 5) },
+		harness.VarCommTM, 4, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenomeCorrect(t *testing.T) {
+	checkApp(t, "genome", func() harness.Workload { return NewGenome(512, 16, 4000, 7) })
+}
+
+func TestVacationCorrect(t *testing.T) {
+	checkApp(t, "vacation", func() harness.Workload { return NewVacation(256, 64, 800, 4, 7) })
+}
+
+func TestGenomeResizes(t *testing.T) {
+	g := NewGenome(1024, 16, 8000, 3)
+	if _, err := harness.RunOne(func() harness.Workload { return g }, harness.VarCommTM, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity starts at half the uniques, so at least one grow must fire.
+	if g.tb.Grows() == 0 {
+		t.Error("genome run never resized its hash table")
+	}
+}

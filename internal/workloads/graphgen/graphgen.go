@@ -1,0 +1,188 @@
+// Package graphgen generates the synthetic graph inputs for the paper's
+// graph applications: an R-MAT power-law graph (the SSCA2 input) and a
+// road-network-like graph standing in for the proprietary-download usroads
+// matrix used by boruvka (a sparse, near-planar grid with perturbed
+// connectivity and random weights — the same structure that matters for
+// Borůvka's component-merging behaviour). It also provides a sequential
+// Kruskal MST as the validation reference.
+package graphgen
+
+import (
+	"sort"
+
+	"commtm/internal/xrand"
+)
+
+// Edge is an undirected weighted edge.
+type Edge struct {
+	U, V   int
+	Weight uint64
+}
+
+// Graph is an edge-list graph with V vertices.
+type Graph struct {
+	V     int
+	Edges []Edge
+}
+
+// RMAT generates a scale-free directed-ish edge list with the classic
+// (a,b,c,d) = (0.57, 0.19, 0.19, 0.05) recursive partitioning, n = 2^scale
+// vertices and the requested number of edges. Self-loops are retargeted.
+func RMAT(scale int, edges int, seed uint64) *Graph {
+	n := 1 << scale
+	rng := xrand.New(seed*0x9e3779b9 + 7)
+	g := &Graph{V: n}
+	for i := 0; i < edges; i++ {
+		u, v := 0, 0
+		for bit := n >> 1; bit > 0; bit >>= 1 {
+			r := rng.Float64()
+			switch {
+			case r < 0.57:
+				// top-left: neither bit set
+			case r < 0.76:
+				v |= bit
+			case r < 0.95:
+				u |= bit
+			default:
+				u |= bit
+				v |= bit
+			}
+		}
+		if u == v {
+			v = (v + 1) % n
+		}
+		g.Edges = append(g.Edges, Edge{U: u, V: v, Weight: rng.Uint64n(1000) + 1})
+	}
+	return g
+}
+
+// RoadNetwork generates a usroads-like graph: a w×h grid where each node
+// connects to its right and down neighbors with probability keep, plus a
+// random spanning backbone guaranteeing connectivity, with distance-like
+// random weights. Road networks are sparse (average degree ~2.5) and have
+// long component chains, which is what exercises Borůvka's rounds.
+func RoadNetwork(w, h int, keep float64, seed uint64) *Graph {
+	n := w * h
+	rng := xrand.New(seed*0x51ed2701 + 3)
+	g := &Graph{V: n}
+	at := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w && rng.Float64() < keep {
+				g.Edges = append(g.Edges, Edge{U: at(x, y), V: at(x+1, y), Weight: rng.Uint64n(10000) + 1})
+			}
+			if y+1 < h && rng.Float64() < keep {
+				g.Edges = append(g.Edges, Edge{U: at(x, y), V: at(x, y+1), Weight: rng.Uint64n(10000) + 1})
+			}
+		}
+	}
+	// Connectivity backbone: link each node i to a random earlier node with
+	// a high weight so backbone edges rarely displace grid edges in the MST.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u, v := perm[i], perm[rng.Intn(i)]
+		g.Edges = append(g.Edges, Edge{U: u, V: v, Weight: rng.Uint64n(10000) + 20000})
+	}
+	return g
+}
+
+// Uniform generates a uniform random multigraph with n vertices and the
+// requested number of edges (no self loops) — the near-uniform degree
+// profile of the SSCA2 generator's clustered graphs.
+func Uniform(n, edges int, seed uint64) *Graph {
+	rng := xrand.New(seed*0x2545f491 + 11)
+	g := &Graph{V: n}
+	for i := 0; i < edges; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n - 1)
+		if v >= u {
+			v++
+		}
+		g.Edges = append(g.Edges, Edge{U: u, V: v, Weight: rng.Uint64n(1000) + 1})
+	}
+	return g
+}
+
+// SortBySource orders the edge list by source vertex so contiguous thread
+// partitions touch mostly disjoint source counters (STAMP's partitioning).
+func SortBySource(g *Graph) {
+	sort.SliceStable(g.Edges, func(i, j int) bool { return g.Edges[i].U < g.Edges[j].U })
+}
+
+// unionFind is a standard path-halving union-find for the references.
+type unionFind struct{ parent []int }
+
+func newUF(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	u.parent[ra] = rb
+	return true
+}
+
+// KruskalMST returns the reference minimum-spanning-forest weight and edge
+// count. Ties are broken by edge index, so any correct MST algorithm over
+// distinct effective weights must match the total weight (weights are made
+// distinct by the callers' generators only probabilistically; Kruskal's
+// weight is still the unique forest weight when ties exist in weight only).
+func KruskalMST(g *Graph) (weight uint64, edges int) {
+	idx := make([]int, len(g.Edges))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ea, eb := g.Edges[idx[a]], g.Edges[idx[b]]
+		if ea.Weight != eb.Weight {
+			return ea.Weight < eb.Weight
+		}
+		return idx[a] < idx[b]
+	})
+	uf := newUF(g.V)
+	for _, i := range idx {
+		e := g.Edges[i]
+		if uf.union(e.U, e.V) {
+			weight += e.Weight
+			edges++
+		}
+	}
+	return weight, edges
+}
+
+// Components returns the number of connected components.
+func Components(g *Graph) int {
+	uf := newUF(g.V)
+	n := g.V
+	for _, e := range g.Edges {
+		if uf.union(e.U, e.V) {
+			n--
+		}
+	}
+	return n
+}
+
+// Degrees returns the undirected degree of every vertex.
+func Degrees(g *Graph) []int {
+	deg := make([]int, g.V)
+	for _, e := range g.Edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	return deg
+}

@@ -1,0 +1,104 @@
+package graphgen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(10, 8192, 42)
+	if g.V != 1024 {
+		t.Fatalf("V = %d, want 1024", g.V)
+	}
+	if len(g.Edges) != 8192 {
+		t.Fatalf("E = %d, want 8192", len(g.Edges))
+	}
+	for _, e := range g.Edges {
+		if e.U == e.V {
+			t.Fatal("self loop survived")
+		}
+		if e.U < 0 || e.U >= g.V || e.V < 0 || e.V >= g.V {
+			t.Fatalf("edge out of range: %+v", e)
+		}
+		if e.Weight == 0 {
+			t.Fatal("zero weight")
+		}
+	}
+	// Power-law-ish: the max degree should far exceed the average.
+	deg := Degrees(g)
+	maxDeg, sum := 0, 0
+	for _, d := range deg {
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := sum / g.V
+	if maxDeg < 5*avg {
+		t.Errorf("max degree %d not skewed vs average %d", maxDeg, avg)
+	}
+}
+
+func TestRoadNetworkConnected(t *testing.T) {
+	g := RoadNetwork(32, 32, 0.7, 7)
+	if got := Components(g); got != 1 {
+		t.Fatalf("road network has %d components, want 1", got)
+	}
+	// Sparse: average degree below 6.
+	if len(g.Edges) > 3*g.V {
+		t.Errorf("too dense: %d edges for %d vertices", len(g.Edges), g.V)
+	}
+}
+
+func TestKruskalOnKnownGraph(t *testing.T) {
+	g := &Graph{V: 4, Edges: []Edge{
+		{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 4}, {0, 2, 5},
+	}}
+	w, e := KruskalMST(g)
+	if w != 6 || e != 3 {
+		t.Fatalf("MST = (%d, %d), want (6, 3)", w, e)
+	}
+}
+
+func TestKruskalForest(t *testing.T) {
+	// Two disconnected pairs: forest with 2 edges.
+	g := &Graph{V: 4, Edges: []Edge{{0, 1, 5}, {2, 3, 7}}}
+	w, e := KruskalMST(g)
+	if w != 12 || e != 2 {
+		t.Fatalf("forest = (%d, %d), want (12, 2)", w, e)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := RMAT(8, 1000, 5), RMAT(8, 1000, 5)
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("RMAT not deterministic")
+		}
+	}
+	c, d := RoadNetwork(16, 16, 0.7, 5), RoadNetwork(16, 16, 0.7, 5)
+	if len(c.Edges) != len(d.Edges) {
+		t.Fatal("RoadNetwork not deterministic")
+	}
+}
+
+// Property: the Kruskal forest always has V - components edges and its
+// weight never exceeds the total graph weight.
+func TestKruskalProperties(t *testing.T) {
+	f := func(seed uint64, scale uint8) bool {
+		sc := int(scale)%4 + 3 // 8..64 vertices
+		g := RMAT(sc, 4*(1<<sc), seed)
+		w, e := KruskalMST(g)
+		if e != g.V-Components(g) {
+			return false
+		}
+		var total uint64
+		for _, ed := range g.Edges {
+			total += ed.Weight
+		}
+		return w <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+package hashtab
+
+import (
+	"fmt"
+	"testing"
+
+	"commtm"
+)
+
+// runTable exercises inserts/lookups/removes from several threads and
+// checks contents and bounded-counter conservation.
+func runTable(t *testing.T, proto commtm.Protocol, threads, perThread int) {
+	t.Helper()
+	m := commtm.New(commtm.Config{Threads: threads, Protocol: proto, Seed: 5})
+	add := m.DefineLabel(commtm.AddLabel("ADD"))
+	tb := New(m, add, 16, perThread) // tight capacity: forces resizes
+	inserted := make([][]uint64, threads)
+	m.Run(func(th *commtm.Thread) {
+		id := th.ID()
+		for i := 0; i < perThread; i++ {
+			key := uint64(id)<<32 | uint64(i)
+			node := tb.NewNode(m)
+			if !tb.Insert(th, key, key*3, node) {
+				t.Errorf("key %#x not inserted", key)
+				return
+			}
+			inserted[id] = append(inserted[id], key)
+			if v, ok := tb.Lookup(th, key); !ok || v != key*3 {
+				t.Errorf("lookup(%#x) = %d,%v", key, v, ok)
+				return
+			}
+		}
+		// Remove every third key.
+		for i := 0; i < len(inserted[id]); i += 3 {
+			if !tb.Remove(th, inserted[id][i]) {
+				t.Errorf("remove(%#x) failed", inserted[id][i])
+				return
+			}
+		}
+	})
+	want := map[uint64]uint64{}
+	for id := range inserted {
+		for i, k := range inserted[id] {
+			if i%3 != 0 {
+				want[k] = k * 3
+			}
+		}
+	}
+	got := map[uint64]uint64{}
+	tb.Walk(m, func(k, v uint64) { got[k] = v })
+	if len(got) != len(want) {
+		t.Fatalf("table has %d entries, want %d (grows=%d)", len(got), len(want), tb.Grows())
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("entry %#x = %d, want %d", k, got[k], v)
+		}
+	}
+	rem := m.MemRead64(tb.RemainAddr())
+	if rem+uint64(len(got)) != tb.CapacityTotal() {
+		t.Fatalf("remaining %d + entries %d != capacity %d", rem, len(got), tb.CapacityTotal())
+	}
+}
+
+func TestTableBothProtocols(t *testing.T) {
+	for _, proto := range []commtm.Protocol{commtm.Baseline, commtm.CommTM} {
+		for _, threads := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("%v-%dthr", proto, threads), func(t *testing.T) {
+				runTable(t, proto, threads, 40)
+			})
+		}
+	}
+}
+
+func TestResizeUnderContention(t *testing.T) {
+	m := commtm.New(commtm.Config{Threads: 8, Protocol: commtm.CommTM, Seed: 9})
+	add := m.DefineLabel(commtm.AddLabel("ADD"))
+	tb := New(m, add, 16, 8) // capacity 8: resizes immediately under load
+	m.Run(func(th *commtm.Thread) {
+		for i := 0; i < 30; i++ {
+			key := uint64(th.ID())<<32 | uint64(i)
+			tb.Insert(th, key, 1, tb.NewNode(m))
+		}
+	})
+	if tb.Grows() == 0 {
+		t.Fatal("tight table never resized")
+	}
+	n := 0
+	tb.Walk(m, func(k, v uint64) { n++ })
+	if n != 8*30 {
+		t.Fatalf("table has %d entries after resizes, want 240", n)
+	}
+}
+
+func TestInsertDuplicateIsNoop(t *testing.T) {
+	m := commtm.New(commtm.Config{Threads: 1, Protocol: commtm.CommTM, Seed: 1})
+	add := m.DefineLabel(commtm.AddLabel("ADD"))
+	tb := New(m, add, 16, 32)
+	m.Run(func(th *commtm.Thread) {
+		if !tb.Insert(th, 7, 70, tb.NewNode(m)) {
+			t.Error("first insert failed")
+		}
+		if tb.Insert(th, 7, 71, tb.NewNode(m)) {
+			t.Error("duplicate insert succeeded")
+		}
+		if v, ok := tb.Lookup(th, 7); !ok || v != 70 {
+			t.Errorf("lookup = %d,%v; want 70,true", v, ok)
+		}
+		if tb.Remove(th, 99) {
+			t.Error("removed an absent key")
+		}
+	})
+	rem := m.MemRead64(tb.RemainAddr())
+	if rem != 31 {
+		t.Errorf("remaining = %d, want 31 (one live entry)", rem)
+	}
+}
+
+func TestBadBucketCountPanics(t *testing.T) {
+	m := commtm.New(commtm.Config{Threads: 1, Protocol: commtm.CommTM})
+	add := m.DefineLabel(commtm.AddLabel("ADD"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two bucket count did not panic")
+		}
+	}()
+	New(m, add, 12, 10)
+}

@@ -1,0 +1,60 @@
+// Package micro implements the paper's five microbenchmarks (Sec. VI):
+// counter increments, reference counting with bounded counters, linked-list
+// enqueue/dequeue, ordered puts, and top-K set insertion. Each runs
+// unmodified on both the baseline HTM and CommTM (labels demote to
+// conventional accesses on the baseline), and validates its final state
+// against a sequential reference.
+package micro
+
+import "commtm"
+
+// share returns the number of operations thread id performs out of total
+// across threads, splitting as evenly as possible.
+func share(total, threads, id int) int {
+	base := total / threads
+	if id < total%threads {
+		return base + 1
+	}
+	return base
+}
+
+// listLabelSpec builds the linked-list descriptor label (Fig. 11): a
+// descriptor holds head and tail pointers of a partial list; reduction
+// concatenates partial lists; splitting donates the head element.
+func listLabelSpec() commtm.LabelSpec {
+	const (
+		wHead = 0
+		wTail = 1
+	)
+	return commtm.LabelSpec{
+		Name: "LIST",
+		// Identity: empty list (null head and tail).
+		Reduce: func(rc *commtm.ReduceCtx, dst, src *commtm.Line) {
+			if src[wHead] == 0 {
+				return
+			}
+			if dst[wHead] == 0 {
+				dst[wHead], dst[wTail] = src[wHead], src[wTail]
+				return
+			}
+			// Link dst's tail to src's head: tail.next = src.head.
+			rc.Store64(commtm.Addr(dst[wTail])+8, src[wHead])
+			dst[wTail] = src[wTail]
+		},
+		Split: func(rc *commtm.ReduceCtx, local, out *commtm.Line, _ int) {
+			h := local[wHead]
+			if h == 0 {
+				return // nothing to donate
+			}
+			next := rc.Load64(commtm.Addr(h) + 8)
+			rc.Store64(commtm.Addr(h)+8, 0) // detach the donated head
+			out[wHead], out[wTail] = h, h
+			local[wHead] = next
+			if next == 0 {
+				local[wTail] = 0
+			}
+		},
+		ReduceCost: 6, // one pointer splice per merged partial
+		SplitCost:  6,
+	}
+}

@@ -1,0 +1,136 @@
+package micro
+
+import (
+	"fmt"
+
+	"commtm"
+)
+
+// Refcount is the Sec. VI reference-counting microbenchmark (Fig. 10):
+// threads acquire and release references to 16 shared objects whose
+// reference counts are non-negative bounded counters (Sec. IV). Increments
+// always commute; decrements commute only while the count is positive, so
+// CommTM decrements first try the local partial, then a gather request,
+// then a full reduction. Each thread starts with three references per
+// object and holds at most ten; the probability of acquiring decreases
+// linearly with held references (1.0 at 0 held, 0.0 at 10 held).
+type Refcount struct {
+	Ops     int // total acquire/release operations across all threads
+	Objects int // shared reference counters (paper: 16)
+
+	threads int
+	add     commtm.LabelID
+	ctrs    []commtm.Addr
+	held    [][]int // [thread][object] references held at the end
+}
+
+// NewRefcount builds the workload; objects <= 0 defaults to the paper's 16.
+func NewRefcount(ops, objects int) *Refcount {
+	if objects <= 0 {
+		objects = 16
+	}
+	return &Refcount{Ops: ops, Objects: objects}
+}
+
+// Name implements harness.Workload.
+func (r *Refcount) Name() string { return "refcount" }
+
+const (
+	refStart   = 3  // initial references per thread per object
+	refMaxHeld = 10 // max references a thread holds to one object
+)
+
+// Setup implements harness.Workload.
+func (r *Refcount) Setup(m *commtm.Machine) {
+	r.threads = m.Config().Threads
+	r.add = m.DefineLabel(commtm.AddLabel("ADD"))
+	r.ctrs = make([]commtm.Addr, r.Objects)
+	for i := range r.ctrs {
+		r.ctrs[i] = m.AllocLines(1)
+		m.MemWrite64(r.ctrs[i], uint64(refStart*r.threads))
+	}
+	r.held = make([][]int, r.threads)
+	for i := range r.held {
+		r.held[i] = make([]int, r.Objects)
+		for j := range r.held[i] {
+			r.held[i][j] = refStart
+		}
+	}
+}
+
+// acquire increments the object's reference count.
+func (r *Refcount) acquire(t *commtm.Thread, ctr commtm.Addr) {
+	t.Txn(func() {
+		v := t.LoadL(ctr, r.add)
+		t.StoreL(ctr, r.add, v+1)
+	})
+}
+
+// release decrements the bounded counter using the paper's Sec. IV
+// decrement: local partial, then gather, then full reduction. It returns
+// false only if the global count is zero.
+func (r *Refcount) release(t *commtm.Thread, ctr commtm.Addr) bool {
+	ok := false
+	t.Txn(func() {
+		ok = false
+		v := t.LoadL(ctr, r.add)
+		if v == 0 {
+			v = t.LoadGather(ctr, r.add)
+			if v == 0 {
+				v = t.Load64(ctr)
+				if v == 0 {
+					return
+				}
+			}
+		}
+		t.StoreL(ctr, r.add, v-1)
+		ok = true
+	})
+	return ok
+}
+
+// opSetupCycles models the per-iteration work outside the transaction
+// (object selection, probability computation) of the benchmark loop.
+const opSetupCycles = 40
+
+// Body implements harness.Workload.
+func (r *Refcount) Body(t *commtm.Thread) {
+	n := share(r.Ops, r.threads, t.ID())
+	held := r.held[t.ID()]
+	rng := t.Rand()
+	for i := 0; i < n; i++ {
+		t.Cycles(opSetupCycles)
+		obj := rng.Intn(r.Objects)
+		pAcq := 1.0 - float64(held[obj])/float64(refMaxHeld)
+		if rng.Float64() < pAcq {
+			r.acquire(t, r.ctrs[obj])
+			held[obj]++
+			continue
+		}
+		if held[obj] == 0 {
+			continue // nothing to release to this object
+		}
+		if !r.release(t, r.ctrs[obj]) {
+			return // impossible while we hold a reference; Validate catches it
+		}
+		held[obj]--
+	}
+}
+
+// Validate implements harness.Workload.
+func (r *Refcount) Validate(m *commtm.Machine) error {
+	for obj, ctr := range r.ctrs {
+		want := 0
+		for th := 0; th < r.threads; th++ {
+			want += r.held[th][obj]
+		}
+		got := m.MemRead64(ctr)
+		if got != uint64(want) {
+			return fmt.Errorf("object %d refcount = %d, want %d", obj, got, want)
+		}
+		if int64(got) < 0 {
+			return fmt.Errorf("object %d refcount negative: %d", obj, int64(got))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package commtm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// Stress tests drive the full stack (engine + coherence + HTM) with tiny
+// caches so that evictions, U-line forwarding, and capacity aborts fire
+// constantly, and check that the architectural results still match the
+// sequential reference under both protocols.
+
+func tinyCacheConfig(threads int, proto Protocol, seed uint64) Config {
+	return Config{
+		Threads:  threads,
+		Protocol: proto,
+		Seed:     seed,
+		// 8 lines of L1, 16 lines of L2: almost everything evicts.
+		L1Bytes: 8 * LineBytes, L1Ways: 2,
+		L2Bytes: 16 * LineBytes, L2Ways: 2,
+	}
+}
+
+func TestCountersSurviveTinyCaches(t *testing.T) {
+	for _, proto := range []Protocol{Baseline, CommTM} {
+		m := New(tinyCacheConfig(4, proto, 21))
+		add := m.DefineLabel(AddLabel("ADD"))
+		// More counters than the L2 can hold: U lines are forced out and
+		// forwarded to sharers (Sec. III-B5) or written back.
+		const nctr = 64
+		ctrs := make([]Addr, nctr)
+		for i := range ctrs {
+			ctrs[i] = m.AllocLines(1)
+		}
+		m.Run(func(th *Thread) {
+			rng := th.Rand()
+			for i := 0; i < 300; i++ {
+				c := ctrs[rng.Intn(nctr)]
+				th.Txn(func() {
+					th.StoreL(c, add, th.LoadL(c, add)+1)
+				})
+			}
+		})
+		var total uint64
+		for _, c := range ctrs {
+			total += m.MemRead64(c)
+		}
+		if total != 4*300 {
+			t.Fatalf("%v: total = %d, want 1200", proto, total)
+		}
+	}
+}
+
+func TestEvictionHeavyTransactionsStayAtomic(t *testing.T) {
+	// Transactions whose footprint exceeds the tiny L1 abort on capacity
+	// (SelfEvicted) and retry; pairs of words must stay consistent.
+	for _, proto := range []Protocol{Baseline, CommTM} {
+		m := New(tinyCacheConfig(3, proto, 5))
+		const npair = 32
+		pairs := make([]Addr, npair)
+		for i := range pairs {
+			pairs[i] = m.AllocLines(1)
+		}
+		m.Run(func(th *Thread) {
+			rng := th.Rand()
+			for i := 0; i < 100; i++ {
+				// Touch several pairs in one transaction.
+				a := pairs[rng.Intn(npair)]
+				b := pairs[rng.Intn(npair)]
+				th.Txn(func() {
+					va := th.Load64(a)
+					vb := th.Load64(b)
+					th.Store64(a, va+1)
+					th.Store64(a+8, (va+1)*2)
+					th.Store64(b+16, vb+va)
+					th.Store64(b+24, (vb+va)*2)
+				})
+			}
+		})
+		for i, p := range pairs {
+			if got, want := m.MemRead64(p+8), m.MemRead64(p)*2; got != want {
+				t.Fatalf("%v: pair %d word1 = %d, want %d", proto, i, got, want)
+			}
+			if got, want := m.MemRead64(p+24), m.MemRead64(p+16)*2; got != want {
+				t.Fatalf("%v: pair %d word3 = %d, want %d", proto, i, got, want)
+			}
+		}
+		s := m.Stats()
+		if s.Commits != 300 {
+			t.Fatalf("%v: commits = %d, want 300", proto, s.Commits)
+		}
+	}
+}
+
+// Property: any mix of labeled adds, gathers, plain reads, and barrier-free
+// interleavings across both protocols and random tiny-cache pressure
+// produces the sequential sum.
+func TestRandomMixProperty(t *testing.T) {
+	f := func(seed uint64, protoBit, tiny bool, opsRaw uint8) bool {
+		proto := Baseline
+		if protoBit {
+			proto = CommTM
+		}
+		cfg := Config{Threads: 4, Protocol: proto, Seed: seed}
+		if tiny {
+			cfg = tinyCacheConfig(4, proto, seed)
+		}
+		ops := int(opsRaw)%60 + 5
+		m := New(cfg)
+		add := m.DefineLabel(AddLabel("ADD"))
+		ctr := m.AllocLines(1)
+		var incs [4]uint64
+		m.Run(func(th *Thread) {
+			rng := th.Rand()
+			for i := 0; i < ops; i++ {
+				switch rng.Intn(10) {
+				case 0:
+					th.Txn(func() { _ = th.Load64(ctr) })
+				case 1:
+					th.Txn(func() { _ = th.LoadGather(ctr, add) })
+				default:
+					th.Txn(func() {
+						th.StoreL(ctr, add, th.LoadL(ctr, add)+1)
+					})
+					incs[th.ID()]++
+				}
+			}
+		})
+		want := incs[0] + incs[1] + incs[2] + incs[3]
+		return m.MemRead64(ctr) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsStringsAndHelpers(t *testing.T) {
+	m, _ := runCounter(t, Config{Threads: 2, Protocol: CommTM, Seed: 1}, 20)
+	s := m.Stats()
+	if s.AbortRate() < 0 || s.AbortRate() > 1 {
+		t.Errorf("abort rate out of range: %v", s.AbortRate())
+	}
+	for _, p := range []Protocol{Baseline, CommTM} {
+		if p.String() == "" {
+			t.Error("empty protocol name")
+		}
+	}
+	if got := fmt.Sprintf("%v", CommTM); got != "CommTM" {
+		t.Errorf("Protocol string = %q", got)
+	}
+}
