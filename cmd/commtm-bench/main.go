@@ -7,6 +7,14 @@
 //	commtm-bench -list
 //	commtm-bench -exp fig9
 //	commtm-bench -exp all -scale 0.2 -threads 1,8,32,128
+//	commtm-bench -exp fig9 -parallel 0 -json results.jsonl -csv results.csv
+//	commtm-bench -oracle -parallel 0
+//
+// -parallel N runs each sweep's cells on N host workers (0 = all cores);
+// results stream to the -json / -csv sinks in deterministic cell order, so
+// sink output is byte-identical across worker counts (modulo the trailing
+// wall-clock field). -oracle runs the differential conformance +
+// determinism oracle over the reduced matrix and exits nonzero on failure.
 package main
 
 import (
@@ -19,27 +27,32 @@ import (
 
 	"commtm/internal/experiments"
 	"commtm/internal/harness"
+	"commtm/internal/sweep"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id to run (or 'all')")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		scale   = flag.Float64("scale", 1.0, "input-size scale factor (1.0 = default sizes)")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		threads = flag.String("threads", "", "comma-separated thread counts (default 1,2,4,8,16,32,64,128)")
+		exp      = flag.String("exp", "", "experiment id to run (or 'all')")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		scale    = flag.Float64("scale", 1.0, "input-size scale factor (1.0 = default sizes)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		threads  = flag.String("threads", "", "comma-separated thread counts (default 1,2,4,8,16,32,64,128)")
+		parallel = flag.Int("parallel", 1, "host worker pool size per sweep (0 = all cores, 1 = sequential)")
+		jsonOut  = flag.String("json", "", "write per-cell results as JSON lines to this file")
+		csvOut   = flag.String("csv", "", "write per-cell results as CSV to this file")
+		oracle   = flag.Bool("oracle", false, "run the differential conformance + determinism oracle and exit")
 	)
 	flag.Parse()
 	_ = experiments.Description // link the registry
 
-	if *list || *exp == "" {
+	if *list || (*exp == "" && !*oracle) {
 		fmt.Println("experiments:")
 		for _, id := range harness.IDs() {
 			e, _ := harness.Get(id)
 			fmt.Printf("  %-10s %s\n", id, e.Title)
 		}
 		if *exp == "" && !*list {
-			fmt.Println("\nrun with -exp <id> or -exp all")
+			fmt.Println("\nrun with -exp <id>, -exp all, or -oracle")
 		}
 		return
 	}
@@ -47,6 +60,7 @@ func main() {
 	opts := harness.DefaultOptions()
 	opts.Scale = *scale
 	opts.Seed = *seed
+	opts.Workers = *parallel
 	if *threads != "" {
 		opts.Threads = nil
 		for _, part := range strings.Split(*threads, ",") {
@@ -59,23 +73,99 @@ func main() {
 		}
 	}
 
+	var closers []func() error
+	addSink := func(path string, mk func(f *os.File) sweep.Sink) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		s := mk(f)
+		opts.Sinks = append(opts.Sinks, s)
+		closers = append(closers, func() error {
+			if err := s.Close(); err != nil {
+				return err
+			}
+			return f.Close()
+		})
+	}
+	if *jsonOut != "" {
+		addSink(*jsonOut, func(f *os.File) sweep.Sink { return sweep.NewJSONL(f) })
+	}
+	if *csvOut != "" {
+		addSink(*csvOut, func(f *os.File) sweep.Sink { return sweep.NewCSV(f) })
+	}
+	// closeSinks flushes and closes the output files, reporting (but not
+	// exiting on) close errors so it is safe on failure paths.
+	closeSinks := func() (ok bool) {
+		ok = true
+		for _, c := range closers {
+			if err := c(); err != nil {
+				fmt.Fprintf(os.Stderr, "sink close: %v\n", err)
+				ok = false
+			}
+		}
+		closers = nil
+		return ok
+	}
+
+	// fail prints the diagnostic first (a sink-close error must never
+	// swallow it), then flushes the sinks so rows for already-completed
+	// cells — including the failing ones — reach the output files.
+	fail := func(code int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format, args...)
+		closeSinks()
+		os.Exit(code)
+	}
+
+	if *oracle {
+		// The oracle runs its own fixed matrix; silently ignoring other
+		// selection flags would mislead scripted invocations.
+		if *exp != "" {
+			fail(2, "-oracle runs only the conformance matrix; drop -exp %q or run it separately\n", *exp)
+		}
+		if *threads != "" {
+			fmt.Fprintln(os.Stderr, "note: -threads is ignored by -oracle (the conformance matrix fixes its thread counts)")
+		}
+		e, _ := harness.Get("conformance")
+		start := time.Now()
+		out, err := e.Run(opts)
+		if err != nil {
+			fail(1, "conformance oracle FAILED:\n%v\n", err)
+		}
+		if !closeSinks() {
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("(oracle completed in %v)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = harness.IDs()
+		// "all" means the paper's figures and tables; the conformance
+		// oracle is its own mode (-oracle, or -exp conformance explicitly).
+		ids = nil
+		for _, id := range harness.IDs() {
+			if id != "conformance" {
+				ids = append(ids, id)
+			}
+		}
 	}
 	for _, id := range ids {
 		e, ok := harness.Get(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
+			fail(2, "unknown experiment %q (use -list)\n", id)
 		}
 		start := time.Now()
 		out, err := e.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
-			os.Exit(1)
+			fail(1, "%s failed: %v\n", id, err)
 		}
 		fmt.Print(out)
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if !closeSinks() {
+		os.Exit(1)
 	}
 }

@@ -195,6 +195,60 @@ func (m *Machine) Run(body func(t *Thread)) {
 	m.ms.Drain()
 }
 
+// FNV-1a 64-bit parameters, used for all canonical digests.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// DigestWords returns an order-sensitive FNV-1a hash of the given words.
+// Workloads use it to build canonical digests of their semantic final state
+// (e.g. a sorted multiset) for cross-protocol conformance checking.
+func DigestWords(words []uint64) uint64 {
+	h := uint64(fnvOffset64)
+	for _, w := range words {
+		h = digestWord(h, w)
+	}
+	return h
+}
+
+func digestWord(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xff
+		h *= fnvPrime64
+		w >>= 8
+	}
+	return h
+}
+
+// MemDigest returns a canonical digest of architectural memory: an FNV-1a
+// hash over every non-zero line, in address order, mixing each line's base
+// address with its eight words. All-zero lines are excluded so lazily
+// materialized but untouched lines cannot perturb the digest. Intended
+// after Run (the machine is drained, so this observes committed state), but
+// safe at any point where the backing store is authoritative.
+func (m *Machine) MemDigest() uint64 {
+	h := uint64(fnvOffset64)
+	for _, a := range m.store.Addrs() {
+		l, _ := m.store.Peek(a)
+		zero := true
+		for _, w := range l {
+			if w != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue
+		}
+		h = digestWord(h, uint64(a))
+		for _, w := range l {
+			h = digestWord(h, w)
+		}
+	}
+	return h
+}
+
 // Stats aggregates the run's statistics. Valid after Run.
 type Stats struct {
 	Threads int

@@ -1,0 +1,131 @@
+package commtm
+
+import (
+	"testing"
+
+	"commtm/internal/memsys"
+)
+
+// Stats accessor edge cases: ratios over empty runs must define 0/0 as 0,
+// never NaN, so downstream tables and CSV sinks stay finite.
+func TestStatsRatioZeroDenominators(t *testing.T) {
+	tests := []struct {
+		name            string
+		s               Stats
+		wantLabeledFrac float64
+		wantAbortRate   float64
+	}{
+		{"zero stats", Stats{}, 0, 0},
+		{"labeled ops but no instructions", Stats{LabeledOps: 5}, 0, 0},
+		{"aborts counted, no commits", Stats{Aborts: 3}, 0, 1},
+		{"commits only", Stats{Commits: 10, Instructions: 100, LabeledOps: 25}, 0.25, 0},
+		{"mixed", Stats{Commits: 3, Aborts: 1, Instructions: 8, LabeledOps: 2}, 0.25, 0.25},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.LabeledFraction(); got != tc.wantLabeledFrac {
+				t.Errorf("LabeledFraction() = %v, want %v", got, tc.wantLabeledFrac)
+			}
+			if got := tc.s.AbortRate(); got != tc.wantAbortRate {
+				t.Errorf("AbortRate() = %v, want %v", got, tc.wantAbortRate)
+			}
+		})
+	}
+}
+
+// TestConfigOverridePlumbing verifies that New passes cache-geometry
+// overrides through to memsys.Params — the sweep engine's Geometry axis
+// depends on every field reaching the cache construction — and that zero
+// fields keep the Table-I defaults.
+func TestConfigOverridePlumbing(t *testing.T) {
+	def := memsys.DefaultParams(2)
+	tests := []struct {
+		name string
+		cfg  Config
+		want func(p memsys.Params) memsys.Params
+	}{
+		{
+			"defaults",
+			Config{Threads: 2},
+			func(p memsys.Params) memsys.Params { return p },
+		},
+		{
+			"L1 only",
+			Config{Threads: 2, L1Bytes: 16 * LineBytes, L1Ways: 2},
+			func(p memsys.Params) memsys.Params {
+				p.L1Bytes, p.L1Ways = 16*LineBytes, 2
+				return p
+			},
+		},
+		{
+			"all four",
+			Config{Threads: 2, L1Bytes: 8 * LineBytes, L1Ways: 1, L2Bytes: 32 * LineBytes, L2Ways: 4},
+			func(p memsys.Params) memsys.Params {
+				p.L1Bytes, p.L1Ways, p.L2Bytes, p.L2Ways = 8*LineBytes, 1, 32*LineBytes, 4
+				return p
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New(tc.cfg)
+			got := m.ms.Params()
+			want := tc.want(def)
+			if got.L1Bytes != want.L1Bytes || got.L1Ways != want.L1Ways {
+				t.Errorf("L1 geometry = %d/%d ways, want %d/%d", got.L1Bytes, got.L1Ways, want.L1Bytes, want.L1Ways)
+			}
+			if got.L2Bytes != want.L2Bytes || got.L2Ways != want.L2Ways {
+				t.Errorf("L2 geometry = %d/%d ways, want %d/%d", got.L2Bytes, got.L2Ways, want.L2Bytes, want.L2Ways)
+			}
+		})
+	}
+}
+
+// TestProtocolFlagsReachParams locks the Protocol/DisableGather wiring: the
+// U state and gather support must be enabled exactly per configuration.
+func TestProtocolFlagsReachParams(t *testing.T) {
+	tests := []struct {
+		cfg        Config
+		wantU      bool
+		wantGather bool
+	}{
+		{Config{Threads: 1, Protocol: Baseline}, false, false},
+		{Config{Threads: 1, Protocol: CommTM}, true, true},
+		{Config{Threads: 1, Protocol: CommTM, DisableGather: true}, true, false},
+	}
+	for _, tc := range tests {
+		p := New(tc.cfg).ms.Params()
+		if p.EnableU != tc.wantU || p.EnableGather != tc.wantGather {
+			t.Errorf("%v/%v: EnableU=%v EnableGather=%v, want %v/%v",
+				tc.cfg.Protocol, tc.cfg.DisableGather, p.EnableU, p.EnableGather, tc.wantU, tc.wantGather)
+		}
+	}
+}
+
+// TestMemDigest pins the digest contract used by the conformance oracle:
+// untouched (all-zero) lines do not perturb it, any written word does, and
+// equal memory images digest equal.
+func TestMemDigest(t *testing.T) {
+	build := func(write func(m *Machine)) uint64 {
+		m := New(Config{Threads: 1})
+		write(m)
+		return m.MemDigest()
+	}
+	a := build(func(m *Machine) { m.MemWrite64(m.AllocWords(1), 7) })
+	b := build(func(m *Machine) { m.MemWrite64(m.AllocWords(1), 7) })
+	if a != b {
+		t.Error("identical memory images digest differently")
+	}
+	c := build(func(m *Machine) { m.MemWrite64(m.AllocWords(1), 8) })
+	if a == c {
+		t.Error("different memory images digest equal")
+	}
+	d := build(func(m *Machine) {
+		addr := m.AllocWords(1)
+		m.MemWrite64(addr, 7)
+		m.MemRead64(m.AllocLines(4)) // materialize zero lines
+	})
+	if a != d {
+		t.Error("untouched zero lines perturb the digest")
+	}
+}

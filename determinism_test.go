@@ -1,0 +1,47 @@
+package commtm_test
+
+import (
+	"testing"
+
+	"commtm/internal/harness"
+	"commtm/internal/sweep"
+	"commtm/internal/workloads/micro"
+)
+
+// TestMicroWorkloadsDeterministic locks in the execution kernel's central
+// guarantee (internal/engine: exactly one runnable core at a time, smallest
+// (clock, id) first): running any workload twice with the same seed must
+// produce bit-identical Stats — every cycle count, abort cause, and
+// coherence counter — on both protocols. Any hidden host nondeterminism
+// (map iteration, goroutine scheduling leaking into simulated time) shows
+// up here as a field-level diff.
+func TestMicroWorkloadsDeterministic(t *testing.T) {
+	mks := map[string]func() harness.Workload{
+		"counter":    func() harness.Workload { return micro.NewCounter(600) },
+		"refcount":   func() harness.Workload { return micro.NewRefcount(600, 16) },
+		"list-enq":   func() harness.Workload { return micro.NewList(600, 0) },
+		"list-mixed": func() harness.Workload { return micro.NewList(600, 0.5) },
+		"oput":       func() harness.Workload { return micro.NewOPut(600) },
+		"topk":       func() harness.Workload { return micro.NewTopK(600, 32) },
+	}
+	for name, mk := range mks {
+		for _, v := range []harness.Variant{harness.VarBaseline, harness.VarCommTM} {
+			t.Run(name+"/"+v.Label, func(t *testing.T) {
+				t.Parallel()
+				const seed = 7
+				cell := sweep.Cell{Variant: v, Threads: 8, Seed: seed, Workload: name, Mk: mk}
+				a := sweep.RunCell(cell)
+				b := sweep.RunCell(cell)
+				if a.Err != "" || b.Err != "" {
+					t.Fatalf("run errors: %q, %q", a.Err, b.Err)
+				}
+				if a.Stats != b.Stats {
+					t.Errorf("Stats differ across identical runs:\n first: %+v\nsecond: %+v", a.Stats, b.Stats)
+				}
+				if a.Digest != b.Digest {
+					t.Errorf("final-state digest differs: %s vs %s", a.Digest, b.Digest)
+				}
+			})
+		}
+	}
+}

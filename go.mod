@@ -1,0 +1,3 @@
+module commtm
+
+go 1.24

@@ -338,5 +338,5 @@ func (t *Thread) backoff(attempt int, nacked bool) uint64 {
 		sh = maxSh
 	}
 	b := base << uint(sh)
-	return b/2 + t.proc.Rand.Uint64n(b)
+	return b/2 + t.proc.SysRand.Uint64n(b)
 }

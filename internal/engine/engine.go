@@ -31,8 +31,17 @@ const MaxSkew = 2000
 
 // Proc is one simulated hardware context (core).
 type Proc struct {
-	ID   int
+	ID int
+	// Rand is the architectural PRNG stream: the simulated program's own
+	// randomness. Nothing in the simulator may draw from it, so a workload's
+	// decision sequence is identical across protocols, thread interleavings,
+	// and abort counts — the property the differential conformance oracle
+	// (internal/sweep) relies on.
 	Rand *xrand.RNG
+	// SysRand is the microarchitectural PRNG stream, for timing-level
+	// randomness (abort backoff). Draws vary with protocol and schedule and
+	// must never influence architectural results.
+	SysRand *xrand.RNG
 
 	k          *Kernel
 	clock      uint64
@@ -48,7 +57,13 @@ type Kernel struct {
 	sched    chan struct{}
 	panicVal any
 	running  bool
+	draining bool
 }
+
+// drainSig unwinds a proc goroutine during panic drain; it must never be
+// swallowed by workload code (transaction recovery re-panics non-abort
+// values, so it passes through).
+type drainSig struct{}
 
 // NewKernel creates a kernel with n procs whose PRNGs derive from seed.
 func NewKernel(n int, seed uint64) *Kernel {
@@ -58,10 +73,13 @@ func NewKernel(n int, seed uint64) *Kernel {
 	k := &Kernel{sched: make(chan struct{})}
 	for i := 0; i < n; i++ {
 		k.procs = append(k.procs, &Proc{
-			ID:     i,
-			Rand:   xrand.Derive(seed, uint64(i)),
-			k:      k,
-			resume: make(chan struct{}),
+			ID: i,
+			// Distinct stream ids keep the architectural and
+			// microarchitectural streams independent (core ids are < 2^32).
+			Rand:    xrand.Derive(seed, uint64(i)),
+			SysRand: xrand.Derive(seed, uint64(i)+1<<32),
+			k:       k,
+			resume:  make(chan struct{}),
 		})
 	}
 	return k
@@ -85,19 +103,34 @@ func (k *Kernel) Run(body func(p *Proc)) {
 	}
 	k.running = true
 	defer func() { k.running = false }()
+	// Any panic leaving the scheduler — a proc body's, or one of the
+	// kernel's own invariant panics — must first unwind every parked proc
+	// goroutine, or each one leaks and pins the whole machine. Whenever the
+	// scheduler is executing, every live proc is parked on <-p.resume, so
+	// draining here is always safe.
+	defer func() {
+		if r := recover(); r != nil {
+			k.drain()
+			panic(r)
+		}
+	}()
 
 	for _, p := range k.procs {
 		p.status = statusRunnable
 		go func(p *Proc) {
 			defer func() {
-				if r := recover(); r != nil && k.panicVal == nil {
-					k.panicVal = fmt.Sprintf("engine: proc %d panicked: %v", p.ID, r)
+				if r := recover(); r != nil {
+					if _, unwind := r.(drainSig); !unwind && k.panicVal == nil {
+						k.panicVal = fmt.Sprintf("engine: proc %d panicked: %v", p.ID, r)
+					}
 				}
 				p.status = statusDone
 				k.sched <- struct{}{}
 			}()
 			<-p.resume
-			body(p)
+			if !k.draining {
+				body(p)
+			}
 		}(p)
 	}
 
@@ -113,9 +146,29 @@ func (k *Kernel) Run(body func(p *Proc)) {
 		best.resume <- struct{}{}
 		<-k.sched
 		if k.panicVal != nil {
-			// Drain remaining procs is impossible mid-panic; fail loudly.
-			panic(k.panicVal)
+			panic(k.panicVal) // the deferred drain unwinds the other procs
 		}
+	}
+}
+
+// drain resumes every unfinished proc in drain mode: its next yield (or its
+// initial resume, if it never started) panics with drainSig, unwinding the
+// goroutine cleanly through the usual done path.
+func (k *Kernel) drain() {
+	k.draining = true
+	for {
+		var target *Proc
+		for _, p := range k.procs {
+			if p.status != statusDone {
+				target = p
+				break
+			}
+		}
+		if target == nil {
+			return
+		}
+		target.resume <- struct{}{}
+		<-k.sched
 	}
 }
 
@@ -171,6 +224,9 @@ func (k *Kernel) releaseBarrier() {
 func (p *Proc) yield() {
 	p.k.sched <- struct{}{}
 	<-p.resume
+	if p.k.draining {
+		panic(drainSig{})
+	}
 }
 
 // Tick advances the local clock by cycles of purely local work. It yields

@@ -175,6 +175,39 @@ func TestPanicPropagates(t *testing.T) {
 	})
 }
 
+// TestPanicDrainsAllProcs: a body panic must unwind every proc goroutine —
+// including ones parked mid-Stall, at a barrier, or never yet scheduled —
+// before Run re-panics, so a panicking cell in a parallel sweep cannot leak
+// goroutines that pin the whole machine.
+func TestPanicDrainsAllProcs(t *testing.T) {
+	k := NewKernel(4, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("body panic did not propagate out of Run")
+			}
+		}()
+		k.Run(func(p *Proc) {
+			switch p.ID {
+			case 0:
+				p.Stall(10)
+				panic("boom")
+			case 1:
+				for {
+					p.Stall(5) // parked mid-stall when the panic hits
+				}
+			default:
+				p.Barrier() // parked at a barrier forever
+			}
+		})
+	}()
+	for _, p := range k.procs {
+		if p.status != statusDone {
+			t.Fatalf("proc %d left in status %d after panic drain", p.ID, p.status)
+		}
+	}
+}
+
 func TestHeterogeneousFinish(t *testing.T) {
 	// Procs finishing at different times must not wedge the scheduler.
 	k := NewKernel(4, 1)

@@ -72,7 +72,7 @@ func init() {
 			wl := appWorkloads(o)
 			for _, name := range []string{"boruvka", "kmeans"} {
 				bd, err := harness.BreakdownSweep("fig19", name, wl[name],
-					[]harness.Variant{harness.VarBaseline, harness.VarCommTM}, breakThreads(o), o.Seed)
+					[]harness.Variant{harness.VarBaseline, harness.VarCommTM}, breakThreads(o), o)
 				if err != nil {
 					return "", err
 				}
@@ -141,7 +141,7 @@ func breakdownRun(render func(*harness.Breakdown) string) func(harness.Options) 
 		wl := appWorkloads(o)
 		for _, name := range appOrder {
 			bd, err := harness.BreakdownSweep("fig17/18", name, wl[name],
-				[]harness.Variant{harness.VarBaseline, harness.VarCommTM}, breakThreads(o), o.Seed)
+				[]harness.Variant{harness.VarBaseline, harness.VarCommTM}, breakThreads(o), o)
 			if err != nil {
 				return "", err
 			}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"commtm/internal/harness"
+	"commtm/internal/sweep"
+	"commtm/internal/workloads/micro"
+)
+
+// Conformance matrix default sizes: large enough that every protocol
+// mechanism fires (reductions, gathers, splits, aborts), small enough that
+// the full differential + determinism oracle runs under `go test -race` in
+// CI. Options.Scale grows or shrinks them.
+const (
+	confCounterOps  = 4000
+	confRefcountOps = 3000
+	confListOps     = 2400
+	confOPutOps     = 4000
+	confTopKOps     = 3000
+	confTopKK       = 64
+)
+
+// ConformanceThreads and ConformanceSeeds fix the reduced matrix's sweep
+// points: a serial run, an intra-socket run, and a run wide enough to
+// exercise NACK arbitration and U-line forwarding, each at two seeds.
+var (
+	ConformanceThreads = []int{1, 8, 32}
+	ConformanceSeeds   = []uint64{1, 42}
+)
+
+// ConformanceMatrix builds the reduced differential-conformance matrix:
+// every micro workload × {Baseline, CommTM, CommTM w/o gather} × the
+// reduced thread and seed sweeps. Baseline and CommTM execute the same
+// commutative program under different schedules, so the sweep oracle
+// requires every cell group to validate and agree on its canonical digest.
+func ConformanceMatrix(o harness.Options) sweep.Matrix {
+	wl := func(name string, mk func() harness.Workload) sweep.WorkloadSpec {
+		return sweep.WorkloadSpec{Name: name, Mk: mk}
+	}
+	return sweep.Matrix{
+		Workloads: []sweep.WorkloadSpec{
+			wl("counter", func() harness.Workload { return micro.NewCounter(o.ScaledOps(confCounterOps)) }),
+			wl("refcount", func() harness.Workload { return micro.NewRefcount(o.ScaledOps(confRefcountOps), 16) }),
+			wl("list-enq", func() harness.Workload { return micro.NewList(o.ScaledOps(confListOps), 0) }),
+			wl("list-mixed", func() harness.Workload { return micro.NewList(o.ScaledOps(confListOps), 0.5) }),
+			wl("oput", func() harness.Workload { return micro.NewOPut(o.ScaledOps(confOPutOps)) }),
+			wl("topk", func() harness.Workload { return micro.NewTopK(o.ScaledOps(confTopKOps), confTopKK) }),
+		},
+		Variants: []sweep.Variant{harness.VarBaseline, harness.VarCommTM, harness.VarCommTMNoGather},
+		Threads:  ConformanceThreads,
+		Seeds:    ConformanceSeeds,
+	}
+}
+
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "conformance",
+		Title: "Differential conformance + determinism oracle over the reduced matrix",
+		Run: func(o harness.Options) (string, error) {
+			rs, err := sweep.Conformance(ConformanceMatrix(o), o.Workers, o.Sinks...)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "# conformance: %s\n", sweep.Summary(rs))
+			b.WriteString("all variants agree on canonical digests; re-runs are bit-identical\n")
+			return b.String(), nil
+		},
+	})
+}

@@ -72,7 +72,7 @@ func registerSpeedup(id, title string, mk func(harness.Options) func() harness.W
 		ID:    id,
 		Title: title,
 		Run: func(o harness.Options) (string, error) {
-			fig, err := harness.SpeedupSweep(id, title, mk(o), variants, o.Threads, o.Seed)
+			fig, err := harness.SpeedupSweep(id, title, mk(o), variants, o)
 			if err != nil {
 				return "", err
 			}

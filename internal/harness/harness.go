@@ -11,25 +11,18 @@ import (
 	"strings"
 
 	"commtm"
+	"commtm/internal/sweep"
 )
 
 // Workload is one benchmark: it allocates and initializes simulated memory,
 // runs a per-thread body, and validates the final state against a
 // sequential reference. A Workload instance is single-use; build a fresh
-// one per machine.
-type Workload interface {
-	Name() string
-	Setup(m *commtm.Machine)
-	Body(t *commtm.Thread)
-	Validate(m *commtm.Machine) error
-}
+// one per machine. It is an alias of the sweep engine's workload interface,
+// so every harness workload runs on the parallel engine unchanged.
+type Workload = sweep.Workload
 
 // Variant labels one protocol configuration in a sweep.
-type Variant struct {
-	Label         string
-	Protocol      commtm.Protocol
-	DisableGather bool
-}
+type Variant = sweep.Variant
 
 // Baseline and CommTM are the paper's two standard variants.
 var (
@@ -43,20 +36,21 @@ var (
 var DefaultThreads = []int{1, 2, 4, 8, 16, 32, 64, 128}
 
 // RunOne builds a machine, runs the workload, validates, and returns stats.
+// It is a single-cell sweep.
 func RunOne(mk func() Workload, v Variant, threads int, seed uint64) (commtm.Stats, error) {
 	w := mk()
-	m := commtm.New(commtm.Config{
-		Threads:       threads,
-		Protocol:      v.Protocol,
-		DisableGather: v.DisableGather,
-		Seed:          seed,
+	r := sweep.RunCell(sweep.Cell{
+		Workload: w.Name(),
+		Variant:  v,
+		Threads:  threads,
+		Seed:     seed,
+		Mk:       func() Workload { return w },
+		NoDigest: true, // RunOne returns Stats only
 	})
-	w.Setup(m)
-	m.Run(w.Body)
-	if err := w.Validate(m); err != nil {
-		return commtm.Stats{}, fmt.Errorf("%s [%s, %d threads]: %w", w.Name(), v.Label, threads, err)
+	if r.Err != "" {
+		return commtm.Stats{}, fmt.Errorf("%s [%s, %d threads]: %s", w.Name(), v.Label, threads, r.Err)
 	}
-	return m.Stats(), nil
+	return r.Stats, nil
 }
 
 // Point is one measurement in a sweep.
@@ -79,28 +73,55 @@ type Figure struct {
 	Series    []Series
 }
 
-// SpeedupSweep reproduces a speedup-vs-threads figure. The reference
-// runtime is the 1-thread baseline run (always executed, even if the
-// baseline variant is not in the requested series).
-func SpeedupSweep(id, title string, mk func() Workload, variants []Variant, threads []int, seed uint64) (*Figure, error) {
-	refStats, err := RunOne(mk, VarBaseline, 1, seed)
+// SpeedupSweep reproduces a speedup-vs-threads figure over o.Threads. The
+// reference runtime is the 1-thread baseline run (always executed, even if
+// the baseline variant is not in the requested series). All cells — the
+// reference included — run on the parallel sweep engine with o.Workers
+// workers and stream to o.Sinks.
+func SpeedupSweep(id, title string, mk func() Workload, variants []Variant, o Options) (*Figure, error) {
+	type key struct {
+		v  Variant
+		th int
+	}
+	// Workload constructors are cheap (heavy input generation happens in
+	// Setup), so one throwaway instance names the sink rows.
+	name := mk().Name()
+	var cells []sweep.Cell
+	index := make(map[key]int)
+	add := func(v Variant, th int) {
+		k := key{v, th}
+		if _, dup := index[k]; dup {
+			return
+		}
+		index[k] = len(cells)
+		cells = append(cells, sweep.Cell{
+			Index:    len(cells),
+			Workload: name,
+			Variant:  v,
+			Threads:  th,
+			Seed:     o.Seed,
+			Mk:       mk,
+		})
+	}
+	add(VarBaseline, 1) // reference cell first
+	for _, v := range variants {
+		for _, th := range o.Threads {
+			add(v, th)
+		}
+	}
+	rs, err := o.engine().Run(cells)
 	if err != nil {
 		return nil, err
 	}
-	ref := float64(refStats.Cycles)
+	if err := rs.FirstErr(); err != nil {
+		return nil, err
+	}
+	ref := float64(rs[index[key{VarBaseline, 1}]].Stats.Cycles)
 	fig := &Figure{ID: id, Title: title}
 	for _, v := range variants {
 		s := Series{Label: v.Label}
-		for _, th := range threads {
-			var st commtm.Stats
-			if v == VarBaseline && th == 1 {
-				st = refStats
-			} else {
-				st, err = RunOne(mk, v, th, seed)
-				if err != nil {
-					return nil, err
-				}
-			}
+		for _, th := range o.Threads {
+			st := rs[index[key{v, th}]].Stats
 			s.Points = append(s.Points, Point{
 				Threads: th,
 				Speedup: ref / float64(st.Cycles),
@@ -182,17 +203,32 @@ type BreakdownRow struct {
 }
 
 // BreakdownSweep measures the workload at the paper's 8/32/128-thread
-// points for both variants.
-func BreakdownSweep(id, title string, mk func() Workload, variants []Variant, threads []int, seed uint64) (*Breakdown, error) {
-	bd := &Breakdown{ID: id, Title: title}
+// points for both variants, on the parallel sweep engine.
+func BreakdownSweep(id, title string, mk func() Workload, variants []Variant, threads []int, o Options) (*Breakdown, error) {
+	name := mk().Name()
+	var cells []sweep.Cell
 	for _, th := range threads {
 		for _, v := range variants {
-			st, err := RunOne(mk, v, th, seed)
-			if err != nil {
-				return nil, err
-			}
-			bd.Rows = append(bd.Rows, BreakdownRow{Variant: v.Label, Threads: th, Stats: st})
+			cells = append(cells, sweep.Cell{
+				Index:    len(cells),
+				Workload: name,
+				Variant:  v,
+				Threads:  th,
+				Seed:     o.Seed,
+				Mk:       mk,
+			})
 		}
+	}
+	rs, err := o.engine().Run(cells)
+	if err != nil {
+		return nil, err
+	}
+	if err := rs.FirstErr(); err != nil {
+		return nil, err
+	}
+	bd := &Breakdown{ID: id, Title: title}
+	for _, r := range rs {
+		bd.Rows = append(bd.Rows, BreakdownRow{Variant: r.Variant.Label, Threads: r.Threads, Stats: r.Stats})
 	}
 	return bd, nil
 }
@@ -274,11 +310,24 @@ type Options struct {
 	Threads []int
 	Seed    uint64
 	Scale   float64 // 1.0 = paper-shaped default size; <1 shrinks inputs
+
+	// Workers bounds host parallelism of the sweep engine: 1 runs
+	// sequentially, 0 uses all host cores (runtime.GOMAXPROCS).
+	Workers int
+	// Sinks receive every cell result of every sweep, in cell order.
+	Sinks []sweep.Sink
 }
 
 // DefaultOptions is used when flags don't override.
 func DefaultOptions() Options {
-	return Options{Threads: DefaultThreads, Seed: 1, Scale: 1.0}
+	return Options{Threads: DefaultThreads, Seed: 1, Scale: 1.0, Workers: 1}
+}
+
+// engine builds the sweep engine configured by the options. Figure sweeps
+// fail fast: a broken workload aborts the rest of its matrix instead of
+// simulating every remaining cell first.
+func (o Options) engine() *sweep.Engine {
+	return &sweep.Engine{Workers: o.Workers, Sinks: o.Sinks, FailFast: true}
 }
 
 func (o Options) scaled(n int) int {

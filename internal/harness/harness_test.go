@@ -68,7 +68,7 @@ func (w *badWorkload) Validate(*commtm.Machine) error { return fmt.Errorf("nope"
 
 func TestSpeedupSweepNormalization(t *testing.T) {
 	fig, err := SpeedupSweep("t", "test", mk,
-		[]Variant{VarBaseline, VarCommTM}, []int{1, 2, 4}, 1)
+		[]Variant{VarBaseline, VarCommTM}, Options{Threads: []int{1, 2, 4}, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestSpeedupSweepNormalization(t *testing.T) {
 }
 
 func TestBreakdownTables(t *testing.T) {
-	bd, err := BreakdownSweep("t", "test", mk, []Variant{VarBaseline, VarCommTM}, []int{2, 4}, 1)
+	bd, err := BreakdownSweep("t", "test", mk, []Variant{VarBaseline, VarCommTM}, []int{2, 4}, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

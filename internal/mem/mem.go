@@ -8,7 +8,10 @@
 // stale (e.g. while private caches hold a line in M or U state).
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Addr is a simulated physical byte address.
 type Addr uint64
@@ -79,6 +82,18 @@ func (s *Store) Write64(a Addr, v uint64) {
 
 // Len returns the number of materialized lines.
 func (s *Store) Len() int { return len(s.lines) }
+
+// Addrs returns the base addresses of every materialized line in ascending
+// order, giving callers a canonical iteration order over the store (the
+// backing map iterates randomly).
+func (s *Store) Addrs() []Addr {
+	out := make([]Addr, 0, len(s.lines))
+	for a := range s.lines {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 func mustAligned(a Addr) {
 	if !IsWordAligned(a) {

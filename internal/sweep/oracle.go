@@ -1,0 +1,147 @@
+// Differential conformance and determinism oracles.
+//
+// The differential oracle applies the commutativity-checking discipline of
+// Koskinen & Bansal (PAPERS.md) as a test oracle: the baseline HTM, CommTM,
+// and CommTM-without-gather are three schedules of the same commutative
+// program, so for every (workload, threads, seed, geometry) configuration
+// all protocol variants must pass the workload's own validation AND agree
+// on a canonical digest of the semantic final state. The determinism oracle
+// asserts the simulator's bit-exactness claim: re-running any cell with the
+// same seed must reproduce identical Stats and digest (the engine schedules
+// exactly one runnable core at a time, so nothing may vary).
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// groupKey identifies one conformance group: every variant of a fixed
+// (workload, threads, seed, geometry) configuration.
+type groupKey struct {
+	workload string
+	threads  int
+	seed     uint64
+	geometry Geometry
+}
+
+func (k groupKey) String() string {
+	s := fmt.Sprintf("%s/%dt/seed=%d", k.workload, k.threads, k.seed)
+	if !k.geometry.IsDefault() {
+		s += "/" + k.geometry.Label
+	}
+	return s
+}
+
+// CheckDifferential verifies that within every conformance group all
+// variants validated and digested identically. It returns an error
+// describing every violating group, not just the first.
+func CheckDifferential(rs Results) error {
+	groups := make(map[groupKey][]Result)
+	var order []groupKey
+	for _, r := range rs {
+		k := groupKey{r.Workload, r.Threads, r.Seed, r.Geometry}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	sort.Slice(order, func(i, j int) bool { return groups[order[i]][0].Index < groups[order[j]][0].Index })
+
+	var errs []error
+	for _, k := range order {
+		g := groups[k]
+		var digests []string
+		for _, r := range g {
+			if r.Err != "" {
+				errs = append(errs, fmt.Errorf("%s [%s]: %s", k, r.Variant.Label, r.Err))
+				continue
+			}
+			digests = append(digests, r.Variant.Label+"="+r.Digest)
+		}
+		if len(digests) < 2 {
+			continue // nothing to compare (single variant or all failed)
+		}
+		first := digests[0][strings.IndexByte(digests[0], '=')+1:]
+		agree := true
+		for _, d := range digests[1:] {
+			if d[strings.IndexByte(d, '=')+1:] != first {
+				agree = false
+				break
+			}
+		}
+		if !agree {
+			errs = append(errs, fmt.Errorf("%s: variants diverge: %s", k, strings.Join(digests, " ")))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// CheckDeterminism re-runs every cell of rs once (on the same worker pool
+// width) and verifies bit-identical Stats and digest. Failed cells are
+// skipped — the differential oracle already reports them.
+func CheckDeterminism(rs Results, workers int) error {
+	cells := make([]Cell, 0, len(rs))
+	for _, r := range rs {
+		if r.Err == "" {
+			cells = append(cells, r.Cell)
+		}
+	}
+	eng := Engine{Workers: workers}
+	rerun, err := eng.Run(cells)
+	if err != nil {
+		return err
+	}
+	byIndex := make(map[int]Result, len(rs))
+	for _, r := range rs {
+		byIndex[r.Index] = r
+	}
+	var errs []error
+	for _, b := range rerun {
+		a := byIndex[b.Index]
+		switch {
+		case b.Err != "":
+			errs = append(errs, fmt.Errorf("%s: passed first run, failed re-run: %s", b.key(), b.Err))
+		case a.Stats != b.Stats:
+			errs = append(errs, fmt.Errorf("%s: Stats differ across identical re-runs:\n  first: %+v\n  rerun: %+v", b.key(), a.Stats, b.Stats))
+		case a.Digest != b.Digest:
+			errs = append(errs, fmt.Errorf("%s: digest differs across identical re-runs: %s vs %s", b.key(), a.Digest, b.Digest))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Conformance expands the matrix, runs it, and applies both oracles. The
+// first run streams to the given sinks (the determinism re-run does not —
+// its results duplicate the first run's on success). It returns the
+// first-run results (for reporting) along with the verdict.
+func Conformance(mx Matrix, workers int, sinks ...Sink) (Results, error) {
+	eng := Engine{Workers: workers, Sinks: sinks}
+	rs, err := eng.Run(mx.Cells())
+	if err != nil {
+		return rs, err
+	}
+	if err := CheckDifferential(rs); err != nil {
+		return rs, fmt.Errorf("differential oracle:\n%w", err)
+	}
+	if err := CheckDeterminism(rs, workers); err != nil {
+		return rs, fmt.Errorf("determinism oracle:\n%w", err)
+	}
+	return rs, nil
+}
+
+// Summary renders a one-paragraph human summary of a conformance run.
+func Summary(rs Results) string {
+	groups := make(map[groupKey]bool)
+	var cells, failed int
+	for _, r := range rs {
+		groups[groupKey{r.Workload, r.Threads, r.Seed, r.Geometry}] = true
+		cells++
+		if r.Err != "" {
+			failed++
+		}
+	}
+	return fmt.Sprintf("%d cells in %d conformance groups, %d failed", cells, len(groups), failed)
+}

@@ -1,0 +1,301 @@
+// Package sweep is the host-parallel execution engine beneath the paper's
+// evaluation: it expands a declarative job matrix (workloads × protocol
+// variants × thread counts × seeds × cache geometries) into independent
+// cells, runs each cell on its own freshly built commtm.Machine across a
+// bounded worker pool, and streams results — in deterministic cell order,
+// regardless of completion order — into structured sinks (JSON lines, CSV,
+// text tables).
+//
+// Every simulated machine is single-use and fully deterministic, so cells
+// are embarrassingly parallel on the host; the engine's only synchronization
+// is the work queue and an in-order emit buffer. The figure/table layer in
+// internal/harness and the differential conformance oracle in oracle.go
+// both run on top of this engine.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"commtm"
+)
+
+// Workload is the unit of benchmarking: it allocates and initializes
+// simulated memory, runs a per-thread body, and validates the final state
+// against a sequential reference. Instances are single-use; the matrix
+// carries constructors, not instances. (internal/harness aliases this
+// interface, so any harness workload runs under the engine unchanged.)
+type Workload interface {
+	Name() string
+	Setup(m *commtm.Machine)
+	Body(t *commtm.Thread)
+	Validate(m *commtm.Machine) error
+}
+
+// Digester is an optional Workload extension: a canonical digest of the
+// workload's semantic final state, under which any two semantically
+// equivalent outcomes digest equal. Workloads whose raw final memory is
+// timing-dependent (e.g. linked-list node linkage, heap layouts) implement
+// this so the differential oracle can compare protocols; workloads without
+// it are digested with Machine.MemDigest (raw architectural memory).
+type Digester interface {
+	DigestState(m *commtm.Machine) uint64
+}
+
+// Variant labels one protocol configuration of a cell.
+type Variant struct {
+	Label         string          `json:"label"`
+	Protocol      commtm.Protocol `json:"-"`
+	DisableGather bool            `json:"disable_gather,omitempty"`
+}
+
+// Geometry overrides the cache geometry of a cell; the zero value keeps the
+// paper's Table-I defaults.
+type Geometry struct {
+	Label   string `json:"label,omitempty"`
+	L1Bytes int    `json:"l1_bytes,omitempty"`
+	L1Ways  int    `json:"l1_ways,omitempty"`
+	L2Bytes int    `json:"l2_bytes,omitempty"`
+	L2Ways  int    `json:"l2_ways,omitempty"`
+}
+
+// IsDefault reports whether the geometry keeps all Table-I defaults.
+func (g Geometry) IsDefault() bool {
+	return g.L1Bytes == 0 && g.L1Ways == 0 && g.L2Bytes == 0 && g.L2Ways == 0
+}
+
+// WorkloadSpec names one workload family and how to build a fresh instance.
+type WorkloadSpec struct {
+	Name string
+	Mk   func() Workload
+}
+
+// Matrix is a declarative job matrix. Cells expands it into the full cross
+// product; empty Geometries means "default geometry only".
+type Matrix struct {
+	Workloads  []WorkloadSpec
+	Variants   []Variant
+	Threads    []int
+	Seeds      []uint64
+	Geometries []Geometry
+}
+
+// Cells expands the matrix into its cross product, in deterministic order:
+// workloads outermost, then geometries, threads, seeds, variants innermost
+// (so one conformance group — all variants of one configuration — is
+// contiguous).
+func (mx Matrix) Cells() []Cell {
+	geoms := mx.Geometries
+	if len(geoms) == 0 {
+		geoms = []Geometry{{}}
+	}
+	var cells []Cell
+	for _, w := range mx.Workloads {
+		for _, g := range geoms {
+			for _, th := range mx.Threads {
+				for _, seed := range mx.Seeds {
+					for _, v := range mx.Variants {
+						cells = append(cells, Cell{
+							Index:    len(cells),
+							Workload: w.Name,
+							Variant:  v,
+							Threads:  th,
+							Seed:     seed,
+							Geometry: g,
+							Mk:       w.Mk,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Cell is one independent simulation job: a fully specified machine
+// configuration plus a workload constructor.
+type Cell struct {
+	Index    int      `json:"index"`
+	Workload string   `json:"workload"`
+	Variant  Variant  `json:"variant"`
+	Threads  int      `json:"threads"`
+	Seed     uint64   `json:"seed"`
+	Geometry Geometry `json:"geometry,omitzero"`
+
+	Mk func() Workload `json:"-"`
+	// NoDigest skips the final-state digest (a full walk of simulated
+	// memory) for callers that only want Stats.
+	NoDigest bool `json:"-"`
+}
+
+// Config builds the machine configuration of the cell.
+func (c Cell) Config() commtm.Config {
+	return commtm.Config{
+		Threads:       c.Threads,
+		Protocol:      c.Variant.Protocol,
+		DisableGather: c.Variant.DisableGather,
+		Seed:          c.Seed,
+		L1Bytes:       c.Geometry.L1Bytes,
+		L1Ways:        c.Geometry.L1Ways,
+		L2Bytes:       c.Geometry.L2Bytes,
+		L2Ways:        c.Geometry.L2Ways,
+	}
+}
+
+// key identifies a cell's configuration for error messages.
+func (c Cell) key() string {
+	s := fmt.Sprintf("%s/%s/%dt/seed=%d", c.Workload, c.Variant.Label, c.Threads, c.Seed)
+	if !c.Geometry.IsDefault() {
+		s += "/" + c.Geometry.Label
+	}
+	return s
+}
+
+// Result is the outcome of one cell. All fields except WallNS are
+// deterministic functions of the cell, so two runs of the same matrix are
+// identical modulo wall-clock time.
+type Result struct {
+	Cell
+	Stats  commtm.Stats `json:"stats"`
+	Digest string       `json:"digest"` // canonical final-state digest, hex
+	Err    string       `json:"err,omitempty"`
+	WallNS int64        `json:"wall_ns"`
+}
+
+// Results is an engine run's outcome, ordered by cell index.
+type Results []Result
+
+// FirstErr returns the first failed cell's error, or nil.
+func (rs Results) FirstErr() error {
+	for _, r := range rs {
+		if r.Err != "" {
+			return fmt.Errorf("sweep: cell %s: %s", r.key(), r.Err)
+		}
+	}
+	return nil
+}
+
+// RunCell executes one cell synchronously: build the machine, set up and
+// run the workload, validate, and digest the final state. Panics from the
+// simulator or workload are captured into Result.Err so one bad cell cannot
+// take down a whole sweep.
+func RunCell(c Cell) (res Result) {
+	start := time.Now()
+	res = Result{Cell: c}
+	defer func() {
+		res.WallNS = time.Since(start).Nanoseconds()
+		if r := recover(); r != nil {
+			res.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	w := c.Mk()
+	m := commtm.New(c.Config())
+	w.Setup(m)
+	m.Run(w.Body)
+	res.Stats = m.Stats()
+	if err := w.Validate(m); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if !c.NoDigest {
+		var d uint64
+		if dg, ok := w.(Digester); ok {
+			d = dg.DigestState(m)
+		} else {
+			d = m.MemDigest()
+		}
+		res.Digest = fmt.Sprintf("%016x", d)
+	}
+	return res
+}
+
+// Engine runs cells on a bounded worker pool.
+type Engine struct {
+	// Workers bounds host parallelism; <= 0 means runtime.GOMAXPROCS(0),
+	// 1 runs strictly sequentially.
+	Workers int
+	// Sinks receive every result in cell-index order as soon as its ordered
+	// prefix completes, so streamed output is byte-identical between
+	// sequential and parallel runs (modulo wall-clock fields).
+	Sinks []Sink
+	// FailFast skips cells not yet started once any cell fails, so a broken
+	// workload surfaces without simulating the rest of the matrix. Skipped
+	// cells report Err; in-flight cells still finish. Leave false when
+	// every cell's verdict matters (the conformance oracle).
+	FailFast bool
+}
+
+// Run executes all cells and returns their results ordered by cell index.
+// Cell-level failures (validation errors, panics) are reported in the
+// results, not as an error; the returned error covers sink I/O only.
+func (e *Engine) Run(cells []Cell) (Results, error) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	results := make(Results, len(cells))
+	em := &emitter{results: results, sinks: e.Sinks}
+
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				if e.FailFast && failed.Load() {
+					em.put(i, Result{Cell: cells[i], Err: "skipped: earlier cell failed"})
+					continue
+				}
+				r := RunCell(cells[i])
+				if r.Err != "" {
+					failed.Store(true)
+				}
+				em.put(i, r)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, em.err
+}
+
+// emitter reorders completions back into cell-index order and forwards the
+// longest completed prefix to the sinks.
+type emitter struct {
+	mu      sync.Mutex
+	results Results
+	done    int // results[:done] flushed to sinks
+	pending map[int]bool
+	sinks   []Sink
+	err     error
+}
+
+func (em *emitter) put(i int, r Result) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	em.results[i] = r
+	if em.pending == nil {
+		em.pending = make(map[int]bool)
+	}
+	em.pending[i] = true
+	for em.pending[em.done] {
+		delete(em.pending, em.done)
+		for _, s := range em.sinks {
+			if err := s.Emit(em.results[em.done]); err != nil && em.err == nil {
+				em.err = fmt.Errorf("sweep: sink: %w", err)
+			}
+		}
+		em.done++
+	}
+}

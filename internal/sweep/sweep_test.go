@@ -1,0 +1,267 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"commtm"
+)
+
+// addWorkload is a minimal counter workload for engine plumbing tests.
+type addWorkload struct {
+	ops     int
+	threads int
+	ctr     commtm.Addr
+	add     commtm.LabelID
+}
+
+func (w *addWorkload) Name() string { return "add" }
+
+func (w *addWorkload) Setup(m *commtm.Machine) {
+	w.threads = m.Config().Threads
+	w.add = m.DefineLabel(commtm.AddLabel("ADD"))
+	w.ctr = m.AllocLines(1)
+}
+
+func (w *addWorkload) Body(t *commtm.Thread) {
+	for i := 0; i < w.ops/w.threads; i++ {
+		t.Txn(func() {
+			t.StoreL(w.ctr, w.add, t.LoadL(w.ctr, w.add)+1)
+		})
+	}
+}
+
+func (w *addWorkload) Validate(m *commtm.Machine) error {
+	want := uint64(w.ops / w.threads * w.threads)
+	if got := m.MemRead64(w.ctr); got != want {
+		return fmt.Errorf("counter %d != %d", got, want)
+	}
+	return nil
+}
+
+func testMatrix() Matrix {
+	return Matrix{
+		Workloads: []WorkloadSpec{{Name: "add", Mk: func() Workload { return &addWorkload{ops: 240} }}},
+		Variants: []Variant{
+			{Label: "Baseline", Protocol: commtm.Baseline},
+			{Label: "CommTM", Protocol: commtm.CommTM},
+		},
+		Threads: []int{1, 2, 4},
+		Seeds:   []uint64{1, 2},
+	}
+}
+
+func TestMatrixCells(t *testing.T) {
+	cells := testMatrix().Cells()
+	if len(cells) != 1*2*3*2 {
+		t.Fatalf("cells = %d, want 12", len(cells))
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d", i, c.Index)
+		}
+	}
+	// Variants innermost: one conformance group is contiguous.
+	if cells[0].Variant.Label != "Baseline" || cells[1].Variant.Label != "CommTM" {
+		t.Fatalf("variant order: %s, %s", cells[0].Variant.Label, cells[1].Variant.Label)
+	}
+	if cells[0].Threads != cells[1].Threads || cells[0].Seed != cells[1].Seed {
+		t.Fatal("adjacent variant cells differ in configuration")
+	}
+}
+
+func TestGeometryReachesMachine(t *testing.T) {
+	g := Geometry{Label: "tiny", L1Bytes: 8 * commtm.LineBytes, L1Ways: 2, L2Bytes: 16 * commtm.LineBytes, L2Ways: 2}
+	cfg := Cell{Threads: 2, Seed: 1, Geometry: g}.Config()
+	if cfg.L1Bytes != g.L1Bytes || cfg.L1Ways != g.L1Ways || cfg.L2Bytes != g.L2Bytes || cfg.L2Ways != g.L2Ways {
+		t.Fatalf("geometry not plumbed: %+v", cfg)
+	}
+	r := RunCell(Cell{
+		Variant: Variant{Label: "CommTM", Protocol: commtm.CommTM},
+		Threads: 2, Seed: 1, Geometry: g,
+		Mk: func() Workload { return &addWorkload{ops: 240} },
+	})
+	if r.Err != "" {
+		t.Fatalf("tiny-geometry cell failed: %s", r.Err)
+	}
+}
+
+// TestParallelMatchesSequential is the engine's core guarantee: worker
+// count changes wall-clock only, never results or sink bytes.
+func TestParallelMatchesSequential(t *testing.T) {
+	cells := testMatrix().Cells()
+	run := func(workers int) (Results, string, string) {
+		var jbuf, cbuf bytes.Buffer
+		jsink, csink := NewJSONL(&jbuf), NewCSV(&cbuf)
+		eng := Engine{Workers: workers, Sinks: []Sink{jsink, csink}}
+		rs, err := eng.Run(cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := csink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return rs, jbuf.String(), cbuf.String()
+	}
+	seqRs, seqJSON, seqCSV := run(1)
+	parRs, parJSON, parCSV := run(0)
+
+	if err := seqRs.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqRs {
+		if seqRs[i].Stats != parRs[i].Stats || seqRs[i].Digest != parRs[i].Digest {
+			t.Errorf("cell %d differs between sequential and parallel runs", i)
+		}
+	}
+	stripWall := regexp.MustCompile(`(?m)("wall_ns":[0-9]+|,[0-9]+$)`)
+	if got, want := stripWall.ReplaceAllString(parJSON, ""), stripWall.ReplaceAllString(seqJSON, ""); got != want {
+		t.Error("JSONL output differs between sequential and parallel runs (modulo wall_ns)")
+	}
+	if got, want := stripWall.ReplaceAllString(parCSV, ""), stripWall.ReplaceAllString(seqCSV, ""); got != want {
+		t.Error("CSV output differs between sequential and parallel runs (modulo wall_ns)")
+	}
+}
+
+func TestSinksReceiveCellsInOrder(t *testing.T) {
+	var buf bytes.Buffer
+	eng := Engine{Workers: 0, Sinks: []Sink{NewJSONL(&buf)}}
+	if _, err := eng.Run(testMatrix().Cells()); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	for i := 0; ; i++ {
+		var r Result
+		if err := dec.Decode(&r); err != nil {
+			if i != 12 {
+				t.Fatalf("decoded %d results, want 12", i)
+			}
+			break
+		}
+		if r.Index != i {
+			t.Fatalf("sink row %d has index %d: out of order", i, r.Index)
+		}
+	}
+}
+
+// panicWorkload panics mid-run; the engine must contain it in Result.Err.
+type panicWorkload struct{ addWorkload }
+
+func (w *panicWorkload) Body(*commtm.Thread) { panic("boom") }
+
+func TestCellPanicIsContained(t *testing.T) {
+	cells := []Cell{
+		{Index: 0, Workload: "panic", Variant: Variant{Label: "Baseline"}, Threads: 1, Seed: 1,
+			Mk: func() Workload { return &panicWorkload{addWorkload{ops: 1}} }},
+		{Index: 1, Workload: "add", Variant: Variant{Label: "Baseline"}, Threads: 1, Seed: 1,
+			Mk: func() Workload { return &addWorkload{ops: 240} }},
+	}
+	eng := Engine{Workers: 2}
+	rs, err := eng.Run(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rs[0].Err, "boom") {
+		t.Fatalf("panic not captured: %q", rs[0].Err)
+	}
+	if rs[1].Err != "" {
+		t.Fatalf("healthy cell poisoned by neighbor panic: %q", rs[1].Err)
+	}
+	if err := rs.FirstErr(); err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("FirstErr = %v", err)
+	}
+}
+
+func TestFailFastSkipsRemainingCells(t *testing.T) {
+	cells := make([]Cell, 6)
+	for i := range cells {
+		mk := func() Workload { return &addWorkload{ops: 240} }
+		if i == 0 {
+			mk = func() Workload { return &panicWorkload{addWorkload{ops: 1}} }
+		}
+		cells[i] = Cell{Index: i, Workload: "w", Variant: Variant{Label: "Baseline"}, Threads: 1, Seed: 1, Mk: mk}
+	}
+	eng := Engine{Workers: 1, FailFast: true}
+	rs, err := eng.Run(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rs[0].Err, "boom") {
+		t.Fatalf("failing cell err = %q", rs[0].Err)
+	}
+	for i := 1; i < len(rs); i++ {
+		if !strings.Contains(rs[i].Err, "skipped") {
+			t.Fatalf("cell %d ran after failure under FailFast: err=%q", i, rs[i].Err)
+		}
+	}
+	// FirstErr must surface the real failure, not a skip marker.
+	if err := rs.FirstErr(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("FirstErr = %v", err)
+	}
+}
+
+func TestDifferentialOracleCatchesDivergence(t *testing.T) {
+	mkRes := func(variant, digest string) Result {
+		return Result{
+			Cell:   Cell{Workload: "w", Variant: Variant{Label: variant}, Threads: 2, Seed: 1},
+			Digest: digest,
+		}
+	}
+	agree := Results{mkRes("A", "aa"), mkRes("B", "aa")}
+	if err := CheckDifferential(agree); err != nil {
+		t.Fatalf("agreeing digests rejected: %v", err)
+	}
+	diverge := Results{mkRes("A", "aa"), mkRes("B", "bb")}
+	err := CheckDifferential(diverge)
+	if err == nil {
+		t.Fatal("diverging digests accepted")
+	}
+	for _, needle := range []string{"A=aa", "B=bb", "w/2t/seed=1"} {
+		if !strings.Contains(err.Error(), needle) {
+			t.Errorf("error %q missing %q", err, needle)
+		}
+	}
+	failed := Results{mkRes("A", "aa"), {Cell: Cell{Workload: "w", Variant: Variant{Label: "B"}, Threads: 2, Seed: 1}, Err: "nope"}}
+	if err := CheckDifferential(failed); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("failed cell not reported: %v", err)
+	}
+}
+
+func TestDeterminismOracle(t *testing.T) {
+	eng := Engine{Workers: 0}
+	rs, err := eng.Run(testMatrix().Cells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDeterminism(rs, 0); err != nil {
+		t.Fatalf("deterministic engine flagged: %v", err)
+	}
+	// Tamper with a result: the oracle must notice.
+	tampered := append(Results(nil), rs...)
+	tampered[3].Stats.Commits++
+	if err := CheckDeterminism(tampered, 0); err == nil {
+		t.Fatal("tampered Stats not detected")
+	}
+}
+
+func TestTableSinkRenders(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewTable(&buf)
+	eng := Engine{Workers: 1, Sinks: []Sink{sink}}
+	if _, err := eng.Run(testMatrix().Cells()[:2]); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"workload", "Baseline", "CommTM", "add"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("table missing %q:\n%s", needle, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("table has %d lines, want header + 2 rows", lines)
+	}
+}

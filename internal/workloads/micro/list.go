@@ -35,8 +35,9 @@ type List struct {
 	pools   []commtm.Addr
 	poolOff []int
 
-	enqueued [][]uint64 // per-thread values enqueued
-	dequeued [][]uint64 // per-thread values dequeued
+	enqueued  [][]uint64 // per-thread values enqueued
+	dequeued  [][]uint64 // per-thread values dequeued
+	failedDeq []int      // per-thread dequeue attempts that found the list empty
 }
 
 // NewList builds the workload; deqFrac is the dequeue fraction. Mixed
@@ -89,6 +90,7 @@ func (l *List) Setup(m *commtm.Machine) {
 	l.poolOff = make([]int, l.threads)
 	l.enqueued = make([][]uint64, l.threads)
 	l.dequeued = make([][]uint64, l.threads)
+	l.failedDeq = make([]int, l.threads)
 	for i := 0; i < l.threads; i++ {
 		n := share(l.Ops, l.threads, i) + l.Prime + 1
 		l.pools[i] = m.Alloc(n*nodeBytes, commtm.LineBytes)
@@ -200,6 +202,8 @@ func (l *List) Body(t *commtm.Thread) {
 		if rng.Float64() < l.DeqFrac {
 			if v, ok := l.dequeue(t); ok {
 				l.dequeued[id] = append(l.dequeued[id], v)
+			} else {
+				l.failedDeq[id]++
 			}
 			continue
 		}
@@ -207,6 +211,56 @@ func (l *List) Body(t *commtm.Thread) {
 		l.enqueue(t, v)
 		l.enqueued[id] = append(l.enqueued[id], v)
 	}
+}
+
+// remaining walks the final list and returns its values. The walk is
+// bounded by the total enqueue count: a longer list means corrupted
+// linkage (a cycle), reported as an error.
+func (l *List) remaining(m *commtm.Machine) ([]uint64, error) {
+	head := l.headA
+	if l.commtmMode {
+		head = l.dsc
+	}
+	total := 0
+	for i := 0; i < l.threads; i++ {
+		total += len(l.enqueued[i])
+	}
+	var vals []uint64
+	for p := m.MemRead64(head); p != 0; p = m.MemRead64(commtm.Addr(p) + 8) {
+		vals = append(vals, m.MemRead64(commtm.Addr(p)))
+		if len(vals) > total {
+			return nil, fmt.Errorf("list longer than total enqueues (%d): cycle?", total)
+		}
+	}
+	return vals, nil
+}
+
+// DigestState implements sweep.Digester. Raw final memory is
+// schedule-dependent (node linkage and pool usage differ per protocol), so
+// the canonical state is the remaining list contents: for enqueue-only runs
+// the sorted multiset of remaining values (identical across protocols — the
+// enqueued values depend only on the per-thread RNG). For mixed runs,
+// *which* values were dequeued — and even how many, once a dequeue finds
+// the list empty — is a legitimate nondeterministic choice of semantically
+// commutative schedules; the exact protocol-invariant quantity is
+// remaining − failedDequeues = enqueues − dequeueAttempts, both sides of
+// which depend only on the per-thread RNG, at any scale.
+func (l *List) DigestState(m *commtm.Machine) uint64 {
+	vals, err := l.remaining(m)
+	if err != nil {
+		// Validate reports the corruption; digest it distinctly so a broken
+		// list can never collide with a healthy variant's digest.
+		return commtm.DigestWords([]uint64{^uint64(0)})
+	}
+	if l.DeqFrac > 0 {
+		failed := 0
+		for _, f := range l.failedDeq {
+			failed += f
+		}
+		return commtm.DigestWords([]uint64{uint64(int64(len(vals)) - int64(failed))})
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return commtm.DigestWords(append([]uint64{uint64(len(vals))}, vals...))
 }
 
 // Validate implements harness.Workload: the multiset of enqueued values
@@ -218,18 +272,11 @@ func (l *List) Validate(m *commtm.Machine) error {
 		want = append(want, l.enqueued[i]...)
 		got = append(got, l.dequeued[i]...)
 	}
-	head := l.headA
-	if l.commtmMode {
-		head = l.dsc
+	rem, err := l.remaining(m)
+	if err != nil {
+		return err
 	}
-	remaining := 0
-	for p := m.MemRead64(head); p != 0; p = m.MemRead64(commtm.Addr(p) + 8) {
-		got = append(got, m.MemRead64(commtm.Addr(p)))
-		remaining++
-		if remaining > len(want) {
-			return fmt.Errorf("list longer than total enqueues (%d): cycle?", len(want))
-		}
-	}
+	got = append(got, rem...)
 	if len(want) != len(got) {
 		return fmt.Errorf("enqueued %d values, accounted for %d", len(want), len(got))
 	}

@@ -182,6 +182,21 @@ func (tk *TopK) Body(t *commtm.Thread) {
 	}
 }
 
+// DigestState implements sweep.Digester. The heap's array layout and which
+// arena block ends up holding it are schedule-dependent, so the canonical
+// state is the sorted multiset of retained values.
+func (tk *TopK) DigestState(m *commtm.Machine) uint64 {
+	hb := commtm.Addr(m.MemRead64(tk.dsc))
+	size := int(m.MemRead64(tk.dsc + 8))
+	vals := make([]uint64, 0, size+1)
+	vals = append(vals, uint64(size))
+	for i := 0; i < size; i++ {
+		vals = append(vals, m.MemRead64(hb+commtm.Addr(i*8)))
+	}
+	sort.Slice(vals[1:], func(i, j int) bool { return vals[1+i] < vals[1+j] })
+	return commtm.DigestWords(vals)
+}
+
 // Validate implements harness.Workload: the final heap must hold exactly
 // the K largest inserted values (as a multiset).
 func (tk *TopK) Validate(m *commtm.Machine) error {

@@ -1,0 +1,99 @@
+package commtm_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"commtm"
+)
+
+// lineFrom carves one cache line (eight words) out of data at off,
+// zero-padding past the end.
+func lineFrom(data []byte, off int) commtm.Line {
+	var l commtm.Line
+	for i := range l {
+		var w [8]byte
+		copy(w[:], data[min(off+i*8, len(data)):])
+		l[i] = binary.LittleEndian.Uint64(w[:])
+	}
+	return l
+}
+
+// FuzzAddSplit checks the conservation law of the ADD label's splitter
+// (the paper's add_split, Sec. IV): splitting a local partial into a
+// donated line and a retained line must conserve each counter's total —
+// donated + retained = original, word for word (modulo 2^64, matching the
+// label's own addition) — and reducing the donation back must restore the
+// original partial exactly.
+func FuzzAddSplit(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint8(1))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, uint8(3))
+	f.Add([]byte{}, uint8(128))
+	spec := commtm.AddLabel("ADD")
+	f.Fuzz(func(t *testing.T, data []byte, sharers uint8) {
+		numSharers := int(sharers)%128 + 1
+		orig := lineFrom(data, 0)
+		local, out := orig, commtm.Line{} // out starts at the ADD identity
+		spec.Split(nil, &local, &out, numSharers)
+		for i := range orig {
+			if local[i]+out[i] != orig[i] {
+				t.Fatalf("word %d not conserved: retained %d + donated %d != original %d (sharers=%d)",
+					i, local[i], out[i], orig[i], numSharers)
+			}
+			if orig[i] > 0 && out[i] == 0 && orig[i] <= ^uint64(0)-uint64(numSharers)+1 {
+				t.Fatalf("word %d: nonzero counter %d donated nothing to %d sharers", i, orig[i], numSharers)
+			}
+		}
+		restored := local
+		spec.Reduce(nil, &restored, &out)
+		if restored != orig {
+			t.Fatalf("reduce(retained, donated) = %v, want original %v", restored, orig)
+		}
+	})
+}
+
+// FuzzReduceCommutes checks the algebraic heart of CommTM: every built-in
+// label's reduction must be commutative — Reduce(a, b) and Reduce(b, a)
+// must produce the same merged line — since the hardware applies partials
+// in an arbitrary (schedule-dependent) order. For OPUT, lines hold
+// (key, value) pairs and key ties are broken arbitrarily, so commutativity
+// is required on keys always and on values only when the keys differ.
+func FuzzReduceCommutes(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(make([]byte, 128))
+	seed := make([]byte, 128)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+	specs := []commtm.LabelSpec{
+		commtm.AddLabel("ADD"),
+		commtm.MinLabel("MIN"),
+		commtm.MaxLabel("MAX"),
+	}
+	oput := commtm.OPutLabel("OPUT")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := lineFrom(data, 0)
+		b := lineFrom(data, 64)
+		for _, spec := range specs {
+			ab, ba := a, b
+			spec.Reduce(nil, &ab, &b)
+			spec.Reduce(nil, &ba, &a)
+			if ab != ba {
+				t.Fatalf("%s: Reduce(a,b)=%v != Reduce(b,a)=%v\na=%v\nb=%v", spec.Name, ab, ba, a, b)
+			}
+		}
+		ab, ba := a, b
+		oput.Reduce(nil, &ab, &b)
+		oput.Reduce(nil, &ba, &a)
+		for i := 0; i < commtm.WordsPerLine; i += 2 {
+			if ab[i] != ba[i] {
+				t.Fatalf("OPUT: keys diverge at slot %d: %#x vs %#x", i/2, ab[i], ba[i])
+			}
+			if ab[i+1] != ba[i+1] && a[i] != b[i] {
+				t.Fatalf("OPUT: values diverge at slot %d without a key tie: %#x vs %#x (keys a=%#x b=%#x)",
+					i/2, ab[i+1], ba[i+1], a[i], b[i])
+			}
+		}
+	})
+}

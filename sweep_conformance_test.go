@@ -1,0 +1,51 @@
+package commtm_test
+
+import (
+	"testing"
+
+	"commtm/internal/experiments"
+	"commtm/internal/harness"
+	"commtm/internal/sweep"
+)
+
+// TestSweepConformance gates every CI run on the differential conformance
+// + determinism oracle: the reduced matrix (6 micro workloads × 3 protocol
+// variants × {1,8,32} threads × 2 seeds) runs on the parallel sweep engine,
+// and for every configuration all variants must pass their workload's own
+// validation and agree on a canonical digest of the semantic final state;
+// then every cell is re-run and must reproduce bit-identical Stats and
+// digest. Run with -race: the 108 cells also exercise the engine's host
+// parallelism across all cores.
+func TestSweepConformance(t *testing.T) {
+	o := harness.DefaultOptions()
+	o.Scale = 0.25
+	if testing.Short() {
+		o.Scale = 0.1
+	}
+	mx := experiments.ConformanceMatrix(o)
+
+	if got := len(mx.Workloads); got < 6 {
+		t.Fatalf("conformance matrix has %d workloads, want >= 6", got)
+	}
+	if got := len(mx.Variants); got != 3 {
+		t.Fatalf("conformance matrix has %d variants, want 3", got)
+	}
+	wantCells := len(mx.Workloads) * len(mx.Variants) * len(mx.Threads) * len(mx.Seeds)
+
+	rs, err := sweep.Conformance(mx, 0)
+	if err != nil {
+		t.Fatalf("conformance oracle failed:\n%v", err)
+	}
+	if len(rs) != wantCells {
+		t.Fatalf("ran %d cells, want %d", len(rs), wantCells)
+	}
+	t.Logf("conformance: %s", sweep.Summary(rs))
+}
+
+// TestConformanceExperimentRegistered keeps the oracle reachable from
+// cmd/commtm-bench -oracle.
+func TestConformanceExperimentRegistered(t *testing.T) {
+	if _, ok := harness.Get("conformance"); !ok {
+		t.Fatal("conformance experiment not registered")
+	}
+}
