@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -41,8 +43,62 @@ func main() {
 		jsonOut  = flag.String("json", "", "write per-cell results as JSON lines to this file")
 		csvOut   = flag.String("csv", "", "write per-cell results as CSV to this file")
 		oracle   = flag.Bool("oracle", false, "run the differential conformance + determinism oracle and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	// Profiling hooks for the performance methodology in EXPERIMENTS.md: the
+	// CPU profile covers every experiment the invocation runs; the heap
+	// profile is snapshotted after a final GC so it reflects the sweeps'
+	// allocation behavior. stopProfiles runs on every exit path (fail uses
+	// os.Exit, which skips defers), so profiles survive failed runs too.
+	stopProfiles := func() {}
+	// exitWith finalizes profiles before exiting; os.Exit skips defers, so
+	// every post-profiling exit path must go through it (or fail, below).
+	exitWith := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
+	if *cpuProf != "" || *memProf != "" {
+		var cpuFile *os.File
+		if *cpuProf != "" {
+			f, err := os.Create(*cpuProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cannot create %s: %v\n", *cpuProf, err)
+				os.Exit(2)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "cpu profile: %v\n", err)
+				os.Exit(2)
+			}
+			cpuFile = f
+		}
+		stopped := false
+		stopProfiles = func() {
+			if stopped {
+				return
+			}
+			stopped = true
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if *memProf != "" {
+				f, err := os.Create(*memProf)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "cannot create %s: %v\n", *memProf, err)
+					return
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+				}
+			}
+		}
+		defer stopProfiles()
+	}
 	_ = experiments.Description // link the registry
 
 	if *list || (*exp == "" && !*oracle) {
@@ -67,7 +123,7 @@ func main() {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n <= 0 {
 				fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
-				os.Exit(2)
+				exitWith(2)
 			}
 			opts.Threads = append(opts.Threads, n)
 		}
@@ -78,7 +134,7 @@ func main() {
 		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cannot create %s: %v\n", path, err)
-			os.Exit(2)
+			exitWith(2)
 		}
 		s := mk(f)
 		opts.Sinks = append(opts.Sinks, s)
@@ -111,11 +167,12 @@ func main() {
 
 	// fail prints the diagnostic first (a sink-close error must never
 	// swallow it), then flushes the sinks so rows for already-completed
-	// cells — including the failing ones — reach the output files.
+	// cells — including the failing ones — reach the output files, and
+	// finalizes any profiles before os.Exit skips the deferred stop.
 	fail := func(code int, format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format, args...)
 		closeSinks()
-		os.Exit(code)
+		exitWith(code)
 	}
 
 	if *oracle {
@@ -134,7 +191,7 @@ func main() {
 			fail(1, "conformance oracle FAILED:\n%v\n", err)
 		}
 		if !closeSinks() {
-			os.Exit(1)
+			exitWith(1)
 		}
 		fmt.Print(out)
 		fmt.Printf("(oracle completed in %v)\n", time.Since(start).Round(time.Millisecond))
@@ -166,6 +223,6 @@ func main() {
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	if !closeSinks() {
-		os.Exit(1)
+		exitWith(1)
 	}
 }

@@ -229,8 +229,7 @@ func digestWord(h, w uint64) uint64 {
 // safe at any point where the backing store is authoritative.
 func (m *Machine) MemDigest() uint64 {
 	h := uint64(fnvOffset64)
-	for _, a := range m.store.Addrs() {
-		l, _ := m.store.Peek(a)
+	m.store.ForEach(func(a Addr, l *Line) {
 		zero := true
 		for _, w := range l {
 			if w != 0 {
@@ -239,13 +238,13 @@ func (m *Machine) MemDigest() uint64 {
 			}
 		}
 		if zero {
-			continue
+			return
 		}
 		h = digestWord(h, uint64(a))
 		for _, w := range l {
 			h = digestWord(h, w)
 		}
-	}
+	})
 	return h
 }
 

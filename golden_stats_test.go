@@ -1,0 +1,138 @@
+package commtm_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"commtm"
+	"commtm/internal/experiments"
+	"commtm/internal/harness"
+	"commtm/internal/sweep"
+)
+
+// updateGolden regenerates testdata/golden_conformance.json from the current
+// simulator. Legitimate uses only: an intentional, documented model change
+// (new latency parameter, protocol fix). Performance refactors must NOT need
+// it — the whole point of the golden gate is that hot-path work reproduces
+// these numbers bit-identically. See EXPERIMENTS.md "Performance methodology".
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_conformance.json from the current simulator")
+
+const goldenPath = "testdata/golden_conformance.json"
+
+// goldenCell is one recorded cell of the reduced conformance matrix:
+// identity, full Stats block, and the canonical final-state digest.
+type goldenCell struct {
+	Workload string       `json:"workload"`
+	Variant  string       `json:"variant"`
+	Threads  int          `json:"threads"`
+	Seed     uint64       `json:"seed"`
+	Stats    commtm.Stats `json:"stats"`
+	Digest   string       `json:"digest"`
+}
+
+func goldenKey(workload, variant string, threads int, seed uint64) string {
+	return fmt.Sprintf("%s/%s/%dt/seed=%d", workload, variant, threads, seed)
+}
+
+// goldenOptions fixes the golden matrix shape. Scale is pinned (not tied to
+// testing.Short) because the recorded numbers are only meaningful at one
+// input size.
+func goldenOptions() harness.Options {
+	o := harness.DefaultOptions()
+	o.Scale = 0.25
+	return o
+}
+
+func runGoldenMatrix(t *testing.T) sweep.Results {
+	t.Helper()
+	mx := experiments.ConformanceMatrix(goldenOptions())
+	eng := sweep.Engine{Workers: 0}
+	rs, err := eng.Run(mx.Cells())
+	if err != nil {
+		t.Fatalf("golden matrix run failed: %v", err)
+	}
+	if err := rs.FirstErr(); err != nil {
+		t.Fatalf("golden matrix cell failed: %v", err)
+	}
+	return rs
+}
+
+// TestGoldenConformance gates hot-path refactors on cycle-exactness: every
+// cell of the reduced conformance matrix (6 workloads × 3 variants ×
+// {1,8,32} threads × 2 seeds) must reproduce the committed per-cell Stats
+// and memory digests bit-identically. Any divergence is a real behavior
+// change — root-cause it rather than re-baselining (ISSUE 2 satellite:
+// golden drift gets its own fix + regression test).
+func TestGoldenConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix runs at fixed scale; skipped in -short")
+	}
+	rs := runGoldenMatrix(t)
+
+	if *updateGolden {
+		cells := make([]goldenCell, 0, len(rs))
+		for _, r := range rs {
+			cells = append(cells, goldenCell{
+				Workload: r.Workload,
+				Variant:  r.Variant.Label,
+				Threads:  r.Threads,
+				Seed:     r.Seed,
+				Stats:    r.Stats,
+				Digest:   r.Digest,
+			})
+		}
+		buf, err := json.MarshalIndent(cells, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden cells to %s", len(cells), goldenPath)
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update-golden at a trusted revision): %v", err)
+	}
+	var cells []goldenCell
+	if err := json.Unmarshal(buf, &cells); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", goldenPath, err)
+	}
+	want := make(map[string]goldenCell, len(cells))
+	for _, c := range cells {
+		want[goldenKey(c.Workload, c.Variant, c.Threads, c.Seed)] = c
+	}
+	if len(want) != len(rs) {
+		t.Errorf("golden file has %d cells, matrix produced %d", len(want), len(rs))
+	}
+	mismatches := 0
+	for _, r := range rs {
+		key := goldenKey(r.Workload, r.Variant.Label, r.Threads, r.Seed)
+		g, ok := want[key]
+		if !ok {
+			t.Errorf("%s: no golden record", key)
+			continue
+		}
+		if r.Stats != g.Stats {
+			mismatches++
+			t.Errorf("%s: Stats drifted from golden:\n  golden: %+v\n  got:    %+v", key, g.Stats, r.Stats)
+		}
+		if r.Digest != g.Digest {
+			mismatches++
+			t.Errorf("%s: digest drifted from golden: want %s, got %s", key, g.Digest, r.Digest)
+		}
+		if mismatches > 6 {
+			t.Fatalf("too many golden mismatches; stopping after %d", mismatches)
+		}
+	}
+}

@@ -47,9 +47,12 @@ func (s State) String() string {
 const NoLabel int8 = -1
 
 // LineMeta is one cache way: tag, protocol state, speculative footprint
-// bits, and the data payload.
+// bits, and the data payload. The metadata the victim scan reads (Tag,
+// State, lru) leads the struct so the scan touches only each way's first
+// few words, not its data payload.
 type LineMeta struct {
 	Tag   mem.Addr // line-aligned address; valid iff State != Invalid
+	lru   uint64
 	State State
 	Label int8 // label id when State == ReducibleU, else NoLabel
 	Dirty bool // data differs from the next level
@@ -62,8 +65,6 @@ type LineMeta struct {
 	SpecLabeled bool
 
 	Data mem.Line
-
-	lru uint64
 }
 
 // SpecAny reports whether the line is in the current transaction's read,
@@ -73,16 +74,26 @@ func (l *LineMeta) SpecAny() bool { return l.SpecRead || l.SpecWritten || l.Spec
 // ClearSpec resets all speculative footprint bits.
 func (l *LineMeta) ClearSpec() { l.SpecRead, l.SpecWritten, l.SpecLabeled = false, false, false }
 
-// Cache is a set-associative array with LRU replacement.
+// Cache is a set-associative array with LRU replacement. All ways live in
+// one flat slice, way-major within each set; lookups index it directly with
+// no per-set slice header indirection. A packed side array of tags mirrors
+// LineMeta.Tag so the lookup scan touches one cache line per set instead of
+// striding across the full (data-carrying) LineMeta records; tags change
+// only inside Insert and Invalidate, which keep the mirror in sync.
 type Cache struct {
-	sets    [][]LineMeta
+	lines   []LineMeta // nsets × ways
+	tags    []mem.Addr // tags[i] == lines[i].Tag, always
 	ways    int
-	setMask mem.Addr
+	setMask uint64
 	tick    uint64
 }
 
 // New builds a cache of sizeBytes with the given associativity over 64-byte
 // lines. sizeBytes must yield a power-of-two number of sets.
+//
+// Fresh ways are left at their zero value (State Invalid): their Label and
+// Tag fields are never read while Invalid, and Insert sets both explicitly,
+// so construction does not write the whole array.
 func New(sizeBytes, ways int) *Cache {
 	lines := sizeBytes / mem.LineBytes
 	if lines <= 0 || lines%ways != 0 {
@@ -92,32 +103,33 @@ func New(sizeBytes, ways int) *Cache {
 	if nsets&(nsets-1) != 0 {
 		panic(fmt.Sprintf("cache: %d sets is not a power of two", nsets))
 	}
-	sets := make([][]LineMeta, nsets)
-	backing := make([]LineMeta, nsets*ways)
-	for i := range sets {
-		sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
-		for w := range sets[i] {
-			sets[i][w].Label = NoLabel
-		}
+	return &Cache{
+		lines:   make([]LineMeta, lines),
+		tags:    make([]mem.Addr, lines),
+		ways:    ways,
+		setMask: uint64(nsets - 1),
 	}
-	return &Cache{sets: sets, ways: ways, setMask: mem.Addr(nsets - 1)}
 }
 
 // Sets returns the number of sets; Ways the associativity.
-func (c *Cache) Sets() int { return len(c.sets) }
+func (c *Cache) Sets() int { return len(c.lines) / c.ways }
 func (c *Cache) Ways() int { return c.ways }
 
-func (c *Cache) setOf(la mem.Addr) []LineMeta {
-	return c.sets[(la/mem.LineBytes)&c.setMask]
+// setBase returns the flat index of la's set's first way.
+func (c *Cache) setBase(la mem.Addr) int {
+	return int((uint64(la)/mem.LineBytes)&c.setMask) * c.ways
 }
 
 // Lookup returns the line holding la, or nil. It does not update LRU state;
 // callers that hit should call Touch.
 func (c *Cache) Lookup(la mem.Addr) *LineMeta {
-	set := c.setOf(la)
-	for i := range set {
-		if set[i].State != Invalid && set[i].Tag == la {
-			return &set[i]
+	base := c.setBase(la)
+	for i, t := range c.tags[base : base+c.ways] {
+		// A tag match must be confirmed against the way's state: an empty
+		// way's zero tag collides with the (legitimate) line address 0, and
+		// a just-inserted way is Invalid until its caller initializes it.
+		if t == la && c.lines[base+i].State != Invalid {
+			return &c.lines[base+i]
 		}
 	}
 	return nil
@@ -136,31 +148,36 @@ func (c *Cache) Touch(l *LineMeta) {
 // force a reduction) or speculative lines (whose eviction aborts the
 // transaction). Avoided ways are chosen only when every way is avoided.
 func (c *Cache) Victim(la mem.Addr, avoid func(*LineMeta) bool) *LineMeta {
-	set := c.setOf(la)
+	return &c.lines[c.victimIdx(la, avoid)]
+}
+
+// victimIdx returns the flat index of the way Victim would select.
+func (c *Cache) victimIdx(la mem.Addr, avoid func(*LineMeta) bool) int {
+	base := c.setBase(la)
+	set := c.lines[base : base+c.ways]
 	for i := range set {
 		if set[i].State == Invalid {
-			return &set[i]
+			return base + i
 		}
 	}
-	var best *LineMeta
+	best := -1
 	for i := range set {
 		w := &set[i]
 		if avoid != nil && avoid(w) {
 			continue
 		}
-		if best == nil || w.lru < best.lru {
-			best = w
+		if best < 0 || w.lru < set[best].lru {
+			best = i
 		}
 	}
-	if best == nil { // every way avoided; fall back to plain LRU
+	if best < 0 { // every way avoided; fall back to plain LRU
 		for i := range set {
-			w := &set[i]
-			if best == nil || w.lru < best.lru {
-				best = w
+			if best < 0 || set[i].lru < set[best].lru {
+				best = i
 			}
 		}
 	}
-	return best
+	return base + best
 }
 
 // AvoidU is a Victim predicate that skips U-state lines.
@@ -175,36 +192,44 @@ func AvoidSpecOrU(l *LineMeta) bool { return l.SpecAny() || l.State == Reducible
 
 // Insert installs la into the cache, evicting the victim way if it holds a
 // valid line. It returns the installed line (already tagged, state Invalid
-// for the caller to initialize) and a copy of the evicted line metadata, if
-// any. The caller is responsible for protocol actions on the eviction.
-func (c *Cache) Insert(la mem.Addr, avoid func(*LineMeta) bool) (inserted *LineMeta, evicted *LineMeta) {
+// for the caller to initialize) and reports whether a valid line was
+// evicted; when one was, its metadata is copied into *evOut (which must be
+// non-nil and may point to caller stack or reused scratch — Insert never
+// retains it, keeping the path allocation-free). The caller is responsible
+// for protocol actions on the eviction.
+func (c *Cache) Insert(la mem.Addr, avoid func(*LineMeta) bool, evOut *LineMeta) (inserted *LineMeta, hadVictim bool) {
 	if got := c.Lookup(la); got != nil {
 		panic(fmt.Sprintf("cache: Insert of already-present line %#x", uint64(la)))
 	}
-	w := c.Victim(la, avoid)
+	i := c.victimIdx(la, avoid)
+	w := &c.lines[i]
 	if w.State != Invalid {
-		ev := *w // copy out for the caller
-		evicted = &ev
+		*evOut = *w
+		hadVictim = true
 	}
 	*w = LineMeta{Tag: la, State: Invalid, Label: NoLabel}
+	c.tags[i] = la
 	c.Touch(w)
-	return w, evicted
+	return w, hadVictim
 }
 
 // Invalidate drops la from the cache if present.
 func (c *Cache) Invalidate(la mem.Addr) {
-	if l := c.Lookup(la); l != nil {
-		*l = LineMeta{Label: NoLabel}
+	base := c.setBase(la)
+	for i, t := range c.tags[base : base+c.ways] {
+		if t == la && c.lines[base+i].State != Invalid {
+			c.lines[base+i] = LineMeta{Label: NoLabel}
+			c.tags[base+i] = 0
+			return
+		}
 	}
 }
 
 // ForEach calls fn for every valid line. fn must not insert or invalidate.
 func (c *Cache) ForEach(fn func(*LineMeta)) {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			if c.sets[s][w].State != Invalid {
-				fn(&c.sets[s][w])
-			}
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			fn(&c.lines[i])
 		}
 	}
 }

@@ -22,8 +22,9 @@ func TestGeometry(t *testing.T) {
 
 func TestInsertLookup(t *testing.T) {
 	c := New(4096, 4) // 16 sets
-	l, ev := c.Insert(la(3), nil)
-	if ev != nil {
+	var ev LineMeta
+	l, evicted := c.Insert(la(3), nil, &ev)
+	if evicted {
 		t.Fatal("eviction from empty cache")
 	}
 	l.State = Modified
@@ -39,29 +40,30 @@ func TestInsertLookup(t *testing.T) {
 
 func TestDoubleInsertPanics(t *testing.T) {
 	c := New(4096, 4)
-	l, _ := c.Insert(la(1), nil)
+	l, _ := c.Insert(la(1), nil, new(LineMeta))
 	l.State = Shared
 	defer func() {
 		if recover() == nil {
 			t.Fatal("double insert did not panic")
 		}
 	}()
-	c.Insert(la(1), nil)
+	c.Insert(la(1), nil, new(LineMeta))
 }
 
 func TestLRUEviction(t *testing.T) {
 	c := New(4*mem.LineBytes, 4) // 1 set, 4 ways
 	for i := 0; i < 4; i++ {
-		l, ev := c.Insert(la(i), nil)
+		l, evicted := c.Insert(la(i), nil, new(LineMeta))
 		l.State = Shared
-		if ev != nil {
+		if evicted {
 			t.Fatalf("unexpected eviction inserting %d", i)
 		}
 	}
 	// Touch line 0 so line 1 becomes LRU.
 	c.Touch(c.Lookup(la(0)))
-	_, ev := c.Insert(la(10), nil)
-	if ev == nil || ev.Tag != la(1) {
+	var ev LineMeta
+	_, evicted := c.Insert(la(10), nil, &ev)
+	if !evicted || ev.Tag != la(1) {
 		t.Fatalf("evicted %+v, want line 1", ev)
 	}
 	if c.Lookup(la(1)) != nil {
@@ -71,7 +73,7 @@ func TestLRUEviction(t *testing.T) {
 
 func TestVictimPrefersInvalid(t *testing.T) {
 	c := New(4*mem.LineBytes, 4)
-	l, _ := c.Insert(la(0), nil)
+	l, _ := c.Insert(la(0), nil, new(LineMeta))
 	l.State = Modified
 	v := c.Victim(la(5), nil)
 	if v.State != Invalid {
@@ -82,7 +84,7 @@ func TestVictimPrefersInvalid(t *testing.T) {
 func TestVictimAvoidsU(t *testing.T) {
 	c := New(4*mem.LineBytes, 4)
 	for i := 0; i < 4; i++ {
-		l, _ := c.Insert(la(i), nil)
+		l, _ := c.Insert(la(i), nil, new(LineMeta))
 		if i < 3 {
 			l.State = ReducibleU
 			l.Label = 0
@@ -106,7 +108,7 @@ func TestVictimAvoidsU(t *testing.T) {
 
 func TestInvalidate(t *testing.T) {
 	c := New(4096, 4)
-	l, _ := c.Insert(la(2), nil)
+	l, _ := c.Insert(la(2), nil, new(LineMeta))
 	l.State = Exclusive
 	c.Invalidate(la(2))
 	if c.Lookup(la(2)) != nil {
@@ -144,9 +146,10 @@ func TestCacheInvariants(t *testing.T) {
 				c.Touch(c.Lookup(laddr))
 				continue
 			}
-			l, ev := c.Insert(laddr, nil)
+			var ev LineMeta
+			l, evicted := c.Insert(laddr, nil, &ev)
 			l.State = Shared
-			if ev != nil {
+			if evicted {
 				if !live[ev.Tag] {
 					return false // evicted something never live
 				}

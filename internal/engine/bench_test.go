@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkKernelYield measures the cost of the kernel's scheduling step:
+// procs at staggered clocks stalling in lockstep, so every Stall is a real
+// proc-to-proc switch through the run queue. This is the path that used to
+// pay two channel operation pairs plus a scheduler-goroutine hop per yield.
+func BenchmarkKernelYield(b *testing.B) {
+	for _, procs := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("procs-%d", procs), func(b *testing.B) {
+			k := NewKernel(procs, 1)
+			iters := b.N/procs + 1
+			b.ResetTimer()
+			k.Run(func(p *Proc) {
+				for i := 0; i < iters; i++ {
+					p.Stall(10)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkKernelYieldSelf measures the self-resumption fast path: a single
+// proc's Stall never needs a context switch at all.
+func BenchmarkKernelYieldSelf(b *testing.B) {
+	k := NewKernel(1, 1)
+	b.ResetTimer()
+	k.Run(func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Stall(10)
+		}
+	})
+}
+
+// BenchmarkBarrier measures the all-threads rendezvous: every proc blocks,
+// the kernel releases the cohort at the max clock, and all re-enter the run
+// queue.
+func BenchmarkBarrier(b *testing.B) {
+	for _, procs := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("procs-%d", procs), func(b *testing.B) {
+			k := NewKernel(procs, 1)
+			iters := b.N/procs + 1
+			b.ResetTimer()
+			k.Run(func(p *Proc) {
+				for i := 0; i < iters; i++ {
+					p.Stall(uint64(1 + p.ID))
+					p.Barrier()
+				}
+			})
+		})
+	}
+}

@@ -1,6 +1,6 @@
 // Package engine provides the deterministic execution kernel of the
 // simulator. Each simulated core runs its workload as a Go closure on its
-// own goroutine, but the kernel schedules exactly one core at a time — the
+// own coroutine, but the kernel schedules exactly one core at a time — the
 // runnable core with the smallest (clock, id) — so all simulator state can
 // be mutated without locks and every run is bit-identical for a given seed.
 //
@@ -9,10 +9,23 @@
 // does not yield to the scheduler unless the core has run too far ahead of
 // its last scheduling point; Stall always yields. Barrier implements the
 // usual all-threads rendezvous used between parallel phases.
+//
+// The kernel is a pull scheduler over coroutines (iter.Pull), not a
+// goroutine pool: parked runnable procs sit in a min-heap keyed on
+// (clock, id), the scheduling loop resumes the heap minimum with a direct
+// coroutine switch, and a yielding proc whose clock is still the smallest
+// keeps running with no switch at all. Coroutine switches stay on one
+// goroutine and never enter the Go runtime scheduler, eliminating the
+// channel rendezvous, goroutine parking, and OS-thread wakeups that used to
+// account for a third of simulation wall-clock (two channel operation pairs
+// plus a scheduler-goroutine hop per yield). It also makes the kernel
+// single-threaded by construction: no locks, no atomics, nothing for the
+// race detector to even watch.
 package engine
 
 import (
 	"fmt"
+	"iter"
 
 	"commtm/internal/xrand"
 )
@@ -48,19 +61,29 @@ type Proc struct {
 	lastYield  uint64
 	waitCycles uint64 // cycles spent blocked at barriers
 	status     status
-	resume     chan struct{}
+
+	// coroutine controls: resume re-enters the proc body until its next
+	// yield (ok=false once the body has returned); interrupt makes a parked
+	// proc's pending yield report a drain, unwinding the body via drainSig.
+	resume    func() (struct{}, bool)
+	interrupt func()
+	yieldFn   func(struct{}) bool
 }
 
 // Kernel owns the procs of one parallel region and schedules them.
 type Kernel struct {
-	procs    []*Proc
-	sched    chan struct{}
-	panicVal any
+	procs []*Proc
+	// runq is a min-heap on (clock, id) of parked runnable procs. The
+	// currently running proc is never in it; blocked and done procs leave it
+	// until releaseBarrier re-inserts them. (clock, id) is a total order —
+	// ids are unique — so pop order is deterministic and identical to a
+	// linear min-scan.
+	runq     []*Proc
 	running  bool
 	draining bool
 }
 
-// drainSig unwinds a proc goroutine during panic drain; it must never be
+// drainSig unwinds a proc coroutine during panic drain; it must never be
 // swallowed by workload code (transaction recovery re-panics non-abort
 // values, so it passes through).
 type drainSig struct{}
@@ -70,7 +93,7 @@ func NewKernel(n int, seed uint64) *Kernel {
 	if n <= 0 {
 		panic("engine: kernel needs at least one proc")
 	}
-	k := &Kernel{sched: make(chan struct{})}
+	k := &Kernel{runq: make([]*Proc, 0, n)}
 	for i := 0; i < n; i++ {
 		k.procs = append(k.procs, &Proc{
 			ID: i,
@@ -79,7 +102,6 @@ func NewKernel(n int, seed uint64) *Kernel {
 			Rand:    xrand.Derive(seed, uint64(i)),
 			SysRand: xrand.Derive(seed, uint64(i)+1<<32),
 			k:       k,
-			resume:  make(chan struct{}),
 		})
 	}
 	return k
@@ -94,6 +116,58 @@ func (k *Kernel) Proc(i int) *Proc { return k.procs[i] }
 // Clock returns proc i's current local clock.
 func (p *Proc) Clock() uint64 { return p.clock }
 
+// procLess is the scheduling order: smallest (clock, id) runs next.
+func procLess(a, b *Proc) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.ID < b.ID)
+}
+
+// push inserts p into the run queue. p's clock must be stable until it is
+// popped (parked procs never change their own clocks, so it is).
+func (k *Kernel) push(p *Proc) {
+	q := append(k.runq, p)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !procLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	k.runq = q
+}
+
+// pop removes and returns the run-queue minimum, or nil when empty.
+func (k *Kernel) pop() *Proc {
+	q := k.runq
+	n := len(q) - 1
+	if n < 0 {
+		return nil
+	}
+	top := q[0]
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && procLess(q[r], q[l]) {
+			m = r
+		}
+		if !procLess(q[m], q[i]) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	k.runq = q
+	return top
+}
+
 // Run executes body once per proc, scheduling deterministically until every
 // proc returns. It panics if any body panics (with the original value) or
 // if Run is re-entered.
@@ -103,11 +177,10 @@ func (k *Kernel) Run(body func(p *Proc)) {
 	}
 	k.running = true
 	defer func() { k.running = false }()
-	// Any panic leaving the scheduler — a proc body's, or one of the
-	// kernel's own invariant panics — must first unwind every parked proc
-	// goroutine, or each one leaks and pins the whole machine. Whenever the
-	// scheduler is executing, every live proc is parked on <-p.resume, so
-	// draining here is always safe.
+	// Any panic leaving the scheduling loop — a proc body's (propagated out
+	// of resume), or one of the kernel's own invariant panics — must first
+	// unwind every parked proc coroutine, or each one leaks and pins the
+	// whole machine.
 	defer func() {
 		if r := recover(); r != nil {
 			k.drain()
@@ -117,72 +190,73 @@ func (k *Kernel) Run(body func(p *Proc)) {
 
 	for _, p := range k.procs {
 		p.status = statusRunnable
-		go func(p *Proc) {
-			defer func() {
-				if r := recover(); r != nil {
-					if _, unwind := r.(drainSig); !unwind && k.panicVal == nil {
-						k.panicVal = fmt.Sprintf("engine: proc %d panicked: %v", p.ID, r)
-					}
-				}
-				p.status = statusDone
-				k.sched <- struct{}{}
-			}()
-			<-p.resume
-			if !k.draining {
-				body(p)
-			}
-		}(p)
+		p.resume, p.interrupt = newCoro(k, p, body)
+		k.push(p)
 	}
 
 	for {
-		best := k.pickRunnable()
-		if best == nil {
+		next := k.pop()
+		if next == nil {
 			if k.allDone() {
-				break
+				return
 			}
 			k.releaseBarrier()
 			continue
 		}
-		best.resume <- struct{}{}
-		<-k.sched
-		if k.panicVal != nil {
-			panic(k.panicVal) // the deferred drain unwinds the other procs
-		}
+		// Resume runs the proc until its next yield; a yielding proc
+		// re-inserts itself into the run queue before switching back here.
+		// A body panic propagates out of resume into the drain defer above.
+		next.resume()
 	}
 }
 
-// drain resumes every unfinished proc in drain mode: its next yield (or its
-// initial resume, if it never started) panics with drainSig, unwinding the
-// goroutine cleanly through the usual done path.
+// newCoro builds p's body coroutine. The returned resume runs the body up
+// to its next yield; interrupt makes the pending (or initial) yield unwind
+// the body via drainSig, which the wrapper converts into a clean return so
+// interrupt itself never panics.
+func newCoro(k *Kernel, p *Proc, body func(p *Proc)) (resume func() (struct{}, bool), interrupt func()) {
+	next, stop := iter.Pull(func(yield func(struct{}) bool) {
+		p.yieldFn = yield
+		defer func() {
+			p.status = statusDone
+			if r := recover(); r != nil {
+				if _, unwind := r.(drainSig); unwind {
+					return
+				}
+				if k.draining {
+					// Secondary panic from a workload's deferred cleanup
+					// while drainSig unwound its body. Re-panicking here
+					// would abort the drain (leaking the remaining procs)
+					// and replace the original panic, so drop it — the
+					// panic that started the drain is the one Run reports.
+					return
+				}
+				// Real panic: re-panic so it reaches Run's scheduling loop
+				// (iter.Pull forwards it out of resume), tagged with the
+				// proc that died.
+				panic(fmt.Sprintf("engine: proc %d panicked: %v", p.ID, r))
+			}
+		}()
+		if !k.draining {
+			body(p)
+		}
+	})
+	return next, func() {
+		stop()
+		p.status = statusDone // never-started procs have no deferred marker
+	}
+}
+
+// drain unwinds every unfinished proc coroutine: its next yield (or its
+// initial resume, if it never started) panics with drainSig, which the
+// coroutine wrapper converts into a normal return.
 func (k *Kernel) drain() {
 	k.draining = true
-	for {
-		var target *Proc
-		for _, p := range k.procs {
-			if p.status != statusDone {
-				target = p
-				break
-			}
-		}
-		if target == nil {
-			return
-		}
-		target.resume <- struct{}{}
-		<-k.sched
-	}
-}
-
-func (k *Kernel) pickRunnable() *Proc {
-	var best *Proc
 	for _, p := range k.procs {
-		if p.status != statusRunnable {
-			continue
-		}
-		if best == nil || p.clock < best.clock || (p.clock == best.clock && p.ID < best.ID) {
-			best = p
+		if p.status != statusDone {
+			p.interrupt()
 		}
 	}
-	return best
 }
 
 func (k *Kernel) allDone() bool {
@@ -216,17 +290,30 @@ func (k *Kernel) releaseBarrier() {
 			p.clock = maxClock
 			p.lastYield = maxClock
 			p.status = statusRunnable
+			k.push(p)
 		}
 	}
 }
 
-// yield hands control back to the scheduler and waits to be resumed.
-func (p *Proc) yield() {
-	p.k.sched <- struct{}{}
-	<-p.resume
-	if p.k.draining {
+// park switches back to the scheduling loop and blocks until the proc is
+// resumed; a false return from the coroutine yield means the kernel is
+// unwinding, which drainSig converts into the proc's clean exit.
+func (p *Proc) park() {
+	if !p.yieldFn(struct{}{}) {
 		panic(drainSig{})
 	}
+}
+
+// yield gives other procs a chance to run while p remains runnable. If p is
+// still the earliest runnable proc it keeps running with no context switch
+// at all — the scheduler would pick it again anyway.
+func (p *Proc) yield() {
+	k := p.k
+	if len(k.runq) == 0 || procLess(p, k.runq[0]) {
+		return
+	}
+	k.push(p)
+	p.park()
 }
 
 // Tick advances the local clock by cycles of purely local work. It yields
@@ -251,7 +338,7 @@ func (p *Proc) Stall(cycles uint64) {
 // are released at the maximum clock among them.
 func (p *Proc) Barrier() {
 	p.status = statusBlocked
-	p.yield()
+	p.park()
 }
 
 // BarrierWaitCycles returns the total cycles this proc has spent waiting at

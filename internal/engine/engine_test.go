@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -237,4 +238,41 @@ func TestBarrierAfterSomeFinish(t *testing.T) {
 			t.Errorf("proc %d clock = %d, want 20", p.ID, p.Clock())
 		}
 	})
+}
+
+// TestDrainSurvivesSecondaryPanic: a workload whose deferred cleanup panics
+// while the drain unwinds it must not abort the drain — every other proc
+// still unwinds, and Run reports the ORIGINAL panic, not the secondary one.
+func TestDrainSurvivesSecondaryPanic(t *testing.T) {
+	k := NewKernel(4, 1)
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("body panic did not propagate out of Run")
+			}
+			if s, ok := r.(string); !ok || !strings.Contains(s, "original boom") {
+				t.Fatalf("Run reported %v, want the original panic", r)
+			}
+		}()
+		k.Run(func(p *Proc) {
+			switch p.ID {
+			case 0:
+				p.Stall(10)
+				panic("original boom")
+			case 1:
+				defer func() { panic("secondary boom from cleanup") }()
+				for {
+					p.Stall(5)
+				}
+			default:
+				p.Barrier() // must still be unwound after proc 1's defer panics
+			}
+		})
+	}()
+	for _, p := range k.procs {
+		if p.status != statusDone {
+			t.Fatalf("proc %d left in status %d after drain with secondary panic", p.ID, p.status)
+		}
+	}
 }

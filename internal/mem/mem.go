@@ -10,7 +10,7 @@ package mem
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 )
 
 // Addr is a simulated physical byte address.
@@ -22,6 +22,7 @@ const (
 	WordBytes    = 8
 	WordsPerLine = LineBytes / WordBytes
 	lineMask     = Addr(LineBytes - 1)
+	lineShift    = 6 // log2(LineBytes)
 )
 
 // Line is the data payload of one cache line: eight 64-bit words.
@@ -37,33 +38,81 @@ func WordIdx(a Addr) int { return int(a>>3) & (WordsPerLine - 1) }
 // operations are word-granular and require word alignment.
 func IsWordAligned(a Addr) bool { return a&7 == 0 }
 
+// Store page geometry: 64 lines (4 KiB) per page, so one uint64 bitmap
+// tracks exactly which lines of a page are materialized.
+const (
+	pageShift     = 12
+	pageBytes     = 1 << pageShift
+	linesPerPage  = pageBytes / LineBytes
+	lineInPageMsk = linesPerPage - 1
+)
+
+// storePage is one 4 KiB page of backing memory plus a bitmap of which of
+// its lines have been materialized (line granularity is preserved: Peek and
+// Len observe exactly the lines that Line has touched).
+type storePage struct {
+	used  uint64
+	lines [linesPerPage]Line
+}
+
 // Store is the canonical memory backing store, line granular. Lines are
 // materialized lazily and zero-initialized, like freshly mapped pages.
+//
+// The store is a two-level page table — a slice of 4 KiB pages indexed by
+// page number — not a map: the simulator's bump allocator hands out a
+// dense, low address space, so page-number indexing replaces the map hash
+// that used to dominate every backing-store access, and iteration is in
+// address order for free.
 type Store struct {
-	lines map[Addr]*Line
+	pages []*storePage
+	count int // materialized lines
 }
 
 // NewStore returns an empty backing store.
 func NewStore() *Store {
-	return &Store{lines: make(map[Addr]*Line)}
+	return &Store{}
+}
+
+// page returns the page containing a, materializing it if needed.
+func (s *Store) page(a Addr) *storePage {
+	pi := int(a >> pageShift)
+	if pi >= len(s.pages) {
+		grown := make([]*storePage, pi+pi/2+1)
+		copy(grown, s.pages)
+		s.pages = grown
+	}
+	pg := s.pages[pi]
+	if pg == nil {
+		pg = new(storePage)
+		s.pages[pi] = pg
+	}
+	return pg
 }
 
 // Line returns the backing line containing a, materializing it if needed.
 // The returned pointer aliases store state; callers mutate it in place.
 func (s *Store) Line(a Addr) *Line {
-	la := LineOf(a)
-	l, ok := s.lines[la]
-	if !ok {
-		l = new(Line)
-		s.lines[la] = l
+	pg := s.page(a)
+	li := int(a>>lineShift) & lineInPageMsk
+	if pg.used&(1<<li) == 0 {
+		pg.used |= 1 << li
+		s.count++
 	}
-	return l
+	return &pg.lines[li]
 }
 
 // Peek returns the line if present without materializing it.
 func (s *Store) Peek(a Addr) (*Line, bool) {
-	l, ok := s.lines[LineOf(a)]
-	return l, ok
+	pi := int(a >> pageShift)
+	if pi >= len(s.pages) || s.pages[pi] == nil {
+		return nil, false
+	}
+	pg := s.pages[pi]
+	li := int(a>>lineShift) & lineInPageMsk
+	if pg.used&(1<<li) == 0 {
+		return nil, false
+	}
+	return &pg.lines[li], true
 }
 
 // Read64 reads the word containing a directly from the backing store,
@@ -81,17 +130,28 @@ func (s *Store) Write64(a Addr, v uint64) {
 }
 
 // Len returns the number of materialized lines.
-func (s *Store) Len() int { return len(s.lines) }
+func (s *Store) Len() int { return s.count }
+
+// ForEach calls fn for every materialized line in ascending address order,
+// without allocating. fn must not materialize new lines.
+func (s *Store) ForEach(fn func(la Addr, l *Line)) {
+	for pi, pg := range s.pages {
+		if pg == nil {
+			continue
+		}
+		base := Addr(pi) << pageShift
+		for m := pg.used; m != 0; m &= m - 1 {
+			li := bits.TrailingZeros64(m)
+			fn(base+Addr(li)<<lineShift, &pg.lines[li])
+		}
+	}
+}
 
 // Addrs returns the base addresses of every materialized line in ascending
-// order, giving callers a canonical iteration order over the store (the
-// backing map iterates randomly).
+// order, giving callers a canonical iteration order over the store.
 func (s *Store) Addrs() []Addr {
-	out := make([]Addr, 0, len(s.lines))
-	for a := range s.lines {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]Addr, 0, s.count)
+	s.ForEach(func(la Addr, _ *Line) { out = append(out, la) })
 	return out
 }
 

@@ -7,10 +7,12 @@ import (
 	"commtm/internal/mem"
 )
 
-func must(cond bool, format string, args ...any) {
-	if !cond {
-		panic("memsys: " + fmt.Sprintf(format, args...))
-	}
+// fail panics with a formatted invariant violation. Hot paths branch on the
+// condition themselves and call fail only when it is already violated, so
+// the common case never boxes the format arguments (a plain must(cond, ...,
+// uint64(a)) call heap-allocates the argument on every invocation).
+func fail(format string, args ...any) {
+	panic("memsys: " + fmt.Sprintf(format, args...))
 }
 
 // Access performs one word-granular memory operation for a core and returns
@@ -23,11 +25,15 @@ func must(cond bool, format string, args ...any) {
 // conventional ones and gathers as conventional loads — the paper's
 // comparison runs the same program on both machines.
 func (ms *MemSys) Access(req Req, a mem.Addr, op Op, label LabelID, wval uint64) (val uint64, lat uint64, self SelfAbort) {
-	must(mem.IsWordAligned(a), "unaligned access at %#x", uint64(a))
+	if !mem.IsWordAligned(a) {
+		fail("unaligned access at %#x", uint64(a))
+	}
 	ms.ctr.TotalAccess++
 	if op == OpLabeledRead || op == OpLabeledWrite || op == OpGather {
 		ms.ctr.LabeledAccess++
-		must(label >= 0 && int(label) < len(ms.labels), "access with unregistered label %d", label)
+		if label < 0 || int(label) >= len(ms.labels) {
+			fail("access with unregistered label %d", label)
+		}
 		if !ms.p.EnableU {
 			switch op {
 			case OpLabeledRead, OpGather:
@@ -50,8 +56,14 @@ func (ms *MemSys) Access(req Req, a mem.Addr, op Op, label LabelID, wval uint64)
 		if satisfies(l1.State, l1.Label, op, label) {
 			pv.l1.Touch(l1)
 			ms.ctr.L1Hits++
-			l2 := pv.l2.Lookup(la)
-			must(l2 != nil, "L1 line %#x absent from inclusive L2", uint64(la))
+			// Only writes need the L2 copy (E→M promotion, non-transactional
+			// write-through); read hits skip the L2 tag scan entirely.
+			var l2 *cache.LineMeta
+			if op == OpWrite || op == OpLabeledWrite {
+				if l2 = pv.l2.Lookup(la); l2 == nil {
+					fail("L1 line %#x absent from inclusive L2", uint64(la))
+				}
+			}
 			val = ms.finish(req, l1, l2, op, wi, wval)
 			return val, lat, SelfNone
 		}
@@ -75,10 +87,10 @@ func (ms *MemSys) Access(req Req, a mem.Addr, op Op, label LabelID, wval uint64)
 	// Slow path: request to the L3 home bank / directory. Requests to a
 	// line whose previous coherence transaction is still in flight queue
 	// behind it — contended lines serialize.
-	if free, ok := ms.busy[la]; ok && free > req.Now {
-		lat += free - req.Now
-	}
 	e := ms.entry(la)
+	if e.busy > req.Now {
+		lat += e.busy - req.Now
+	}
 	lat += ms.dirLat(req.Core, la, e)
 	switch op {
 	case OpRead:
@@ -94,7 +106,7 @@ func (ms *MemSys) Access(req Req, a mem.Addr, op Op, label LabelID, wval uint64)
 		ms.ctr.GETU++
 		val, lat, self = ms.slowGather(req, la, wi, label, e, lat)
 	default:
-		must(false, "unknown op %v", op)
+		fail("unknown op %v", op)
 	}
 	occ := lat
 	if op == OpGather && occ > gatherOccupancy {
@@ -104,7 +116,7 @@ func (ms *MemSys) Access(req Req, a mem.Addr, op Op, label LabelID, wval uint64)
 		// merged everything.
 		occ = gatherOccupancy
 	}
-	ms.busy[la] = req.Now + occ
+	e.busy = req.Now + occ
 	return val, lat, self
 }
 
@@ -138,10 +150,13 @@ func satisfies(st cache.State, ll LabelID, op Op, rl LabelID) bool {
 func (ms *MemSys) refillL1(core int, la mem.Addr) (*cache.LineMeta, SelfAbort) {
 	pv := &ms.privs[core]
 	l2 := pv.l2.Lookup(la)
-	must(l2 != nil, "refillL1 without L2 copy of %#x", uint64(la))
-	l1, ev := pv.l1.Insert(la, cache.AvoidSpecOrU)
+	if l2 == nil {
+		fail("refillL1 without L2 copy of %#x", uint64(la))
+	}
+	var ev cache.LineMeta
+	l1, evicted := pv.l1.Insert(la, cache.AvoidSpecOrU, &ev)
 	self := SelfNone
-	if ev != nil && ev.SpecAny() {
+	if evicted && ev.SpecAny() {
 		self = SelfEvicted
 	}
 	l1.State, l1.Label, l1.Data, l1.Dirty = l2.State, l2.Label, l2.Data, l2.Dirty
@@ -160,14 +175,13 @@ func (ms *MemSys) ensurePrivate(core int, la mem.Addr) (l1, l2 *cache.LineMeta, 
 		// Normal fills avoid only speculative lines (whose eviction aborts
 		// the transaction); U lines are evictable — the paper's reserved
 		// non-U way applies to reduction-handler fills, which in this model
-		// bypass the private caches entirely.
-		avoid := func(m *cache.LineMeta) bool {
-			c := pv.l1.Lookup(m.Tag)
-			return c != nil && c.SpecAny()
-		}
-		var ev *cache.LineMeta
-		l2, ev = pv.l2.Insert(la, avoid)
-		if ev != nil && ms.evictL2(core, ev) {
+		// bypass the private caches entirely. The predicate closure is built
+		// once per core (memsys.New), not per miss; the eviction copy lands
+		// in ms.evScratch because its address flows into the reduction
+		// handlers, which would force a stack local to escape per miss.
+		var evicted bool
+		l2, evicted = pv.l2.Insert(la, pv.avoidL1Spec, &ms.evScratch)
+		if evicted && ms.evictL2(core, &ms.evScratch) {
 			self = SelfEvicted
 		}
 	} else {
@@ -175,9 +189,10 @@ func (ms *MemSys) ensurePrivate(core int, la mem.Addr) (l1, l2 *cache.LineMeta, 
 	}
 	l1 = pv.l1.Lookup(la)
 	if l1 == nil {
-		var ev *cache.LineMeta
-		l1, ev = pv.l1.Insert(la, cache.AvoidSpec)
-		if ev != nil && ev.SpecAny() {
+		var ev cache.LineMeta
+		var evicted bool
+		l1, evicted = pv.l1.Insert(la, cache.AvoidSpec, &ev)
+		if evicted && ev.SpecAny() {
 			self = SelfEvicted
 		}
 		if hadL2 {
@@ -212,12 +227,16 @@ func (ms *MemSys) evictL2(core int, v *cache.LineMeta) (specHit bool) {
 			e.state = dirInvalid
 		}
 	case cache.Exclusive, cache.Modified:
-		must(e.state == dirExclusive && e.owner == core, "evicting E/M line %#x not owned per directory", uint64(la))
+		if e.state != dirExclusive || e.owner != core {
+			fail("evicting E/M line %#x not owned per directory", uint64(la))
+		}
 		*ms.store.Line(la) = v.Data
 		ms.ctr.Writebacks++
 		e.state, e.owner = dirInvalid, -1
 	case cache.ReducibleU:
-		must(e.state == dirU, "evicting U line %#x not dirU", uint64(la))
+		if e.state != dirU {
+			fail("evicting U line %#x not dirU", uint64(la))
+		}
 		e.sharers.Clear(core)
 		others := e.sharers.Members()
 		if len(others) == 0 {
@@ -236,7 +255,9 @@ func (ms *MemSys) evictL2(core int, v *cache.LineMeta) (specHit bool) {
 		}
 		spec := &ms.labels[v.Label]
 		rl2 := ms.privs[r].l2.Lookup(la)
-		must(rl2 != nil, "U sharer %d of %#x missing L2 copy", r, uint64(la))
+		if rl2 == nil {
+			fail("U sharer %d of %#x missing L2 copy", r, uint64(la))
+		}
 		rc := &ReduceCtx{ms: ms, core: core}
 		spec.Reduce(rc, &rl2.Data, &v.Data)
 		if rl1 := ms.privs[r].l1.Lookup(la); rl1 != nil {
@@ -309,7 +330,9 @@ func (ms *MemSys) slowRead(req Req, la mem.Addr, wi int, e *dirEntry, lat uint64
 
 	case dirExclusive:
 		o := e.owner
-		must(o != req.Core, "GETS with self-owned line %#x escaped the fast path", uint64(la))
+		if o == req.Core {
+			fail("GETS with self-owned line %#x escaped the fast path", uint64(la))
+		}
 		if ol1 := ms.privs[o].l1.Lookup(la); ol1 != nil && ol1.SpecWritten {
 			if ms.arbitrate(req, o, CauseReadAfterWrite) {
 				return 0, lat, SelfNacked
@@ -345,7 +368,8 @@ func (ms *MemSys) slowWrite(req Req, la mem.Addr, wi int, wval uint64, e *dirEnt
 
 	case dirShared:
 		var maxInval uint64
-		for _, s := range e.sharers.Members() {
+		for it := e.sharers; !it.Empty(); {
+			s := it.PopMin()
 			if s == req.Core {
 				continue
 			}
@@ -376,7 +400,9 @@ func (ms *MemSys) slowWrite(req Req, la mem.Addr, wi int, wval uint64, e *dirEnt
 
 	case dirExclusive:
 		o := e.owner
-		must(o != req.Core, "GETX with self-owned line %#x escaped the fast path", uint64(la))
+		if o == req.Core {
+			fail("GETX with self-owned line %#x escaped the fast path", uint64(la))
+		}
 		if ol1 := ms.privs[o].l1.Lookup(la); ol1 != nil && ol1.SpecAny() {
 			cause := CauseWriteAfterRead
 			if ol1.SpecWritten {
@@ -417,7 +443,8 @@ func (ms *MemSys) slowLabeled(req Req, la mem.Addr, wi int, op Op, label LabelID
 	case dirShared:
 		// Case 2: invalidate the read-only sharers, then serve the data.
 		var maxInval uint64
-		for _, s := range e.sharers.Members() {
+		for it := e.sharers; !it.Empty(); {
+			s := it.PopMin()
 			if s == req.Core {
 				continue
 			}
@@ -445,7 +472,9 @@ func (ms *MemSys) slowLabeled(req Req, la mem.Addr, wi int, op Op, label LabelID
 		if e.label == label {
 			// Case 4: same label — grant U permission without data; the
 			// requester initializes its copy with the identity value.
-			must(!e.sharers.Has(req.Core), "GETU from existing same-label sharer of %#x escaped the fast path", uint64(la))
+			if e.sharers.Has(req.Core) {
+				fail("GETU from existing same-label sharer of %#x escaped the fast path", uint64(la))
+			}
 			l1, l2, self := ms.ensurePrivate(req.Core, la)
 			id := ms.labels[label].Identity
 			setLine(l1, l2, cache.ReducibleU, label, &id, true)
@@ -460,7 +489,9 @@ func (ms *MemSys) slowLabeled(req Req, la mem.Addr, wi int, op Op, label LabelID
 		// Case 5: downgrade the exclusive owner to U; it keeps the data
 		// (its partial is the whole value); the requester gets identity.
 		o := e.owner
-		must(o != req.Core, "GETU with self-owned line %#x escaped the fast path", uint64(la))
+		if o == req.Core {
+			fail("GETU with self-owned line %#x escaped the fast path", uint64(la))
+		}
 		if ol1 := ms.privs[o].l1.Lookup(la); ol1 != nil && ol1.SpecWritten {
 			if ms.arbitrate(req, o, CauseOther) {
 				return 0, lat, SelfNacked

@@ -1,0 +1,61 @@
+package memsys
+
+import (
+	"testing"
+
+	"commtm/internal/mem"
+)
+
+// BenchmarkAccess measures the memory-system hot paths the simulator spends
+// most of its modeling time in. The L1Hit case is the common fast path; the
+// L2Hit case adds the refill; the DirPingPong case bounces one line between
+// two cores' private hierarchies, exercising the directory page table, the
+// busy/occupancy tracking, and owner downgrades on every access.
+func BenchmarkAccess(b *testing.B) {
+	newBenchMS := func(cores int) *MemSys {
+		store := mem.NewStore()
+		return New(testParams(cores, true), store, nil)
+	}
+
+	b.Run("L1Hit", func(b *testing.B) {
+		ms := newBenchMS(1)
+		req := Req{Core: 0}
+		ms.Access(req, 4096, OpWrite, NoLabel, 1) // install the line
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ms.Access(req, 4096, OpRead, NoLabel, 0)
+		}
+	})
+
+	b.Run("L2Hit", func(b *testing.B) {
+		ms := newBenchMS(1)
+		req := Req{Core: 0}
+		ms.Access(req, 4096, OpWrite, NoLabel, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ms.privs[0].l1.Invalidate(4096) // force the refill path
+			ms.Access(req, 4096, OpRead, NoLabel, 0)
+		}
+	})
+
+	b.Run("DirPingPong", func(b *testing.B) {
+		ms := newBenchMS(2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ms.Access(Req{Core: i & 1, Now: uint64(i) * 1000}, 4096, OpWrite, NoLabel, uint64(i))
+		}
+	})
+
+	b.Run("ColdMiss", func(b *testing.B) {
+		ms := newBenchMS(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := mem.Addr(4096 + (i%100000)*mem.LineBytes)
+			ms.Access(Req{Core: 0, Now: uint64(i) * 1000}, a, OpRead, NoLabel, 0)
+		}
+	})
+}

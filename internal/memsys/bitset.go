@@ -40,6 +40,22 @@ func (b *BitSet) Members() []int {
 	return out
 }
 
+// PopMin removes and returns the smallest element. The set must be
+// non-empty. Draining a by-value copy with PopMin visits the members in the
+// same ascending order as Members, without allocating the slice:
+//
+//	for it := b; !it.Empty(); { s := it.PopMin(); ... }
+func (b *BitSet) PopMin() int {
+	if b[0] != 0 {
+		i := bits.TrailingZeros64(b[0])
+		b[0] &= b[0] - 1
+		return i
+	}
+	i := bits.TrailingZeros64(b[1])
+	b[1] &= b[1] - 1
+	return 64 + i
+}
+
 // Only reports whether i is the single element of the set.
 func (b *BitSet) Only(i int) bool {
 	return b.Count() == 1 && b.Has(i)

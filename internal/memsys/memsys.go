@@ -229,6 +229,29 @@ type dirEntry struct {
 	sharers BitSet // valid when dirShared or dirU
 	label   LabelID
 	seen    bool // line has been fetched from memory before
+	// busy is when the line's current coherence transaction completes.
+	// Directory requests to a busy line queue behind it, modelling the
+	// serialization of ownership transfers that makes contended lines a
+	// throughput bottleneck (the ping-pong the paper's baseline suffers).
+	busy uint64
+}
+
+// Directory page geometry mirrors mem.Store: 64 line entries (4 KiB of
+// simulated memory) per page, indexed by page number. The bump-allocated
+// address space is dense, so a slice of pages replaces the per-access map
+// hash (and the separate busy map) that used to dominate MemSys.Access.
+const (
+	dirPageShift    = 12
+	dirLinesPerPage = (1 << dirPageShift) / mem.LineBytes
+	dirLineMask     = dirLinesPerPage - 1
+)
+
+// dirPage entries start at their zero value: a dirInvalid entry's owner and
+// label are never read (every read is guarded by dirExclusive/dirU, and
+// every transition into those states writes the field), so page
+// materialization is a plain zeroed allocation.
+type dirPage struct {
+	entries [dirLinesPerPage]dirEntry
 }
 
 // priv is one core's private cache hierarchy.
@@ -237,6 +260,9 @@ type priv struct {
 	// specLines tracks the current transaction's footprint for O(footprint)
 	// commit and rollback. Lines with spec bits are pinned in the L1.
 	specLines []mem.Addr
+	// avoidL1Spec is the L2 victim predicate "the L1 copy is in the current
+	// transaction's footprint", prebuilt so misses do not allocate a closure.
+	avoidL1Spec func(*cache.LineMeta) bool
 }
 
 // MemSys is the simulated memory system.
@@ -246,15 +272,16 @@ type MemSys struct {
 	arb    Arbiter
 	labels []LabelSpec
 	privs  []priv
-	dir    map[mem.Addr]*dirEntry
-	// busy tracks when each line's current coherence transaction completes.
-	// Directory requests to a busy line queue behind it, modelling the
-	// serialization of ownership transfers that makes contended lines a
-	// throughput bottleneck (the ping-pong the paper's baseline suffers).
-	busy  map[mem.Addr]uint64
-	rng   *xrand.RNG
-	ctr   Counters
-	banks int
+	// dirPages is the two-level directory table: one entry per simulated
+	// line, pages materialized on first touch (see dirPage).
+	dirPages []*dirPage
+	rng      *xrand.RNG
+	ctr      Counters
+	banks    int
+	// evScratch receives L2 eviction copies whose address flows into
+	// reduction handlers (see ensurePrivate); a long-lived home keeps the
+	// per-miss copy off the heap. Never valid across calls.
+	evScratch cache.LineMeta
 }
 
 // New builds a memory system. The arbiter may be nil for non-transactional
@@ -270,15 +297,18 @@ func New(p Params, store *mem.Store, arb Arbiter) *MemSys {
 		p:     p,
 		store: store,
 		arb:   arb,
-		dir:   make(map[mem.Addr]*dirEntry),
-		busy:  make(map[mem.Addr]uint64),
 		rng:   xrand.New(p.Seed ^ 0xc0ffee),
 		banks: p.Mesh.Tiles(),
 	}
 	for i := 0; i < p.Cores; i++ {
+		l1 := cache.New(p.L1Bytes, p.L1Ways)
 		ms.privs = append(ms.privs, priv{
-			l1: cache.New(p.L1Bytes, p.L1Ways),
+			l1: l1,
 			l2: cache.New(p.L2Bytes, p.L2Ways),
+			avoidL1Spec: func(m *cache.LineMeta) bool {
+				c := l1.Lookup(m.Tag)
+				return c != nil && c.SpecAny()
+			},
 		})
 	}
 	return ms
@@ -306,12 +336,18 @@ func (ms *MemSys) Counters() *Counters { return &ms.ctr }
 func (ms *MemSys) Params() Params { return ms.p }
 
 func (ms *MemSys) entry(la mem.Addr) *dirEntry {
-	e, ok := ms.dir[la]
-	if !ok {
-		e = &dirEntry{state: dirInvalid, label: cache.NoLabel, owner: -1}
-		ms.dir[la] = e
+	pi := int(la >> dirPageShift)
+	if pi >= len(ms.dirPages) {
+		grown := make([]*dirPage, pi+pi/2+1)
+		copy(grown, ms.dirPages)
+		ms.dirPages = grown
 	}
-	return e
+	pg := ms.dirPages[pi]
+	if pg == nil {
+		pg = new(dirPage)
+		ms.dirPages[pi] = pg
+	}
+	return &pg.entries[int(la>>6)&dirLineMask]
 }
 
 func (ms *MemSys) bankOf(la mem.Addr) int { return int(la/mem.LineBytes) % ms.banks }
@@ -444,7 +480,7 @@ func (ms *MemSys) AbortCore(core int) {
 func (ms *MemSys) nonSpecData(core int, la mem.Addr) *mem.Line {
 	l2 := ms.privs[core].l2.Lookup(la)
 	if l2 == nil {
-		panic(fmt.Sprintf("memsys: core %d has no L2 copy of %#x", core, uint64(la)))
+		fail("core %d has no L2 copy of %#x", core, uint64(la))
 	}
 	return &l2.Data
 }

@@ -1,8 +1,6 @@
 package memsys
 
 import (
-	"sort"
-
 	"commtm/internal/cache"
 	"commtm/internal/mem"
 )
@@ -51,7 +49,7 @@ func (rc *ReduceCtx) prepare(a mem.Addr, write bool) {
 	case dirInvalid:
 		return
 	case dirU:
-		must(false, "reduction handler accessed reducible line %#x (nested reduction forbidden, Sec. III-A)", uint64(la))
+		fail("reduction handler accessed reducible line %#x (nested reduction forbidden, Sec. III-A)", uint64(la))
 	case dirExclusive:
 		o := e.owner
 		if ol1 := ms.privs[o].l1.Lookup(la); ol1 != nil && ol1.SpecAny() {
@@ -66,7 +64,8 @@ func (rc *ReduceCtx) prepare(a mem.Addr, write bool) {
 		if !write {
 			return // S copies match the backing store
 		}
-		for _, s := range e.sharers.Members() {
+		for it := e.sharers; !it.Empty(); {
+			s := it.PopMin()
 			if sl1 := ms.privs[s].l1.Lookup(la); sl1 != nil && sl1.SpecAny() {
 				ms.abortVictim(s, CauseOther)
 			}
@@ -94,7 +93,9 @@ func (rc *ReduceCtx) prepare(a mem.Addr, write bool) {
 // conventional op proceeds on the M line; a different-label op re-enters U
 // under the new label holding the total.
 func (ms *MemSys) reduceAndFinish(req Req, la mem.Addr, wi int, op Op, newLabel LabelID, wval uint64, e *dirEntry, lat uint64) (uint64, uint64, SelfAbort) {
-	must(e.state == dirU, "reduceAndFinish on non-U line %#x", uint64(la))
+	if e.state != dirU {
+		fail("reduceAndFinish on non-U line %#x", uint64(la))
+	}
 	pv := &ms.privs[req.Core]
 
 	// Sec. III-B4, "handling unlabeled operations to speculatively-modified
@@ -112,7 +113,9 @@ func (ms *MemSys) reduceAndFinish(req Req, la mem.Addr, wi int, op Op, newLabel 
 	// the line is in dirU: its value was handed to the first sharer.
 	var acc mem.Line
 	if l2 := pv.l2.Lookup(la); l2 != nil {
-		must(l2.State == cache.ReducibleU, "requester's copy of dirU line %#x is %v", uint64(la), l2.State)
+		if l2.State != cache.ReducibleU {
+			fail("requester's copy of dirU line %#x is %v", uint64(la), l2.State)
+		}
 		acc = l2.Data
 	} else {
 		acc = spec.Identity
@@ -124,7 +127,8 @@ func (ms *MemSys) reduceAndFinish(req Req, la mem.Addr, wi int, op Op, newLabel 
 	if op != OpRead {
 		cause = CauseOther
 	}
-	for _, s := range e.sharers.Members() {
+	for it := e.sharers; !it.Empty(); {
+		s := it.PopMin()
 		if s == req.Core {
 			continue
 		}
@@ -222,12 +226,15 @@ func (ms *MemSys) slowGather(req Req, la mem.Addr, wi int, label LabelID, e *dir
 			return 0, lat, self
 		}
 	}
-	must(l2 != nil, "gather requester lost its L2 copy of %#x", uint64(la))
+	if l2 == nil {
+		fail("gather requester lost its L2 copy of %#x", uint64(la))
+	}
 
 	numSharers := e.sharers.Count()
 	anySplit := false
 	var maxFwd uint64
-	for _, s := range e.sharers.Members() {
+	for it := e.sharers; !it.Empty(); {
+		s := it.PopMin()
 		if s == req.Core {
 			continue
 		}
@@ -250,7 +257,9 @@ func (ms *MemSys) slowGather(req Req, la mem.Addr, wi int, label LabelID, e *dir
 			continue
 		}
 		sl2 := ms.privs[s].l2.Lookup(la)
-		must(sl2 != nil, "U sharer %d of %#x missing L2 copy", s, uint64(la))
+		if sl2 == nil {
+			fail("U sharer %d of %#x missing L2 copy", s, uint64(la))
+		}
 		var donation mem.Line
 		spec.Split(rc, &sl2.Data, &donation, numSharers)
 		if sl1 := ms.privs[s].l1.Lookup(la); sl1 != nil {
@@ -284,36 +293,43 @@ func (ms *MemSys) slowGather(req Req, la mem.Addr, wi int, label LabelID, e *dir
 // exists so validation code and end-of-run reporting can read architectural
 // memory directly.
 func (ms *MemSys) Drain() {
-	addrs := make([]mem.Addr, 0, len(ms.dir))
-	for la := range ms.dir {
-		addrs = append(addrs, la)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	for _, la := range addrs {
-		e := ms.dir[la]
-		switch e.state {
-		case dirExclusive:
-			*ms.store.Line(la) = *ms.nonSpecData(e.owner, la)
-			ms.dropPrivate(e.owner, la)
-			e.state, e.owner = dirInvalid, -1
-		case dirShared:
-			for _, s := range e.sharers.Members() {
-				ms.dropPrivate(s, la)
+	// The page table iterates in ascending address order by construction
+	// (pages by page number, entries by line within the page).
+	for pi, pg := range ms.dirPages {
+		if pg == nil {
+			continue
+		}
+		for li := range pg.entries {
+			e := &pg.entries[li]
+			if e.state == dirInvalid {
+				continue
 			}
-			e.sharers.Reset()
-			e.state = dirInvalid
-		case dirU:
-			spec := &ms.labels[e.label]
-			rc := &ReduceCtx{ms: ms, core: 0}
-			acc := spec.Identity
-			for _, s := range e.sharers.Members() {
-				src := *ms.nonSpecData(s, la)
-				ms.dropPrivate(s, la)
-				spec.Reduce(rc, &acc, &src)
+			la := mem.Addr(pi)<<dirPageShift | mem.Addr(li)*mem.LineBytes
+			switch e.state {
+			case dirExclusive:
+				*ms.store.Line(la) = *ms.nonSpecData(e.owner, la)
+				ms.dropPrivate(e.owner, la)
+				e.state, e.owner = dirInvalid, -1
+			case dirShared:
+				for it := e.sharers; !it.Empty(); {
+					ms.dropPrivate(it.PopMin(), la)
+				}
+				e.sharers.Reset()
+				e.state = dirInvalid
+			case dirU:
+				spec := &ms.labels[e.label]
+				rc := &ReduceCtx{ms: ms, core: 0}
+				acc := spec.Identity
+				for it := e.sharers; !it.Empty(); {
+					s := it.PopMin()
+					src := *ms.nonSpecData(s, la)
+					ms.dropPrivate(s, la)
+					spec.Reduce(rc, &acc, &src)
+				}
+				e.sharers.Reset()
+				e.state, e.label = dirInvalid, cache.NoLabel
+				*ms.store.Line(la) = acc
 			}
-			e.sharers.Reset()
-			e.state, e.label = dirInvalid, cache.NoLabel
-			*ms.store.Line(la) = acc
 		}
 	}
 }

@@ -70,14 +70,23 @@ func (s *CSVSink) Emit(r Result) error {
 			r.Geometry.L1Bytes, r.Geometry.L1Ways, r.Geometry.L2Bytes, r.Geometry.L2Ways)
 	}
 	st := r.Stats
-	return s.w.Write([]string{
+	if err := s.w.Write([]string{
 		strconv.Itoa(r.Index), r.Workload, r.Variant.Label,
 		strconv.Itoa(r.Threads), u(r.Seed), geom,
 		u(st.Cycles), u(st.TotalCoreCycles), u(st.NonTxCycles), u(st.CommittedCycles), u(st.WastedCycles),
 		u(st.Commits), u(st.Aborts), u(st.Instructions), u(st.LabeledOps),
 		u(st.GETS), u(st.GETX), u(st.GETU), u(st.Reductions), u(st.Gathers), u(st.Splits), u(st.NACKs),
 		r.Digest, r.Err, strconv.FormatInt(r.WallNS, 10),
-	})
+	}); err != nil {
+		return err
+	}
+	// encoding/csv buffers rows and defers underlying-writer errors to
+	// Flush, so a Write alone reports success even after the output file has
+	// died. Flush each row and surface w.Error() here so the engine's
+	// sink-error path (and FailFast callers) abort mid-sweep instead of
+	// discovering the dead file at Close.
+	s.w.Flush()
+	return s.w.Error()
 }
 
 // Close implements Sink.

@@ -3,6 +3,7 @@ package sweep
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"regexp"
 	"strings"
@@ -263,5 +264,45 @@ func TestTableSinkRenders(t *testing.T) {
 	}
 	if lines := strings.Count(out, "\n"); lines != 3 {
 		t.Errorf("table has %d lines, want header + 2 rows", lines)
+	}
+}
+
+// failWriter fails every write after the first n bytes, like an output file
+// whose disk died mid-sweep.
+type failWriter struct {
+	n       int
+	written int
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.written >= w.n {
+		return 0, errors.New("disk gone")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestCSVSinkReportsWriterErrorPerRow: encoding/csv defers underlying-writer
+// errors to Flush, so without a per-row flush a dead output file would go
+// unnoticed until Close — after the whole sweep had run. Emit must surface
+// the error on the first failing row so the engine aborts.
+func TestCSVSinkReportsWriterErrorPerRow(t *testing.T) {
+	s := NewCSV(&failWriter{n: 1}) // first flush (header+row) succeeds, then the writer dies
+	r := Result{Cell: Cell{Workload: "w", Variant: Variant{Label: "v"}}}
+	if err := s.Emit(r); err != nil {
+		t.Fatalf("first row failed before the writer died: %v", err)
+	}
+	if err := s.Emit(r); err == nil {
+		t.Fatal("Emit did not report the underlying writer error")
+	}
+}
+
+// TestEngineSurfacesSinkError: the engine must return the sink error from
+// Run (its only error channel) when a sink dies mid-sweep.
+func TestEngineSurfacesSinkError(t *testing.T) {
+	eng := Engine{Workers: 1, Sinks: []Sink{NewCSV(&failWriter{})}}
+	_, err := eng.Run(testMatrix().Cells())
+	if err == nil {
+		t.Fatal("Run did not surface the sink write error")
 	}
 }
