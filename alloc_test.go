@@ -1,0 +1,82 @@
+//go:build !race
+
+// Allocation-regression tests for the machine lifecycle. AllocsPerRun
+// numbers are meaningless under the race detector (it instruments
+// allocations), so this file is excluded from -race runs; CI runs it in a
+// dedicated no-race step next to the bench smoke step.
+package commtm_test
+
+import (
+	"testing"
+
+	"commtm"
+	"commtm/internal/sweep"
+	"commtm/internal/workloads/micro"
+)
+
+// TestResetIsAllocationFree asserts the core steady-state property of the
+// lifecycle: Reset itself never allocates — cache arrays are cleared in
+// place, store/directory pages are invalidated by generation stamp, PRNGs
+// reseed in place. Any allocation here is a regression that reintroduces
+// per-cell GC pressure in sweep arenas.
+func TestResetIsAllocationFree(t *testing.T) {
+	m := commtm.New(commtm.Config{Threads: 8, Protocol: commtm.CommTM, Seed: 1})
+	runWorkload(m, micro.NewCounter(500)) // populate caches, store, directory
+	if allocs := testing.AllocsPerRun(100, m.Reset); allocs != 0 {
+		t.Errorf("Machine.Reset allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestLayerResetsAllocationFree pins the per-layer contract the machine
+// Reset composes: no layer's reset path may allocate.
+func TestLayerResetsAllocationFree(t *testing.T) {
+	m := commtm.New(commtm.Config{Threads: 2, Protocol: commtm.CommTM, Seed: 1})
+	runWorkload(m, micro.NewOPut(300))
+	if allocs := testing.AllocsPerRun(100, func() { m.ResetSeed(42) }); allocs != 0 {
+		t.Errorf("Machine.ResetSeed allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestReuseCutsPerCellAllocations asserts the sweep-arena win end to end:
+// running a cell on a Reset machine must allocate at least 5x fewer objects
+// than building a fresh machine for it (the acceptance bar recorded in
+// BENCH_lifecycle.json). The margin is intentionally the bar itself — the
+// measured ratio is far higher — so genuine regressions trip it before the
+// benefit is gone.
+func TestReuseCutsPerCellAllocations(t *testing.T) {
+	cell := sweep.Cell{
+		Workload: "counter",
+		Variant:  sweep.Variant{Label: "CommTM", Protocol: commtm.CommTM},
+		Threads:  8,
+		Seed:     1,
+		Mk:       func() sweep.Workload { return micro.NewCounter(500) },
+	}
+	cfg := cell.Config()
+
+	fresh := testing.AllocsPerRun(5, func() {
+		m := commtm.New(cfg)
+		w := micro.NewCounter(500)
+		w.Setup(m)
+		m.Run(w.Body)
+		if err := w.Validate(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	m := commtm.New(cfg)
+	runWorkload(m, micro.NewCounter(500)) // steady state: arenas run warm
+	reused := testing.AllocsPerRun(5, func() {
+		m.Reset()
+		w := micro.NewCounter(500)
+		w.Setup(m)
+		m.Run(w.Body)
+		if err := w.Validate(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if reused*5 > fresh {
+		t.Errorf("reused-machine cell allocates %.0f objects vs %.0f fresh; want >= 5x reduction", reused, fresh)
+	}
+	t.Logf("allocs per cell: fresh=%.0f reused=%.0f (%.1fx reduction)", fresh, reused, fresh/reused)
+}

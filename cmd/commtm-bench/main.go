@@ -9,15 +9,29 @@
 //	commtm-bench -exp all -scale 0.2 -threads 1,8,32,128
 //	commtm-bench -exp fig9 -parallel 0 -json results.jsonl -csv results.csv
 //	commtm-bench -oracle -parallel 0
+//	commtm-bench -oracle -parallel 0 -det-sample 0.25 -reuse=false
 //
 // -parallel N runs each sweep's cells on N host workers (0 = all cores);
 // results stream to the -json / -csv sinks in deterministic cell order, so
 // sink output is byte-identical across worker counts (modulo the trailing
-// wall-clock field). -oracle runs the differential conformance +
-// determinism oracle over the reduced matrix and exits nonzero on failure.
+// wall-clock field). -reuse (default true) runs cells on per-worker machine
+// arenas — one machine per configuration, Reset between cells — instead of
+// building a fresh machine per cell; results are bit-identical either way
+// (the golden gate proves it), only host allocation behavior changes.
+// -oracle runs the differential conformance + determinism oracle over the
+// reduced matrix (plus the geometry-swept group) and exits nonzero on
+// failure; -det-sample F re-runs only a hash-selected fraction F of cells
+// in the determinism pass, keeping oracle cost flat on large matrices.
+//
+// Every experiment also reports per-sweep host metrics (allocations, GC
+// cycles, heap high-water from runtime.ReadMemStats) on stdout and, when
+// -json is given, as a trailing {"host_metrics": ...} JSON line — the
+// observability that makes lifecycle/allocation regressions visible in
+// committed BENCH files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +46,37 @@ import (
 	"commtm/internal/sweep"
 )
 
+// hostMetrics is the per-sweep host-side cost report: deltas of
+// runtime.MemStats across one experiment run. HeapSysBytes is the
+// OS-claimed heap (HeapSys) at the end of the sweep — a process-wide
+// high-water mark, monotone across experiments, named for what it is so
+// BENCH consumers do not read it as a per-experiment peak.
+type hostMetrics struct {
+	Exp          string `json:"exp"`
+	WallMS       int64  `json:"wall_ms"`
+	Allocs       uint64 `json:"host_allocs"`
+	AllocBytes   uint64 `json:"host_alloc_bytes"`
+	GCCycles     uint32 `json:"host_gc_cycles"`
+	HeapSysBytes uint64 `json:"host_heap_sys_bytes"`
+}
+
+func readMemStats() runtime.MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms
+}
+
+func metricsDelta(exp string, before, after runtime.MemStats, wall time.Duration) hostMetrics {
+	return hostMetrics{
+		Exp:          exp,
+		WallMS:       wall.Milliseconds(),
+		Allocs:       after.Mallocs - before.Mallocs,
+		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+		GCCycles:     after.NumGC - before.NumGC,
+		HeapSysBytes: after.HeapSys,
+	}
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "", "experiment id to run (or 'all')")
@@ -40,9 +85,12 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		threads  = flag.String("threads", "", "comma-separated thread counts (default 1,2,4,8,16,32,64,128)")
 		parallel = flag.Int("parallel", 1, "host worker pool size per sweep (0 = all cores, 1 = sequential)")
+		reuse    = flag.Bool("reuse", true, "reuse machines across cells via per-worker arenas (false = fresh machine per cell)")
 		jsonOut  = flag.String("json", "", "write per-cell results as JSON lines to this file")
 		csvOut   = flag.String("csv", "", "write per-cell results as CSV to this file")
 		oracle   = flag.Bool("oracle", false, "run the differential conformance + determinism oracle and exit")
+		detSmp   = flag.Float64("det-sample", 0, "determinism oracle: re-run only this hash-selected fraction of cells (0 or 1 = all)")
+		detSeed  = flag.Uint64("det-sample-seed", 0, "seed for the determinism-oracle cell sampler")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
@@ -117,6 +165,12 @@ func main() {
 	opts.Scale = *scale
 	opts.Seed = *seed
 	opts.Workers = *parallel
+	opts.Reuse = sweep.ReuseOn
+	if !*reuse {
+		opts.Reuse = sweep.ReuseOff
+	}
+	opts.DetSample = *detSmp
+	opts.DetSampleSeed = *detSeed
 	if *threads != "" {
 		opts.Threads = nil
 		for _, part := range strings.Split(*threads, ",") {
@@ -130,7 +184,7 @@ func main() {
 	}
 
 	var closers []func() error
-	addSink := func(path string, mk func(f *os.File) sweep.Sink) {
+	addSink := func(path string, mk func(f *os.File) sweep.Sink) *os.File {
 		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cannot create %s: %v\n", path, err)
@@ -144,12 +198,27 @@ func main() {
 			}
 			return f.Close()
 		})
+		return f
 	}
+	var jsonFile *os.File
 	if *jsonOut != "" {
-		addSink(*jsonOut, func(f *os.File) sweep.Sink { return sweep.NewJSONL(f) })
+		jsonFile = addSink(*jsonOut, func(f *os.File) sweep.Sink { return sweep.NewJSONL(f) })
 	}
 	if *csvOut != "" {
 		addSink(*csvOut, func(f *os.File) sweep.Sink { return sweep.NewCSV(f) })
+	}
+	// reportHost prints one experiment's host-side cost line and, when a
+	// JSONL sink is active, appends it as a {"host_metrics": ...} meta line
+	// after the experiment's per-cell rows (the JSONL sink is unbuffered, so
+	// all rows precede it).
+	reportHost := func(hm hostMetrics) {
+		fmt.Printf("host: allocs=%d alloc_bytes=%d gc_cycles=%d heap_sys_bytes=%d\n",
+			hm.Allocs, hm.AllocBytes, hm.GCCycles, hm.HeapSysBytes)
+		if jsonFile != nil {
+			if err := json.NewEncoder(jsonFile).Encode(map[string]hostMetrics{"host_metrics": hm}); err != nil {
+				fmt.Fprintf(os.Stderr, "host metrics: %v\n", err)
+			}
+		}
 	}
 	// closeSinks flushes and closes the output files, reporting (but not
 	// exiting on) close errors so it is safe on failure paths.
@@ -186,15 +255,18 @@ func main() {
 		}
 		e, _ := harness.Get("conformance")
 		start := time.Now()
+		before := readMemStats()
 		out, err := e.Run(opts)
 		if err != nil {
 			fail(1, "conformance oracle FAILED:\n%v\n", err)
 		}
+		wall := time.Since(start)
+		fmt.Print(out)
+		reportHost(metricsDelta("conformance", before, readMemStats(), wall))
 		if !closeSinks() {
 			exitWith(1)
 		}
-		fmt.Print(out)
-		fmt.Printf("(oracle completed in %v)\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(oracle completed in %v)\n", wall.Round(time.Millisecond))
 		return
 	}
 
@@ -215,12 +287,15 @@ func main() {
 			fail(2, "unknown experiment %q (use -list)\n", id)
 		}
 		start := time.Now()
+		before := readMemStats()
 		out, err := e.Run(opts)
 		if err != nil {
 			fail(1, "%s failed: %v\n", id, err)
 		}
+		wall := time.Since(start)
 		fmt.Print(out)
-		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		reportHost(metricsDelta(id, before, readMemStats(), wall))
+		fmt.Printf("(%s completed in %v)\n\n", id, wall.Round(time.Millisecond))
 	}
 	if !closeSinks() {
 		exitWith(1)

@@ -100,12 +100,22 @@ type Config struct {
 }
 
 // Machine is one simulated chip plus its memory image.
+//
+// A machine has an explicit lifecycle: New constructs it, Setup-style calls
+// (DefineLabel, Alloc*, MemWrite64) prepare simulated memory, Run executes
+// one parallel region, and Reset returns the machine to its pristine
+// post-New state without freeing any memory, ready for another
+// prepare/Run cycle. Sweeps reuse one machine per configuration across many
+// cells (internal/sweep), moving allocation from per-cell to per-worker;
+// the golden conformance gate proves a Reset machine replays a fresh one
+// bit-identically.
 type Machine struct {
 	cfg   Config
 	store *mem.Store
 	alloc *mem.Allocator
 	ms    *memsys.MemSys
 	rt    *core.Runtime
+	k     *engine.Kernel
 	ran   bool
 
 	cycles uint64 // parallel-region length after Run
@@ -137,12 +147,47 @@ func New(cfg Config) *Machine {
 		cfg:   cfg,
 		store: mem.NewStore(),
 		alloc: mem.NewAllocator(),
+		k:     engine.NewKernel(cfg.Threads, cfg.Seed),
 	}
 	m.rt = core.NewRuntime(nil, cfg.Threads) // ms wired below
 	m.ms = memsys.New(p, m.store, m.rt)
 	m.rt.SetMemSys(m.ms)
 	return m
 }
+
+// Reset restores the machine to its pristine post-New(cfg) state without
+// freeing memory: cache arrays are cleared in place, backing-store and
+// directory pages are invalidated by generation stamp (zeroed lazily on
+// next touch, so Reset is O(pages touched), not O(capacity)), the label
+// registry, allocator, runtime, statistics, and every PRNG stream return to
+// their constructed state. A Reset machine replays any workload
+// bit-identically to a freshly built one — TestGoldenConformance runs the
+// golden matrix with reuse on and off to prove Reset leaks no state. Reset
+// is also safe after a run that panicked (the kernel drains its procs
+// before propagating), which is how sweep workers recover their arenas.
+func (m *Machine) Reset() { m.ResetSeed(m.cfg.Seed) }
+
+// ResetSeed is Reset with a different PRNG seed: afterwards the machine is
+// indistinguishable from New with Config.Seed = seed. Sweep arenas use it
+// to reuse one machine across cells that differ only in seed.
+func (m *Machine) ResetSeed(seed uint64) {
+	m.cfg.Seed = seed
+	m.k.Reset(seed)
+	m.rt.Reset()
+	m.ms.Reset(seed)
+	m.store.Reset()
+	m.alloc.Reset()
+	m.ran = false
+	m.cycles = 0
+}
+
+// Close releases the machine's coroutine pool (one parked goroutine per
+// hardware thread, kept across runs so Reset+Run is allocation-free).
+// Callers that discard machines in a long-lived process — sweep arenas,
+// servers — should Close them; short-lived programs can skip it (the
+// goroutines end with the process). Close is idempotent and non-terminal:
+// a closed machine rebuilds its pool on the next Run.
+func (m *Machine) Close() { m.k.Halt() }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -174,13 +219,14 @@ func (m *Machine) MemRead64(a Addr) uint64 { return m.store.Read64(a) }
 
 // Run executes body on every hardware thread (thread i is pinned to core
 // i), simulating until all threads return, then drains the caches so
-// MemRead64 observes final architectural state. Run may be called once.
+// MemRead64 observes final architectural state. Run may be called once per
+// lifecycle; Reset re-arms the machine for another prepare/Run cycle.
 func (m *Machine) Run(body func(t *Thread)) {
 	if m.ran {
-		panic("commtm: Machine.Run called twice; build a fresh Machine per run")
+		panic("commtm: Machine.Run called twice; Reset the machine (or build a fresh one) per run")
 	}
 	m.ran = true
-	k := engine.NewKernel(m.cfg.Threads, m.cfg.Seed)
+	k := m.k
 	k.Run(func(p *engine.Proc) {
 		body(m.rt.NewThread(p))
 	})

@@ -24,19 +24,26 @@ var updateGolden = flag.Bool("update-golden", false,
 
 const goldenPath = "testdata/golden_conformance.json"
 
-// goldenCell is one recorded cell of the reduced conformance matrix:
-// identity, full Stats block, and the canonical final-state digest.
+// goldenCell is one recorded cell of the golden matrix (the reduced
+// conformance matrix plus the geometry-swept group): identity, full Stats
+// block, and the canonical final-state digest. Geometry is omitted for
+// default-geometry cells so the original records keep their serialized form.
 type goldenCell struct {
-	Workload string       `json:"workload"`
-	Variant  string       `json:"variant"`
-	Threads  int          `json:"threads"`
-	Seed     uint64       `json:"seed"`
-	Stats    commtm.Stats `json:"stats"`
-	Digest   string       `json:"digest"`
+	Workload string         `json:"workload"`
+	Variant  string         `json:"variant"`
+	Threads  int            `json:"threads"`
+	Seed     uint64         `json:"seed"`
+	Geometry sweep.Geometry `json:"geometry,omitzero"`
+	Stats    commtm.Stats   `json:"stats"`
+	Digest   string         `json:"digest"`
 }
 
-func goldenKey(workload, variant string, threads int, seed uint64) string {
-	return fmt.Sprintf("%s/%s/%dt/seed=%d", workload, variant, threads, seed)
+func goldenKey(workload, variant string, threads int, seed uint64, geom sweep.Geometry) string {
+	s := fmt.Sprintf("%s/%s/%dt/seed=%d", workload, variant, threads, seed)
+	if !geom.IsDefault() {
+		s += "/" + geom.Label
+	}
+	return s
 }
 
 // goldenOptions fixes the golden matrix shape. Scale is pinned (not tied to
@@ -48,11 +55,23 @@ func goldenOptions() harness.Options {
 	return o
 }
 
-func runGoldenMatrix(t *testing.T) sweep.Results {
+// goldenCells expands the golden matrix: the reduced conformance matrix
+// followed by the geometry-swept group (non-default ways/sets), with cell
+// indexes renumbered into one sequence.
+func goldenCells() []sweep.Cell {
+	o := goldenOptions()
+	cells := experiments.ConformanceMatrix(o).Cells()
+	for _, c := range experiments.GeometryMatrix(o).Cells() {
+		c.Index = len(cells)
+		cells = append(cells, c)
+	}
+	return cells
+}
+
+func runGoldenMatrix(t *testing.T, reuse sweep.Reuse) sweep.Results {
 	t.Helper()
-	mx := experiments.ConformanceMatrix(goldenOptions())
-	eng := sweep.Engine{Workers: 0}
-	rs, err := eng.Run(mx.Cells())
+	eng := sweep.Engine{Workers: 0, Reuse: reuse}
+	rs, err := eng.Run(goldenCells())
 	if err != nil {
 		t.Fatalf("golden matrix run failed: %v", err)
 	}
@@ -62,17 +81,22 @@ func runGoldenMatrix(t *testing.T) sweep.Results {
 	return rs
 }
 
-// TestGoldenConformance gates hot-path refactors on cycle-exactness: every
-// cell of the reduced conformance matrix (6 workloads × 3 variants ×
-// {1,8,32} threads × 2 seeds) must reproduce the committed per-cell Stats
-// and memory digests bit-identically. Any divergence is a real behavior
-// change — root-cause it rather than re-baselining (ISSUE 2 satellite:
-// golden drift gets its own fix + regression test).
+// TestGoldenConformance gates hot-path and lifecycle refactors on
+// cycle-exactness: every cell of the golden matrix (the reduced conformance
+// matrix — 6 workloads × 3 variants × {1,8,32} threads × 2 seeds — plus the
+// geometry-swept group) must reproduce the committed per-cell Stats and
+// memory digests bit-identically, with machine-arena reuse both enabled and
+// disabled. The reuse-on pass is the lifecycle proof: a Reset machine that
+// leaked any state between cells (cache lines, directory seen bits, RNG
+// position, allocator offsets) would diverge from the goldens recorded on
+// fresh machines. Any divergence is a real behavior change — root-cause it
+// rather than re-baselining (golden drift gets its own fix + regression
+// test).
 func TestGoldenConformance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden matrix runs at fixed scale; skipped in -short")
 	}
-	rs := runGoldenMatrix(t)
+	rs := runGoldenMatrix(t, sweep.ReuseOff)
 
 	if *updateGolden {
 		cells := make([]goldenCell, 0, len(rs))
@@ -82,6 +106,7 @@ func TestGoldenConformance(t *testing.T) {
 				Variant:  r.Variant.Label,
 				Threads:  r.Threads,
 				Seed:     r.Seed,
+				Geometry: r.Geometry,
 				Stats:    r.Stats,
 				Digest:   r.Digest,
 			})
@@ -110,29 +135,38 @@ func TestGoldenConformance(t *testing.T) {
 	}
 	want := make(map[string]goldenCell, len(cells))
 	for _, c := range cells {
-		want[goldenKey(c.Workload, c.Variant, c.Threads, c.Seed)] = c
+		want[goldenKey(c.Workload, c.Variant, c.Threads, c.Seed, c.Geometry)] = c
 	}
 	if len(want) != len(rs) {
 		t.Errorf("golden file has %d cells, matrix produced %d", len(want), len(rs))
 	}
+	checkAgainstGolden(t, rs, want, "reuse=off")
+
+	// Second pass with machine-arena reuse: same cells, same goldens, but
+	// every worker reuses one machine per configuration across its cells.
+	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOn), want, "reuse=on")
+}
+
+func checkAgainstGolden(t *testing.T, rs sweep.Results, want map[string]goldenCell, mode string) {
+	t.Helper()
 	mismatches := 0
 	for _, r := range rs {
-		key := goldenKey(r.Workload, r.Variant.Label, r.Threads, r.Seed)
+		key := goldenKey(r.Workload, r.Variant.Label, r.Threads, r.Seed, r.Geometry)
 		g, ok := want[key]
 		if !ok {
-			t.Errorf("%s: no golden record", key)
+			t.Errorf("[%s] %s: no golden record", mode, key)
 			continue
 		}
 		if r.Stats != g.Stats {
 			mismatches++
-			t.Errorf("%s: Stats drifted from golden:\n  golden: %+v\n  got:    %+v", key, g.Stats, r.Stats)
+			t.Errorf("[%s] %s: Stats drifted from golden:\n  golden: %+v\n  got:    %+v", mode, key, g.Stats, r.Stats)
 		}
 		if r.Digest != g.Digest {
 			mismatches++
-			t.Errorf("%s: digest drifted from golden: want %s, got %s", key, g.Digest, r.Digest)
+			t.Errorf("[%s] %s: digest drifted from golden: want %s, got %s", mode, key, g.Digest, r.Digest)
 		}
 		if mismatches > 6 {
-			t.Fatalf("too many golden mismatches; stopping after %d", mismatches)
+			t.Fatalf("[%s] too many golden mismatches; stopping after %d", mode, mismatches)
 		}
 	}
 }

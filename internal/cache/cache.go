@@ -111,6 +111,17 @@ func New(sizeBytes, ways int) *Cache {
 	}
 }
 
+// Reset restores the cache to its pristine post-New state in place: every
+// way Invalid, the tag mirror and LRU clock zeroed, geometry and array
+// memory kept. The cleared arrays are bit-identical to freshly constructed
+// ones, so a Reset cache replays any access sequence exactly like a new one
+// — the property the machine-lifecycle golden gate checks.
+func (c *Cache) Reset() {
+	clear(c.lines)
+	clear(c.tags)
+	c.tick = 0
+}
+
 // Sets returns the number of sets; Ways the associativity.
 func (c *Cache) Sets() int { return len(c.lines) / c.ways }
 func (c *Cache) Ways() int { return c.ways }

@@ -83,6 +83,17 @@ func NewRuntime(ms *memsys.MemSys, cores int) *Runtime {
 // SetMemSys wires the memory system after mutual construction.
 func (rt *Runtime) SetMemSys(ms *memsys.MemSys) { rt.ms = ms }
 
+// Reset restores the runtime to its freshly constructed state in place:
+// all transactional contexts idle, statistics zeroed, and the timestamp
+// clock rewound (timestamps only order transactions within one run, so a
+// reused machine must re-issue them from zero to replay a fresh machine
+// bit-identically).
+func (rt *Runtime) Reset() {
+	clear(rt.txs)
+	clear(rt.stats)
+	rt.tsClock = 0
+}
+
 // TxTS implements memsys.Arbiter.
 func (rt *Runtime) TxTS(core int) (uint64, bool) {
 	tx := &rt.txs[core]

@@ -62,15 +62,27 @@ type Proc struct {
 	waitCycles uint64 // cycles spent blocked at barriers
 	status     status
 
-	// coroutine controls: resume re-enters the proc body until its next
-	// yield (ok=false once the body has returned); interrupt makes a parked
-	// proc's pending yield report a drain, unwinding the body via drainSig.
-	resume    func() (struct{}, bool)
-	interrupt func()
-	yieldFn   func(struct{}) bool
+	// Coroutine controls. Each proc owns one persistent coroutine that
+	// lives across runs (and kernel Resets): its body is an endless loop
+	// that runs the kernel's current run body, parks, and waits for the
+	// next run. resume re-enters the coroutine until its next yield; stop
+	// makes the pending (or initial) yield report false, which the loop
+	// converts into a clean coroutine exit (Halt). alive tracks whether the
+	// coroutine exists — it is built lazily at Run, torn down by Halt, and
+	// abandoned when a body panic unwinds it.
+	resume  func() (struct{}, bool)
+	stop    func()
+	alive   bool
+	yieldFn func(struct{}) bool
 }
 
 // Kernel owns the procs of one parallel region and schedules them.
+//
+// Procs run their bodies on a pool of persistent coroutines: one per proc,
+// created on first use and parked between runs, so the steady-state cost of
+// a Run on a Reset kernel is zero coroutine construction (the iter.Pull
+// machinery used to dominate per-run allocations in machine-reuse sweeps).
+// Halt releases the pool's goroutines; the next Run rebuilds on demand.
 type Kernel struct {
 	procs []*Proc
 	// runq is a min-heap on (clock, id) of parked runnable procs. The
@@ -79,6 +91,7 @@ type Kernel struct {
 	// ids are unique — so pop order is deterministic and identical to a
 	// linear min-scan.
 	runq     []*Proc
+	body     func(p *Proc) // current run's body, nil between runs
 	running  bool
 	draining bool
 }
@@ -105,6 +118,47 @@ func NewKernel(n int, seed uint64) *Kernel {
 		})
 	}
 	return k
+}
+
+// Reset restores the kernel to the state NewKernel(n, seed) would produce,
+// without reallocating procs, their PRNGs, or their coroutines: clocks,
+// barrier-wait counters, and statuses are cleared and both PRNG streams are
+// re-derived in place, while parked coroutines stay parked — the next Run
+// reuses them. Reset must not be called while Run is in progress; it is
+// safe after a drained (panicked) run (the panicked proc's coroutine is
+// rebuilt lazily by the next Run).
+func (k *Kernel) Reset(seed uint64) {
+	if k.running {
+		panic("engine: Kernel.Reset during Run")
+	}
+	k.runq = k.runq[:0]
+	k.draining = false
+	for i, p := range k.procs {
+		p.clock, p.lastYield, p.waitCycles = 0, 0, 0
+		p.status = statusRunnable
+		p.Rand.SeedDerived(seed, uint64(i))
+		p.SysRand.SeedDerived(seed, uint64(i)+1<<32)
+	}
+}
+
+// Halt tears down the coroutine pool, releasing one parked goroutine per
+// proc. A kernel whose machine is being discarded should be halted, or its
+// goroutines live until process exit; a halted kernel remains fully usable
+// — the next Run rebuilds coroutines on demand. Halt is idempotent and a
+// no-op on a never-run kernel.
+func (k *Kernel) Halt() {
+	if k.running {
+		panic("engine: Kernel.Halt during Run")
+	}
+	for _, p := range k.procs {
+		if p.alive {
+			// Between runs every live coroutine is parked at its loop yield
+			// (drain parks even panicking runs' survivors); stop makes that
+			// yield report false and the loop returns, ending the goroutine.
+			p.alive = false
+			p.stop()
+		}
+	}
 }
 
 // Procs returns the number of procs.
@@ -170,17 +224,21 @@ func (k *Kernel) pop() *Proc {
 
 // Run executes body once per proc, scheduling deterministically until every
 // proc returns. It panics if any body panics (with the original value) or
-// if Run is re-entered.
+// if Run is re-entered. Procs run on the kernel's persistent coroutine
+// pool: coroutines missing from the pool (first run, post-Halt, or
+// abandoned by a previous run's panic) are built here; the rest resume
+// where they parked.
 func (k *Kernel) Run(body func(p *Proc)) {
 	if k.running {
 		panic("engine: Kernel.Run re-entered")
 	}
 	k.running = true
-	defer func() { k.running = false }()
+	k.body = body
+	defer func() { k.running, k.body = false, nil }()
 	// Any panic leaving the scheduling loop — a proc body's (propagated out
 	// of resume), or one of the kernel's own invariant panics — must first
-	// unwind every parked proc coroutine, or each one leaks and pins the
-	// whole machine.
+	// unwind every unfinished proc body, or those procs are stuck mid-run
+	// and their coroutines cannot be reparked for the next run.
 	defer func() {
 		if r := recover(); r != nil {
 			k.drain()
@@ -190,7 +248,10 @@ func (k *Kernel) Run(body func(p *Proc)) {
 
 	for _, p := range k.procs {
 		p.status = statusRunnable
-		p.resume, p.interrupt = newCoro(k, p, body)
+		if !p.alive {
+			p.alive = true
+			p.resume, p.stop = newCoro(k, p)
+		}
 		k.push(p)
 	}
 
@@ -210,53 +271,78 @@ func (k *Kernel) Run(body func(p *Proc)) {
 	}
 }
 
-// newCoro builds p's body coroutine. The returned resume runs the body up
-// to its next yield; interrupt makes the pending (or initial) yield unwind
-// the body via drainSig, which the wrapper converts into a clean return so
-// interrupt itself never panics.
-func newCoro(k *Kernel, p *Proc, body func(p *Proc)) (resume func() (struct{}, bool), interrupt func()) {
+// newCoro builds p's persistent coroutine: an endless loop that executes
+// the kernel's current run body, marks the proc done, and parks until the
+// next run resumes it (or Halt stops it, which makes the park yield report
+// false and ends the loop). The returned resume runs the coroutine up to
+// its next yield.
+func newCoro(k *Kernel, p *Proc) (resume func() (struct{}, bool), stop func()) {
 	next, stop := iter.Pull(func(yield func(struct{}) bool) {
 		p.yieldFn = yield
-		defer func() {
+		for {
+			p.runBody(k)
 			p.status = statusDone
-			if r := recover(); r != nil {
-				if _, unwind := r.(drainSig); unwind {
-					return
-				}
-				if k.draining {
-					// Secondary panic from a workload's deferred cleanup
-					// while drainSig unwound its body. Re-panicking here
-					// would abort the drain (leaking the remaining procs)
-					// and replace the original panic, so drop it — the
-					// panic that started the drain is the one Run reports.
-					return
-				}
-				// Real panic: re-panic so it reaches Run's scheduling loop
-				// (iter.Pull forwards it out of resume), tagged with the
-				// proc that died.
-				panic(fmt.Sprintf("engine: proc %d panicked: %v", p.ID, r))
+			if !yield(struct{}{}) {
+				return // Halt released the pool
 			}
-		}()
-		if !k.draining {
-			body(p)
 		}
 	})
-	return next, func() {
-		stop()
-		p.status = statusDone // never-started procs have no deferred marker
+	return next, stop
+}
+
+// runBody executes the kernel's current run body on p, converting a drain
+// unwind into a clean return (the coroutine survives, parks, and serves the
+// next run). A real body panic marks the coroutine abandoned and re-panics
+// so Run's scheduling loop reports it; the next Run rebuilds this proc's
+// coroutine.
+func (p *Proc) runBody(k *Kernel) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, unwind := r.(drainSig); unwind {
+				return
+			}
+			if k.draining {
+				// Secondary panic from a workload's deferred cleanup while
+				// drainSig unwound its body. Re-panicking here would abort
+				// the drain (leaving the remaining procs mid-body) and
+				// replace the original panic, so drop it — the panic that
+				// started the drain is the one Run reports.
+				return
+			}
+			// Real panic: the re-panic unwinds the coroutine loop itself
+			// (iter.Pull forwards it out of resume into Run), so this
+			// coroutine is gone; flag it for lazy rebuild. The proc is done
+			// as far as this run is concerned — drain's post-condition is
+			// "every proc done and reparked or gone".
+			p.alive = false
+			p.status = statusDone
+			panic(fmt.Sprintf("engine: proc %d panicked: %v", p.ID, r))
+		}
+	}()
+	if !k.draining {
+		k.body(p)
 	}
 }
 
-// drain unwinds every unfinished proc coroutine: its next yield (or its
-// initial resume, if it never started) panics with drainSig, which the
-// coroutine wrapper converts into a normal return.
+// drain unwinds every unfinished proc body and reparks its coroutine: each
+// resumed proc observes draining at its pending park (or skips its body, if
+// it never started this run) and unwinds via drainSig, leaving the
+// coroutine parked at its loop yield, ready for the next run.
 func (k *Kernel) drain() {
 	k.draining = true
 	for _, p := range k.procs {
-		if p.status != statusDone {
-			p.interrupt()
+		// Resume until the proc reaches its loop yield (statusDone): a
+		// workload defer that itself parks (a Barrier or Stall in cleanup)
+		// re-enters park during the drainSig unwind and hands control back
+		// here still mid-defer; each further resume unwinds at least one
+		// more defer frame, so this terminates with the body fully unwound.
+		for p.alive && p.status != statusDone {
+			p.resume()
 		}
 	}
+	// Every live coroutine is reparked; the kernel is coherent again (a
+	// Reset is still required before the next run for pristine state).
+	k.draining = false
 }
 
 func (k *Kernel) allDone() bool {
@@ -296,10 +382,16 @@ func (k *Kernel) releaseBarrier() {
 }
 
 // park switches back to the scheduling loop and blocks until the proc is
-// resumed; a false return from the coroutine yield means the kernel is
-// unwinding, which drainSig converts into the proc's clean exit.
+// resumed. A resume during a kernel drain unwinds the body via drainSig
+// (the coroutine itself survives and reparks at its loop yield); a false
+// yield return means Halt is ending the coroutine outright — unreachable
+// mid-body, since Halt refuses to run during Run, but the unwind keeps it
+// safe regardless.
 func (p *Proc) park() {
 	if !p.yieldFn(struct{}{}) {
+		panic(drainSig{})
+	}
+	if p.k.draining {
 		panic(drainSig{})
 	}
 }

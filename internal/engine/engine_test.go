@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -274,5 +275,156 @@ func TestDrainSurvivesSecondaryPanic(t *testing.T) {
 		if p.status != statusDone {
 			t.Fatalf("proc %d left in status %d after drain with secondary panic", p.ID, p.status)
 		}
+	}
+}
+
+// TestKernelResetReplays: a Reset kernel must replay a run bit-identically
+// — same schedules, same clocks, same PRNG draws — on its pooled
+// coroutines, across many cycles and seed changes.
+func TestKernelResetReplays(t *testing.T) {
+	trace := func(k *Kernel) (clocks [4]uint64, draws [4]uint64) {
+		k.Run(func(p *Proc) {
+			for i := 0; i < 3+p.ID; i++ {
+				p.Stall(1 + p.Rand.Uint64n(7))
+				p.Tick(p.SysRand.Uint64n(3))
+			}
+			p.Barrier()
+			clocks[p.ID] = p.Clock()
+			draws[p.ID] = p.Rand.Uint64()
+		})
+		return clocks, draws
+	}
+	ref := NewKernel(4, 9)
+	wantClocks, wantDraws := trace(ref)
+
+	k := NewKernel(4, 1)
+	trace(k) // dirty run under a different seed
+	for cycle := 0; cycle < 3; cycle++ {
+		k.Reset(9)
+		gotClocks, gotDraws := trace(k)
+		if gotClocks != wantClocks || gotDraws != wantDraws {
+			t.Fatalf("cycle %d: Reset kernel diverged:\n want clocks=%v draws=%v\n  got clocks=%v draws=%v",
+				cycle, wantClocks, wantDraws, gotClocks, gotDraws)
+		}
+	}
+}
+
+// TestCoroutinePoolPersists: the second run on a Reset kernel must reuse
+// the pooled coroutines instead of rebuilding them (the steady-state
+// allocation win behind sweep machine arenas).
+func TestCoroutinePoolPersists(t *testing.T) {
+	k := NewKernel(2, 1)
+	k.Run(func(p *Proc) { p.Stall(1) })
+	before := goroutines()
+	for i := 0; i < 10; i++ {
+		k.Reset(1)
+		k.Run(func(p *Proc) { p.Stall(2) })
+	}
+	if after := goroutines(); after > before {
+		t.Fatalf("goroutine count grew %d -> %d across Reset/Run cycles; coroutines not pooled", before, after)
+	}
+	for _, p := range k.procs {
+		if !p.alive {
+			t.Fatalf("proc %d coroutine not alive after reuse", p.ID)
+		}
+	}
+	k.Halt()
+}
+
+func goroutines() int { return runtime.NumGoroutine() }
+
+// TestHaltReleasesAndRebuilds: Halt ends the pooled coroutines; a halted
+// kernel still runs (rebuilding the pool lazily) and Halt is idempotent,
+// including on a never-run kernel.
+func TestHaltReleasesAndRebuilds(t *testing.T) {
+	k := NewKernel(3, 1)
+	k.Halt() // never-run kernel: no-op
+	n := 0
+	k.Run(func(p *Proc) { p.Stall(1); n++ })
+	k.Halt()
+	k.Halt() // idempotent
+	for _, p := range k.procs {
+		if p.alive {
+			t.Fatalf("proc %d still alive after Halt", p.ID)
+		}
+	}
+	k.Reset(1)
+	k.Run(func(p *Proc) { p.Stall(1); n++ })
+	if n != 6 {
+		t.Fatalf("ran %d proc bodies, want 6", n)
+	}
+}
+
+// TestPanickedProcRebuilds: after a body panic kills one proc's coroutine,
+// Reset + Run must rebuild just that coroutine and replay cleanly.
+func TestPanickedProcRebuilds(t *testing.T) {
+	k := NewKernel(3, 1)
+	func() {
+		defer func() { recover() }()
+		k.Run(func(p *Proc) {
+			if p.ID == 1 {
+				p.Stall(1)
+				panic("boom")
+			}
+			for i := 0; i < 4; i++ {
+				p.Stall(2)
+			}
+		})
+	}()
+	if k.procs[1].alive {
+		t.Fatal("panicked proc's coroutine still marked alive")
+	}
+	k.Reset(1)
+	n := 0
+	k.Run(func(p *Proc) { p.Stall(1); n++ })
+	if n != 3 {
+		t.Fatalf("post-panic run executed %d bodies, want 3", n)
+	}
+	for _, p := range k.procs {
+		if !p.alive {
+			t.Fatalf("proc %d not rebuilt after panic", p.ID)
+		}
+	}
+}
+
+// TestDrainUnwindsParkingDefer: a workload defer that parks (Barrier or
+// Stall in cleanup) while the kernel drains must still be fully unwound —
+// and the next Reset+Run must replay cleanly, not resume the old run's
+// suspended defer (a single-resume drain used to leave the proc frozen
+// mid-defer and silently skip its next body).
+func TestDrainUnwindsParkingDefer(t *testing.T) {
+	k := NewKernel(3, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("body panic did not propagate out of Run")
+			}
+		}()
+		k.Run(func(p *Proc) {
+			switch p.ID {
+			case 0:
+				p.Stall(10)
+				panic("boom")
+			case 1:
+				defer p.Barrier() // parks again during the drain unwind
+				defer func() { p.Stall(100) }()
+				for {
+					p.Stall(5)
+				}
+			default:
+				p.Barrier()
+			}
+		})
+	}()
+	for _, p := range k.procs {
+		if p.status != statusDone {
+			t.Fatalf("proc %d left in status %d after drain with parking defer", p.ID, p.status)
+		}
+	}
+	k.Reset(1)
+	ran := [3]bool{}
+	k.Run(func(p *Proc) { p.Stall(1); ran[p.ID] = true })
+	if ran != [3]bool{true, true, true} {
+		t.Fatalf("post-drain run skipped bodies: %v", ran)
 	}
 }

@@ -314,6 +314,14 @@ type Options struct {
 	// Workers bounds host parallelism of the sweep engine: 1 runs
 	// sequentially, 0 uses all host cores (runtime.GOMAXPROCS).
 	Workers int
+	// Reuse selects the machine lifecycle of every sweep: the default
+	// (sweep.ReuseOn) runs cells on per-worker machine arenas; ReuseOff
+	// builds a fresh machine per cell.
+	Reuse sweep.Reuse
+	// DetSample/DetSampleSeed select the determinism oracle's sampled mode
+	// for the conformance experiment; zero DetSample re-runs every cell.
+	DetSample     float64
+	DetSampleSeed uint64
 	// Sinks receive every cell result of every sweep, in cell order.
 	Sinks []sweep.Sink
 }
@@ -327,7 +335,18 @@ func DefaultOptions() Options {
 // fail fast: a broken workload aborts the rest of its matrix instead of
 // simulating every remaining cell first.
 func (o Options) engine() *sweep.Engine {
-	return &sweep.Engine{Workers: o.Workers, Sinks: o.Sinks, FailFast: true}
+	return &sweep.Engine{Workers: o.Workers, Sinks: o.Sinks, FailFast: true, Reuse: o.Reuse}
+}
+
+// Oracle translates the options into the conformance-oracle configuration.
+func (o Options) Oracle() sweep.OracleOptions {
+	return sweep.OracleOptions{
+		Workers:       o.Workers,
+		Reuse:         o.Reuse,
+		DetSample:     o.DetSample,
+		DetSampleSeed: o.DetSampleSeed,
+		Sinks:         o.Sinks,
+	}
 }
 
 func (o Options) scaled(n int) int {

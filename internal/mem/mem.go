@@ -49,10 +49,28 @@ const (
 
 // storePage is one 4 KiB page of backing memory plus a bitmap of which of
 // its lines have been materialized (line granularity is preserved: Peek and
-// Len observe exactly the lines that Line has touched).
+// Len observe exactly the lines that Line has touched). epoch stamps the
+// store generation the page contents belong to; a page whose epoch trails
+// the store's is logically empty (Reset happened since) and its stale lines
+// are zeroed lazily on next touch.
 type storePage struct {
 	used  uint64
+	epoch uint64
 	lines [linesPerPage]Line
+}
+
+// current reports whether the page's contents belong to epoch.
+func (pg *storePage) current(epoch uint64) bool { return pg.epoch == epoch }
+
+// revalidate brings a stale page into epoch: the lines used in the previous
+// generation are zeroed (only those — fresh pages are already zero), the
+// bitmap cleared. Cost is proportional to the lines touched last generation.
+func (pg *storePage) revalidate(epoch uint64) {
+	for m := pg.used; m != 0; m &= m - 1 {
+		pg.lines[bits.TrailingZeros64(m)] = Line{}
+	}
+	pg.used = 0
+	pg.epoch = epoch
 }
 
 // Store is the canonical memory backing store, line granular. Lines are
@@ -63,14 +81,27 @@ type storePage struct {
 // dense, low address space, so page-number indexing replaces the map hash
 // that used to dominate every backing-store access, and iteration is in
 // address order for free.
+//
+// Reset makes the store empty again without freeing pages: it bumps the
+// store epoch, invalidating every page in O(1); each page zeroes its stale
+// lines the next time it is touched. Reset cost is therefore independent of
+// capacity, and post-Reset reads observe zeroes exactly as a fresh store.
 type Store struct {
 	pages []*storePage
-	count int // materialized lines
+	count int    // materialized lines (current epoch)
+	epoch uint64 // current generation; pages with older stamps are empty
 }
 
 // NewStore returns an empty backing store.
 func NewStore() *Store {
 	return &Store{}
+}
+
+// Reset empties the store, retaining page memory for reuse. O(1): stale
+// pages are zeroed lazily on their next touch.
+func (s *Store) Reset() {
+	s.epoch++
+	s.count = 0
 }
 
 // page returns the page containing a, materializing it if needed.
@@ -83,8 +114,10 @@ func (s *Store) page(a Addr) *storePage {
 	}
 	pg := s.pages[pi]
 	if pg == nil {
-		pg = new(storePage)
+		pg = &storePage{epoch: s.epoch}
 		s.pages[pi] = pg
+	} else if !pg.current(s.epoch) {
+		pg.revalidate(s.epoch)
 	}
 	return pg
 }
@@ -108,6 +141,9 @@ func (s *Store) Peek(a Addr) (*Line, bool) {
 		return nil, false
 	}
 	pg := s.pages[pi]
+	if !pg.current(s.epoch) {
+		return nil, false // stale page: logically empty since the last Reset
+	}
 	li := int(a>>lineShift) & lineInPageMsk
 	if pg.used&(1<<li) == 0 {
 		return nil, false
@@ -136,7 +172,7 @@ func (s *Store) Len() int { return s.count }
 // without allocating. fn must not materialize new lines.
 func (s *Store) ForEach(fn func(la Addr, l *Line)) {
 	for pi, pg := range s.pages {
-		if pg == nil {
+		if pg == nil || !pg.current(s.epoch) {
 			continue
 		}
 		base := Addr(pi) << pageShift
@@ -172,6 +208,10 @@ type Allocator struct {
 func NewAllocator() *Allocator {
 	return &Allocator{next: 4096}
 }
+
+// Reset returns the allocator to its freshly constructed state, releasing
+// the whole simulated address space for reuse.
+func (al *Allocator) Reset() { al.next = 4096 }
 
 // Alloc reserves size bytes aligned to align (which must be a power of two,
 // at least 1) and returns the base address.

@@ -249,8 +249,12 @@ const (
 // dirPage entries start at their zero value: a dirInvalid entry's owner and
 // label are never read (every read is guarded by dirExclusive/dirU, and
 // every transition into those states writes the field), so page
-// materialization is a plain zeroed allocation.
+// materialization is a plain zeroed allocation. epoch stamps the generation
+// the entries belong to, mirroring mem.Store's lazy page zeroing: Reset
+// bumps the memory system's epoch in O(1) and a stale page is cleared the
+// next time a request reaches it.
 type dirPage struct {
+	epoch   uint64
 	entries [dirLinesPerPage]dirEntry
 }
 
@@ -278,6 +282,7 @@ type MemSys struct {
 	rng      *xrand.RNG
 	ctr      Counters
 	banks    int
+	epoch    uint64 // directory-page generation; see dirPage
 	// evScratch receives L2 eviction copies whose address flows into
 	// reduction handlers (see ensurePrivate); a long-lived home keeps the
 	// per-miss copy off the heap. Never valid across calls.
@@ -314,6 +319,29 @@ func New(p Params, store *mem.Store, arb Arbiter) *MemSys {
 	return ms
 }
 
+// Reset restores the memory system to the state New(p with Seed=seed,
+// store, arb) would produce, without freeing cache arrays, directory pages,
+// or footprint slices. Every private cache is cleared in place, the label
+// registry emptied (workloads re-register on their next Setup), counters
+// zeroed, the microarchitectural RNG re-derived, and the directory epoch
+// bumped so stale pages — including their seen bits and busy horizons, which
+// Drain deliberately leaves behind — read as zero again. The backing store
+// has its own lifecycle (mem.Store.Reset) owned by the machine.
+func (ms *MemSys) Reset(seed uint64) {
+	ms.p.Seed = seed
+	ms.labels = ms.labels[:0]
+	for i := range ms.privs {
+		pv := &ms.privs[i]
+		pv.l1.Reset()
+		pv.l2.Reset()
+		pv.specLines = pv.specLines[:0]
+	}
+	ms.epoch++
+	ms.rng.Seed(seed ^ 0xc0ffee)
+	ms.ctr = Counters{}
+	ms.evScratch = cache.LineMeta{}
+}
+
 // RegisterLabel installs a commutative-operation label and returns its id.
 func (ms *MemSys) RegisterLabel(s LabelSpec) LabelID {
 	if len(ms.labels) >= MaxLabels {
@@ -344,8 +372,15 @@ func (ms *MemSys) entry(la mem.Addr) *dirEntry {
 	}
 	pg := ms.dirPages[pi]
 	if pg == nil {
-		pg = new(dirPage)
+		pg = &dirPage{epoch: ms.epoch}
 		ms.dirPages[pi] = pg
+	} else if pg.epoch != ms.epoch {
+		// Stale since the last Reset: restore the zero state lazily. Every
+		// entry is dirInvalid between runs anyway (Drain leaves it so), but a
+		// drained-by-panic machine may have left arbitrary entries, and the
+		// zero value is the fresh-page contract either way.
+		pg.entries = [dirLinesPerPage]dirEntry{}
+		pg.epoch = ms.epoch
 	}
 	return &pg.entries[int(la>>6)&dirLineMask]
 }

@@ -296,8 +296,8 @@ func (ms *MemSys) Drain() {
 	// The page table iterates in ascending address order by construction
 	// (pages by page number, entries by line within the page).
 	for pi, pg := range ms.dirPages {
-		if pg == nil {
-			continue
+		if pg == nil || pg.epoch != ms.epoch {
+			continue // stale pages are logically empty since the last Reset
 		}
 		for li := range pg.entries {
 			e := &pg.entries[li]

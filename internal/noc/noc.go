@@ -6,6 +6,10 @@
 // only. Contention is not modeled — the paper's results depend on latency
 // scaling and message counts, not on flit-level queueing — but every message
 // is counted so traffic breakdowns (Fig. 19) can be reproduced.
+//
+// A Mesh is immutable after construction, so it is the one simulator layer
+// the machine lifecycle (commtm.Machine.Reset) does not touch: a reused
+// machine keeps sharing its mesh across runs with nothing to clear.
 package noc
 
 import "fmt"

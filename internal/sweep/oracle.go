@@ -79,17 +79,70 @@ func CheckDifferential(rs Results) error {
 	return errors.Join(errs...)
 }
 
+// DeterminismOptions configures the determinism oracle's re-run.
+type DeterminismOptions struct {
+	// Workers is the re-run pool width; <= 0 uses all host cores.
+	Workers int
+	// Reuse is the machine-lifecycle policy of the re-run engine.
+	Reuse Reuse
+	// Sample in (0, 1) re-runs only that fraction of passing cells,
+	// hash-selected per cell key so the subset is stable for a given
+	// SampleSeed and independent of matrix size or cell order. <= 0 or
+	// >= 1 re-runs every cell (full mode). Sampling keeps oracle cost flat
+	// as matrices grow; any nondeterminism the engine could exhibit
+	// (schedule leakage, shared state) would taint many cells, so a stable
+	// random subset still catches it with high probability.
+	Sample float64
+	// SampleSeed perturbs the hash selection, letting CI rotate subsets.
+	SampleSeed uint64
+}
+
+// sampled reports whether the cell with the given key is in the hash
+// subset: an FNV-1a hash of the key, mixed with the seed, scaled to [0,1).
+func (o DeterminismOptions) sampled(key string) bool {
+	if o.Sample <= 0 || o.Sample >= 1 {
+		return true
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	for s := o.SampleSeed; s != 0; s >>= 8 {
+		h ^= s & 0xff
+		h *= prime64
+	}
+	// FNV diffuses upward too slowly for a threshold on the high bits (a
+	// one-byte seed change only perturbs bits ~0-43); finish with a
+	// splitmix64-style avalanche so every input bit reaches the top.
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11)/(1<<53) < o.Sample
+}
+
 // CheckDeterminism re-runs every cell of rs once (on the same worker pool
 // width) and verifies bit-identical Stats and digest. Failed cells are
 // skipped — the differential oracle already reports them.
 func CheckDeterminism(rs Results, workers int) error {
+	return CheckDeterminismOpts(rs, DeterminismOptions{Workers: workers})
+}
+
+// CheckDeterminismOpts is CheckDeterminism with an explicit re-run policy:
+// lifecycle reuse for the re-run engine and optional hash-sampled cell
+// selection (see DeterminismOptions.Sample).
+func CheckDeterminismOpts(rs Results, o DeterminismOptions) error {
 	cells := make([]Cell, 0, len(rs))
 	for _, r := range rs {
-		if r.Err == "" {
+		if r.Err == "" && o.sampled(r.key()) {
 			cells = append(cells, r.Cell)
 		}
 	}
-	eng := Engine{Workers: workers}
+	eng := Engine{Workers: o.Workers, Reuse: o.Reuse}
 	rerun, err := eng.Run(cells)
 	if err != nil {
 		return err
@@ -113,20 +166,48 @@ func CheckDeterminism(rs Results, workers int) error {
 	return errors.Join(errs...)
 }
 
+// OracleOptions configures a Conformance run.
+type OracleOptions struct {
+	Workers int
+	// Reuse is the lifecycle policy for both the first run and the
+	// determinism re-run.
+	Reuse Reuse
+	// DetSample / DetSampleSeed select the determinism oracle's sampled
+	// mode (DeterminismOptions.Sample semantics); zero means full.
+	DetSample     float64
+	DetSampleSeed uint64
+	// IndexBase offsets every cell's Index, letting callers stream several
+	// matrices to one sink without row-index collisions (indexes restart at
+	// zero per matrix).
+	IndexBase int
+	Sinks     []Sink
+}
+
 // Conformance expands the matrix, runs it, and applies both oracles. The
 // first run streams to the given sinks (the determinism re-run does not —
 // its results duplicate the first run's on success). It returns the
 // first-run results (for reporting) along with the verdict.
 func Conformance(mx Matrix, workers int, sinks ...Sink) (Results, error) {
-	eng := Engine{Workers: workers, Sinks: sinks}
-	rs, err := eng.Run(mx.Cells())
+	return ConformanceOpts(mx, OracleOptions{Workers: workers, Sinks: sinks})
+}
+
+// ConformanceOpts is Conformance with explicit lifecycle and determinism
+// sampling policies.
+func ConformanceOpts(mx Matrix, o OracleOptions) (Results, error) {
+	eng := Engine{Workers: o.Workers, Sinks: o.Sinks, Reuse: o.Reuse}
+	cells := mx.Cells()
+	for i := range cells {
+		cells[i].Index += o.IndexBase
+	}
+	rs, err := eng.Run(cells)
 	if err != nil {
 		return rs, err
 	}
 	if err := CheckDifferential(rs); err != nil {
 		return rs, fmt.Errorf("differential oracle:\n%w", err)
 	}
-	if err := CheckDeterminism(rs, workers); err != nil {
+	det := DeterminismOptions{Workers: o.Workers, Reuse: o.Reuse, Sample: o.DetSample, SampleSeed: o.DetSampleSeed}
+	if err := CheckDeterminismOpts(rs, det); err != nil {
 		return rs, fmt.Errorf("determinism oracle:\n%w", err)
 	}
 	return rs, nil

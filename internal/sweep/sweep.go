@@ -1,16 +1,26 @@
 // Package sweep is the host-parallel execution engine beneath the paper's
 // evaluation: it expands a declarative job matrix (workloads × protocol
 // variants × thread counts × seeds × cache geometries) into independent
-// cells, runs each cell on its own freshly built commtm.Machine across a
-// bounded worker pool, and streams results — in deterministic cell order,
-// regardless of completion order — into structured sinks (JSON lines, CSV,
-// text tables).
+// cells, runs them across a bounded worker pool, and streams results — in
+// deterministic cell order, regardless of completion order — into
+// structured sinks (JSON lines, CSV, text tables).
 //
-// Every simulated machine is single-use and fully deterministic, so cells
-// are embarrassingly parallel on the host; the engine's only synchronization
-// is the work queue and an in-order emit buffer. The figure/table layer in
-// internal/harness and the differential conformance oracle in oracle.go
-// both run on top of this engine.
+// Machines follow the commtm lifecycle: by default (ReuseOn) each worker
+// owns an arena of machines, one per distinct configuration-modulo-seed,
+// and Resets a machine between the cells it runs — machine construction is
+// the dominant allocator of a sweep, so reuse moves allocation from
+// per-cell to per-worker. Cells are scheduled with configuration affinity
+// (a worker drains one configuration's cells before claiming another) so
+// the arena hit rate stays high regardless of worker count; Reset is proven
+// invisible by the golden conformance gate, which runs the golden matrix
+// with reuse both on and off. ReuseOff restores the fresh-machine-per-cell
+// behavior.
+//
+// Every simulated cell is fully deterministic, so cells are embarrassingly
+// parallel on the host; the engine's only synchronization is the work queue
+// and an in-order emit buffer. The figure/table layer in internal/harness
+// and the differential conformance oracle in oracle.go both run on top of
+// this engine.
 package sweep
 
 import (
@@ -178,21 +188,93 @@ func (rs Results) FirstErr() error {
 	return nil
 }
 
-// RunCell executes one cell synchronously: build the machine, set up and
-// run the workload, validate, and digest the final state. Panics from the
-// simulator or workload are captured into Result.Err so one bad cell cannot
-// take down a whole sweep.
-func RunCell(c Cell) (res Result) {
+// RunCell executes one cell synchronously on a freshly built machine: set
+// up and run the workload, validate, and digest the final state. Panics
+// from the simulator or workload are captured into Result.Err so one bad
+// cell cannot take down a whole sweep. Engine workers run cells through a
+// machine arena instead; RunCell is the construct-per-call path for
+// single-cell callers (harness.RunOne, tests).
+func RunCell(c Cell) Result { return runCell(c, nil) }
+
+// arena is one worker's pool of reusable machines, keyed by the cell
+// configuration with the seed erased (Reset re-derives every PRNG stream
+// from the next cell's seed, so machines are shareable across seeds).
+type arena map[commtm.Config]*commtm.Machine
+
+// arenaKey returns c's machine configuration with the seed erased.
+func arenaKey(c Cell) commtm.Config {
+	cfg := c.Config()
+	cfg.Seed = 0
+	return cfg
+}
+
+// acquire returns a pristine machine for c: a Reset arena machine when one
+// exists for the configuration, else a freshly built (and pooled) one. A
+// nil arena always builds fresh without pooling.
+func (a arena) acquire(c Cell) *commtm.Machine {
+	if a == nil {
+		return commtm.New(c.Config())
+	}
+	key := arenaKey(c)
+	if m := a[key]; m != nil {
+		m.ResetSeed(c.Seed)
+		return m
+	}
+	m := commtm.New(c.Config())
+	a[key] = m
+	return m
+}
+
+// drop discards the arena machine for c's configuration. Workers call it
+// when a cell fails: Reset is designed to recover even a panic-drained
+// machine, but a failed cell's machine is cheap to rebuild and dropping it
+// removes any doubt.
+func (a arena) drop(c Cell) {
+	if a == nil {
+		return
+	}
+	key := arenaKey(c)
+	if m := a[key]; m != nil {
+		m.Close()
+		delete(a, key)
+	}
+}
+
+// close releases every pooled machine's coroutine pool. Workers close their
+// arena on exit so engine runs do not accumulate parked goroutines.
+func (a arena) close() {
+	for _, m := range a {
+		m.Close()
+	}
+}
+
+// runCell executes one cell on a machine from the arena (nil = always
+// fresh). Machine acquisition happens inside the recover window so
+// construction-time panics (invalid configurations) are captured like any
+// other cell failure.
+func runCell(c Cell, a arena) (res Result) {
 	start := time.Now()
 	res = Result{Cell: c}
+	var m *commtm.Machine
 	defer func() {
 		res.WallNS = time.Since(start).Nanoseconds()
 		if r := recover(); r != nil {
 			res.Err = fmt.Sprintf("panic: %v", r)
 		}
+		if res.Err != "" && m != nil {
+			// Only a machine the failed cell actually ran on is suspect; a
+			// failure before acquire (workload constructor panic) must not
+			// evict the configuration's healthy pooled machine.
+			a.drop(c)
+		}
+		if a == nil && m != nil {
+			// Unpooled machine: release its coroutine pool now rather than
+			// parking goroutines until process exit.
+			m.Close()
+		}
 	}()
 	w := c.Mk()
-	m := commtm.New(c.Config())
+	m = a.acquire(c)
 	w.Setup(m)
 	m.Run(w.Body)
 	res.Stats = m.Stats()
@@ -212,6 +294,20 @@ func RunCell(c Cell) (res Result) {
 	return res
 }
 
+// Reuse selects the machine-lifecycle policy of an engine run.
+type Reuse int
+
+const (
+	// ReuseOn (the default) gives each worker a machine arena: one machine
+	// per distinct configuration-modulo-seed, Reset between cells. Results
+	// are bit-identical to ReuseOff — the golden conformance gate proves it.
+	ReuseOn Reuse = iota
+	// ReuseOff builds a fresh machine per cell, the pre-lifecycle behavior.
+	// The differential value of running a matrix both ways is the reuse
+	// cross-check documented in EXPERIMENTS.md.
+	ReuseOff
+)
+
 // Engine runs cells on a bounded worker pool.
 type Engine struct {
 	// Workers bounds host parallelism; <= 0 means runtime.GOMAXPROCS(0),
@@ -226,6 +322,95 @@ type Engine struct {
 	// cells report Err; in-flight cells still finish. Leave false when
 	// every cell's verdict matters (the conformance oracle).
 	FailFast bool
+	// Reuse selects the machine lifecycle: ReuseOn (default) runs cells on
+	// per-worker machine arenas with configuration-affinity scheduling;
+	// ReuseOff runs every cell on a fresh machine in plain index order.
+	Reuse Reuse
+}
+
+// sched hands out cells with configuration affinity: cells are grouped by
+// arena key, a worker drains the group it owns before claiming another, and
+// once every group is owned, idle workers steal from the group with the
+// most cells left (building a second machine for that configuration — a
+// bounded tail cost that keeps the pool busy). With a single group the
+// scheduler degenerates to the plain shared index-order queue, which is how
+// ReuseOff runs.
+type sched struct {
+	mu     sync.Mutex
+	groups []*schedGroup
+}
+
+type schedGroup struct {
+	cells []int // cell indexes, in index order; cells[next:] still to run
+	next  int
+	owned bool
+}
+
+// newSched groups cell indexes by arena key in first-appearance order (so
+// group order tracks index order); byConfig=false puts every cell in one
+// shared group.
+func newSched(cells []Cell, byConfig bool) *sched {
+	s := &sched{}
+	if !byConfig {
+		all := &schedGroup{cells: make([]int, len(cells))}
+		for i := range cells {
+			all.cells[i] = i
+		}
+		s.groups = append(s.groups, all)
+		return s
+	}
+	byKey := make(map[commtm.Config]*schedGroup)
+	for i, c := range cells {
+		k := arenaKey(c)
+		g := byKey[k]
+		if g == nil {
+			g = &schedGroup{}
+			byKey[k] = g
+			s.groups = append(s.groups, g)
+		}
+		g.cells = append(g.cells, i)
+	}
+	return s
+}
+
+// next returns the next cell index for a worker whose current group is cur
+// (nil at start). It prefers the current group, then an unowned group, then
+// steals from the group with the most remaining cells. ok=false means the
+// sweep is fully claimed.
+func (s *sched) next(cur *schedGroup) (g *schedGroup, cell int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	take := func(g *schedGroup) (*schedGroup, int, bool) {
+		i := g.cells[g.next]
+		g.next++
+		return g, i, true
+	}
+	if cur != nil && cur.next < len(cur.cells) {
+		return take(cur)
+	}
+	var best *schedGroup
+	for _, g := range s.groups {
+		if g.owned || g.next >= len(g.cells) {
+			continue
+		}
+		best = g
+		break
+	}
+	if best == nil { // all groups owned: steal from the largest remainder
+		for _, g := range s.groups {
+			if g.next >= len(g.cells) {
+				continue
+			}
+			if best == nil || len(g.cells)-g.next > len(best.cells)-best.next {
+				best = g
+			}
+		}
+	}
+	if best == nil {
+		return nil, 0, false
+	}
+	best.owned = true
+	return take(best)
 }
 
 // Run executes all cells and returns their results ordered by cell index.
@@ -241,24 +426,32 @@ func (e *Engine) Run(cells []Cell) (Results, error) {
 	}
 	results := make(Results, len(cells))
 	em := &emitter{results: results, sinks: e.Sinks}
+	reuse := e.Reuse == ReuseOn
+	q := newSched(cells, reuse)
 
-	var next atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var a arena
+			if reuse {
+				a = arena{}
+				defer a.close()
+			}
+			var cur *schedGroup
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cells) {
+				g, i, ok := q.next(cur)
+				if !ok {
 					return
 				}
+				cur = g
 				if e.FailFast && failed.Load() {
 					em.put(i, Result{Cell: cells[i], Err: "skipped: earlier cell failed"})
 					continue
 				}
-				r := RunCell(cells[i])
+				r := runCell(cells[i], a)
 				if r.Err != "" {
 					failed.Store(true)
 				}

@@ -16,9 +16,21 @@ func New(seed uint64) *RNG { return &RNG{state: seed} }
 // Derive returns a new independent generator derived from this one's seed
 // and the given stream id. Used to give each simulated core its own stream.
 func Derive(seed, stream uint64) *RNG {
-	r := New(seed ^ (stream+1)*0x9e3779b97f4a7c15)
-	r.Uint64() // decorrelate adjacent streams
+	r := new(RNG)
+	r.SeedDerived(seed, stream)
 	return r
+}
+
+// Seed resets the generator in place to the state New(seed) would produce.
+// Machine lifecycle resets reseed long-lived generators with it instead of
+// allocating fresh ones.
+func (r *RNG) Seed(seed uint64) { r.state = seed }
+
+// SeedDerived resets the generator in place to the state Derive(seed,
+// stream) would produce.
+func (r *RNG) SeedDerived(seed, stream uint64) {
+	r.state = seed ^ (stream+1)*0x9e3779b97f4a7c15
+	r.Uint64() // decorrelate adjacent streams
 }
 
 // Uint64 returns the next 64 pseudo-random bits.

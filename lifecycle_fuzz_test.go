@@ -1,0 +1,84 @@
+package commtm_test
+
+import (
+	"testing"
+
+	"commtm"
+	"commtm/internal/harness"
+	"commtm/internal/workloads/micro"
+)
+
+// fuzzWorkload builds one of the micro workloads from fuzz-chosen selectors,
+// with sizes clamped so each case simulates in milliseconds.
+func fuzzWorkload(sel uint8, ops uint16) harness.Workload {
+	n := int(ops)%300 + 20
+	switch sel % 6 {
+	case 0:
+		return micro.NewCounter(n)
+	case 1:
+		return micro.NewRefcount(n, 8)
+	case 2:
+		return micro.NewList(n, 0)
+	case 3:
+		return micro.NewList(n, 0.5)
+	case 4:
+		return micro.NewOPut(n)
+	default:
+		return micro.NewTopK(n, 16)
+	}
+}
+
+// FuzzRunResetRun fuzzes the lifecycle contract: for a random configuration
+// and a random target workload, a machine that previously ran a random
+// *other* workload (or panicked mid-run) and was Reset must produce Stats
+// and MemDigest identical to a freshly constructed machine running the same
+// target. Any counterexample is a Reset leak — state surviving between
+// lifecycle generations.
+func FuzzRunResetRun(f *testing.F) {
+	f.Add(uint16(200), uint8(1), uint8(1), uint64(1), uint8(0), uint16(100), uint8(3), false)
+	f.Add(uint16(50), uint8(3), uint8(0), uint64(42), uint8(5), uint16(250), uint8(1), true)
+	f.Add(uint16(300), uint8(2), uint8(2), uint64(7), uint8(2), uint16(30), uint8(4), false)
+
+	f.Fuzz(func(t *testing.T, ops uint16, thSel, protoSel uint8, seed uint64, wlSel uint8, dirtyOps uint16, dirtyWlSel uint8, dirtyPanics bool) {
+		cfg := commtm.Config{
+			Threads:       []int{1, 2, 4, 8}[int(thSel)%4],
+			Protocol:      commtm.Protocol(int(protoSel) % 2),
+			DisableGather: protoSel%3 == 2,
+			Seed:          seed,
+		}
+
+		fresh := commtm.New(cfg)
+		wantStats, wantDigest := runWorkload(fresh, fuzzWorkload(wlSel, ops))
+		fresh.Close()
+
+		dirtyCfg := cfg
+		dirtyCfg.Seed = seed ^ 0x9e37
+		dirty := commtm.New(dirtyCfg)
+		defer dirty.Close()
+		if dirtyPanics {
+			w := fuzzWorkload(dirtyWlSel, dirtyOps)
+			w.Setup(dirty)
+			func() {
+				defer func() { recover() }()
+				dirty.Run(func(th *commtm.Thread) {
+					if th.ID() == dirty.Config().Threads-1 {
+						panic("fuzz: dirty run dies")
+					}
+					w.Body(th)
+				})
+			}()
+		} else {
+			runWorkload(dirty, fuzzWorkload(dirtyWlSel, dirtyOps))
+		}
+		dirty.ResetSeed(seed)
+		gotStats, gotDigest := runWorkload(dirty, fuzzWorkload(wlSel, ops))
+
+		if gotStats != wantStats {
+			t.Errorf("Reset leak: Stats diverge (cfg=%+v wl=%d ops=%d dirty=%d/%d panics=%v)\n fresh: %+v\n reset: %+v",
+				cfg, wlSel%6, ops, dirtyWlSel%6, dirtyOps, dirtyPanics, wantStats, gotStats)
+		}
+		if gotDigest != wantDigest {
+			t.Errorf("Reset leak: MemDigest %#x != fresh %#x", gotDigest, wantDigest)
+		}
+	})
+}

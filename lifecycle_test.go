@@ -1,0 +1,143 @@
+package commtm_test
+
+import (
+	"strings"
+	"testing"
+
+	"commtm"
+	"commtm/internal/harness"
+	"commtm/internal/sweep"
+	"commtm/internal/workloads/micro"
+)
+
+// runWorkload prepares and runs one workload on m and returns the
+// (Stats, MemDigest) observables the lifecycle contract is stated over.
+func runWorkload(m *commtm.Machine, w harness.Workload) (commtm.Stats, uint64) {
+	w.Setup(m)
+	m.Run(w.Body)
+	return m.Stats(), m.MemDigest()
+}
+
+// TestResetReplaysFresh is the lifecycle contract in miniature: a machine
+// that ran an unrelated workload and was Reset must replay a target
+// workload with Stats and memory digest bit-identical to a freshly
+// constructed machine's. (The full-matrix version of this check is
+// TestGoldenConformance with reuse on vs off.)
+func TestResetReplaysFresh(t *testing.T) {
+	cfg := commtm.Config{Threads: 8, Protocol: commtm.CommTM, Seed: 3}
+
+	fresh := commtm.New(cfg)
+	wantStats, wantDigest := runWorkload(fresh, micro.NewCounter(800))
+
+	dirty := commtm.New(cfg)
+	// Dirty the machine with a different workload: other labels, other
+	// allocation layout, other abort history.
+	runWorkload(dirty, micro.NewList(400, 0.5))
+	dirty.Reset()
+	gotStats, gotDigest := runWorkload(dirty, micro.NewCounter(800))
+
+	if gotStats != wantStats {
+		t.Errorf("Stats after Reset differ from fresh machine:\n fresh: %+v\n reset: %+v", wantStats, gotStats)
+	}
+	if gotDigest != wantDigest {
+		t.Errorf("MemDigest after Reset = %#x, fresh = %#x", gotDigest, wantDigest)
+	}
+}
+
+// TestResetSeedMatchesNew: ResetSeed must leave the machine
+// indistinguishable from New with that seed, including the reported Config.
+func TestResetSeedMatchesNew(t *testing.T) {
+	mk := func(seed uint64) commtm.Config {
+		return commtm.Config{Threads: 4, Protocol: commtm.Baseline, Seed: seed}
+	}
+	fresh := commtm.New(mk(99))
+	wantStats, wantDigest := runWorkload(fresh, micro.NewOPut(600))
+
+	reused := commtm.New(mk(7))
+	runWorkload(reused, micro.NewOPut(600))
+	reused.ResetSeed(99)
+	if got := reused.Config().Seed; got != 99 {
+		t.Fatalf("Config().Seed after ResetSeed = %d, want 99", got)
+	}
+	gotStats, gotDigest := runWorkload(reused, micro.NewOPut(600))
+	if gotStats != wantStats || gotDigest != wantDigest {
+		t.Errorf("ResetSeed(99) run differs from New(seed=99) run:\n fresh: %+v digest=%#x\n reset: %+v digest=%#x",
+			wantStats, wantDigest, gotStats, gotDigest)
+	}
+}
+
+// TestRunTwiceWithoutResetPanics: the lifecycle is explicit — a second Run
+// without Reset is a programming error, caught loudly.
+func TestRunTwiceWithoutResetPanics(t *testing.T) {
+	m := commtm.New(commtm.Config{Threads: 1, Seed: 1})
+	m.Run(func(*commtm.Thread) {})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second Run without Reset did not panic")
+		}
+		if !strings.Contains(r.(string), "Reset") {
+			t.Fatalf("panic %q does not mention Reset", r)
+		}
+	}()
+	m.Run(func(*commtm.Thread) {})
+}
+
+// TestResetAfterPanicRecovers: a run that dies mid-simulation leaves the
+// machine in an arbitrary intermediate state; Reset must still restore a
+// pristine machine (sweep workers rely on this to keep their arenas after a
+// panicking cell).
+func TestResetAfterPanicRecovers(t *testing.T) {
+	cfg := commtm.Config{Threads: 4, Protocol: commtm.CommTM, Seed: 5}
+	fresh := commtm.New(cfg)
+	wantStats, wantDigest := runWorkload(fresh, micro.NewRefcount(500, 16))
+
+	m := commtm.New(cfg)
+	w := micro.NewTopK(500, 16)
+	w.Setup(m)
+	func() {
+		defer func() { recover() }()
+		m.Run(func(th *commtm.Thread) {
+			if th.ID() == 2 && th.Clock() >= 0 {
+				panic("mid-run failure")
+			}
+			w.Body(th)
+		})
+	}()
+	m.Reset()
+	gotStats, gotDigest := runWorkload(m, micro.NewRefcount(500, 16))
+	if gotStats != wantStats || gotDigest != wantDigest {
+		t.Errorf("post-panic Reset run differs from fresh machine:\n fresh: %+v digest=%#x\n reset: %+v digest=%#x",
+			wantStats, wantDigest, gotStats, gotDigest)
+	}
+}
+
+// TestResetIsRepeatable: many Reset/Run cycles on one machine must keep
+// producing the fresh-machine observables (no slow state accretion).
+func TestResetIsRepeatable(t *testing.T) {
+	cfg := commtm.Config{Threads: 8, Protocol: commtm.CommTM, Seed: 11}
+	fresh := commtm.New(cfg)
+	wantStats, wantDigest := runWorkload(fresh, micro.NewList(300, 0))
+
+	m := commtm.New(cfg)
+	for i := 0; i < 5; i++ {
+		gotStats, gotDigest := runWorkload(m, micro.NewList(300, 0))
+		if gotStats != wantStats || gotDigest != wantDigest {
+			t.Fatalf("cycle %d diverged from fresh machine", i)
+		}
+		m.Reset()
+	}
+}
+
+// TestGeometryGroupCoversNonDefaultWays locks the geometry-swept golden
+// group's purpose: it must actually exercise non-default cache shapes.
+func TestGeometryGroupCoversNonDefaultWays(t *testing.T) {
+	g := sweep.Geometry{L1Bytes: 16 * 1024, L1Ways: 4}
+	if g.IsDefault() {
+		t.Fatal("non-default geometry reported as default")
+	}
+	cfg := sweep.Cell{Threads: 2, Seed: 1, Geometry: g}.Config()
+	if cfg.L1Bytes != g.L1Bytes || cfg.L1Ways != g.L1Ways {
+		t.Fatalf("geometry not plumbed into Config: %+v", cfg)
+	}
+}

@@ -40,6 +40,15 @@ func TestSweepConformance(t *testing.T) {
 		t.Fatalf("ran %d cells, want %d", len(rs), wantCells)
 	}
 	t.Logf("conformance: %s", sweep.Summary(rs))
+
+	// The geometry-swept group (non-default ways/sets) goes through the same
+	// differential + determinism oracle, so cache-array refactors are gated
+	// beyond the Table-I default geometry.
+	grs, err := sweep.Conformance(experiments.GeometryMatrix(o), 0)
+	if err != nil {
+		t.Fatalf("geometry conformance oracle failed:\n%v", err)
+	}
+	t.Logf("geometry conformance: %s", sweep.Summary(grs))
 }
 
 // TestConformanceExperimentRegistered keeps the oracle reachable from
