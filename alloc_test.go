@@ -7,10 +7,14 @@
 package commtm_test
 
 import (
+	"runtime"
 	"testing"
 
 	"commtm"
+	"commtm/internal/harness"
 	"commtm/internal/sweep"
+	"commtm/internal/workloads/apps"
+	"commtm/internal/workloads/inputs"
 	"commtm/internal/workloads/micro"
 )
 
@@ -79,4 +83,96 @@ func TestReuseCutsPerCellAllocations(t *testing.T) {
 		t.Errorf("reused-machine cell allocates %.0f objects vs %.0f fresh; want >= 5x reduction", reused, fresh)
 	}
 	t.Logf("allocs per cell: fresh=%.0f reused=%.0f (%.1fx reduction)", fresh, reused, fresh/reused)
+}
+
+// allocBytesPerRun measures average allocated bytes per call of f —
+// testing.AllocsPerRun's byte-granularity sibling. Generation allocates few
+// but large objects (an edge list is one slice), so object counts undersell
+// the input-arena win; bytes are the honest unit.
+func allocBytesPerRun(runs int, f func()) float64 {
+	f() // warm up outside the window
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.TotalAlloc-before.TotalAlloc) / float64(runs)
+}
+
+// TestInputArenaCutsWorkloadAllocations asserts the input-arena win: with
+// the machine held constant (Reset-reused, the PR-3 contract), the workload
+// input path of a repeated cell — construct + Setup, i.e. generation versus
+// replay — must allocate at least 5x less with a warm input arena than with
+// fresh generation, for each generation-heavy application. Body-side
+// allocations (per-transaction closures, per-round bookkeeping) are
+// deliberately outside the window: the arena does not touch them, and
+// folding them in would let unrelated regressions mask an input-path one.
+// BENCH_inputs.json records these ratios plus whole-cell numbers.
+func TestInputArenaCutsWorkloadAllocations(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() harness.Workload
+	}{
+		// The generation-heavy apps: graph construction plus a reference
+		// solution (degree counts, Kruskal MST, k-means iterations) per cell.
+		{apps.SSCA2Name, func() harness.Workload { return apps.NewSSCA2(10, 3000, 1) }},
+		{apps.BoruvkaName, func() harness.Workload { return apps.NewBoruvka(16, 16, 0.7, 1) }},
+		{apps.KMeansName, func() harness.Workload { return apps.NewKMeans(512, 8, 12, 3, 1) }},
+		{apps.GenomeName, func() harness.Workload { return apps.NewGenome(512, 32, 3000, 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := commtm.Config{Threads: 4, Protocol: commtm.CommTM, Seed: 1}
+			m := commtm.New(cfg)
+			defer m.Close()
+
+			setup := func(a *inputs.Arena) {
+				m.Reset()
+				w := tc.mk()
+				if u, ok := w.(inputs.User); ok {
+					u.UseInputs(a)
+				} else {
+					t.Fatal("workload does not take input arenas")
+				}
+				w.Setup(m)
+			}
+			fresh := allocBytesPerRun(10, func() { setup(nil) })
+
+			a := inputs.New()
+			cached := allocBytesPerRun(10, func() { setup(a) })
+
+			if cached*5 > fresh {
+				t.Errorf("cached-input setup allocates %.0f bytes vs %.0f fresh; want >= 5x reduction", cached, fresh)
+			}
+			t.Logf("input-path alloc bytes per cell: fresh=%.0f cached=%.0f (%.1fx reduction)", fresh, cached, fresh/cached)
+		})
+	}
+}
+
+// TestInputArenaReplayKeepsValidating guards the measurement above from
+// rot: the same construct+Setup cycle it times must still produce cells
+// that run and validate on both the fresh and replay paths.
+func TestInputArenaReplayKeepsValidating(t *testing.T) {
+	a := inputs.New()
+	for _, mk := range []func() harness.Workload{
+		func() harness.Workload { return apps.NewSSCA2(8, 800, 1) },
+		func() harness.Workload { return micro.NewTopK(600, 32) },
+	} {
+		for pass := 0; pass < 2; pass++ { // miss, then replay
+			m := commtm.New(commtm.Config{Threads: 4, Protocol: commtm.CommTM, Seed: 1})
+			w := mk()
+			w.(inputs.User).UseInputs(a)
+			w.Setup(m)
+			m.Run(w.Body)
+			if err := w.Validate(m); err != nil {
+				t.Fatalf("pass %d: %v", pass, err)
+			}
+			m.Close()
+		}
+	}
+	if st := a.Stats(); st.Hits == 0 {
+		t.Fatalf("replay pass never hit the arena: %+v", st)
+	}
 }

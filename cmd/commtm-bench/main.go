@@ -9,25 +9,31 @@
 //	commtm-bench -exp all -scale 0.2 -threads 1,8,32,128
 //	commtm-bench -exp fig9 -parallel 0 -json results.jsonl -csv results.csv
 //	commtm-bench -oracle -parallel 0
-//	commtm-bench -oracle -parallel 0 -det-sample 0.25 -reuse=false
+//	commtm-bench -oracle -parallel 0 -det-sample 0.25 -reuse=false -input-arena=false
 //
 // -parallel N runs each sweep's cells on N host workers (0 = all cores);
 // results stream to the -json / -csv sinks in deterministic cell order, so
 // sink output is byte-identical across worker counts (modulo the trailing
 // wall-clock field). -reuse (default true) runs cells on per-worker machine
 // arenas — one machine per configuration, Reset between cells — instead of
-// building a fresh machine per cell; results are bit-identical either way
+// building a fresh machine per cell; -input-arena (default true) caches
+// generated workload inputs (graphs, datasets, references, op streams) by
+// (kind, params, seed) and replays them across cells instead of
+// regenerating. Results are bit-identical with any combination of the two
 // (the golden gate proves it), only host allocation behavior changes.
-// -oracle runs the differential conformance + determinism oracle over the
-// reduced matrix (plus the geometry-swept group) and exits nonzero on
-// failure; -det-sample F re-runs only a hash-selected fraction F of cells
-// in the determinism pass, keeping oracle cost flat on large matrices.
+// -machine-cap / -input-cap bound the pools with LRU eviction for
+// long-lived processes (0, the default, is unbounded). -oracle runs the
+// differential conformance + determinism oracle over the reduced matrix
+// (plus the geometry-swept group) and exits nonzero on failure;
+// -det-sample F re-runs only a hash-selected fraction F of cells in the
+// determinism pass, keeping oracle cost flat on large matrices.
 //
 // Every experiment also reports per-sweep host metrics (allocations, GC
-// cycles, heap high-water from runtime.ReadMemStats) on stdout and, when
-// -json is given, as a trailing {"host_metrics": ...} JSON line — the
-// observability that makes lifecycle/allocation regressions visible in
-// committed BENCH files.
+// cycles, heap high-water from runtime.ReadMemStats, and the engine's
+// lifecycle counters: machines built/reused/evicted, input-arena
+// hits/misses) on stdout and, when -json is given, as a trailing
+// {"host_metrics": ...} JSON line — the observability that makes
+// lifecycle/allocation regressions visible in committed BENCH files.
 package main
 
 import (
@@ -47,17 +53,20 @@ import (
 )
 
 // hostMetrics is the per-sweep host-side cost report: deltas of
-// runtime.MemStats across one experiment run. HeapSysBytes is the
-// OS-claimed heap (HeapSys) at the end of the sweep — a process-wide
-// high-water mark, monotone across experiments, named for what it is so
-// BENCH consumers do not read it as a per-experiment peak.
+// runtime.MemStats across one experiment run, plus the sweep engine's
+// lifecycle counters (machines built/reused/evicted, input-arena
+// hits/misses) for the same experiment. HeapSysBytes is the OS-claimed heap
+// (HeapSys) at the end of the sweep — a process-wide high-water mark,
+// monotone across experiments, named for what it is so BENCH consumers do
+// not read it as a per-experiment peak.
 type hostMetrics struct {
-	Exp          string `json:"exp"`
-	WallMS       int64  `json:"wall_ms"`
-	Allocs       uint64 `json:"host_allocs"`
-	AllocBytes   uint64 `json:"host_alloc_bytes"`
-	GCCycles     uint32 `json:"host_gc_cycles"`
-	HeapSysBytes uint64 `json:"host_heap_sys_bytes"`
+	Exp          string           `json:"exp"`
+	WallMS       int64            `json:"wall_ms"`
+	Allocs       uint64           `json:"host_allocs"`
+	AllocBytes   uint64           `json:"host_alloc_bytes"`
+	GCCycles     uint32           `json:"host_gc_cycles"`
+	HeapSysBytes uint64           `json:"host_heap_sys_bytes"`
+	Lifecycle    sweep.RunMetrics `json:"lifecycle"`
 }
 
 func readMemStats() runtime.MemStats {
@@ -66,7 +75,7 @@ func readMemStats() runtime.MemStats {
 	return ms
 }
 
-func metricsDelta(exp string, before, after runtime.MemStats, wall time.Duration) hostMetrics {
+func metricsDelta(exp string, before, after runtime.MemStats, wall time.Duration, lc *sweep.RunMetrics) hostMetrics {
 	return hostMetrics{
 		Exp:          exp,
 		WallMS:       wall.Milliseconds(),
@@ -74,6 +83,7 @@ func metricsDelta(exp string, before, after runtime.MemStats, wall time.Duration
 		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
 		GCCycles:     after.NumGC - before.NumGC,
 		HeapSysBytes: after.HeapSys,
+		Lifecycle:    *lc,
 	}
 }
 
@@ -86,6 +96,9 @@ func main() {
 		threads  = flag.String("threads", "", "comma-separated thread counts (default 1,2,4,8,16,32,64,128)")
 		parallel = flag.Int("parallel", 1, "host worker pool size per sweep (0 = all cores, 1 = sequential)")
 		reuse    = flag.Bool("reuse", true, "reuse machines across cells via per-worker arenas (false = fresh machine per cell)")
+		inArena  = flag.Bool("input-arena", true, "cache generated workload inputs across cells (false = regenerate per cell)")
+		mCap     = flag.Int("machine-cap", 0, "global cap on pooled machines, LRU-evicted beyond it (0 = unbounded)")
+		iCap     = flag.Int("input-cap", 0, "cap on cached workload inputs, LRU-evicted beyond it (0 = unbounded)")
 		jsonOut  = flag.String("json", "", "write per-cell results as JSON lines to this file")
 		csvOut   = flag.String("csv", "", "write per-cell results as CSV to this file")
 		oracle   = flag.Bool("oracle", false, "run the differential conformance + determinism oracle and exit")
@@ -169,6 +182,12 @@ func main() {
 	if !*reuse {
 		opts.Reuse = sweep.ReuseOff
 	}
+	opts.Inputs = sweep.InputsOn
+	if !*inArena {
+		opts.Inputs = sweep.InputsOff
+	}
+	opts.MachineCap = *mCap
+	opts.InputCap = *iCap
 	opts.DetSample = *detSmp
 	opts.DetSampleSeed = *detSeed
 	if *threads != "" {
@@ -214,6 +233,9 @@ func main() {
 	reportHost := func(hm hostMetrics) {
 		fmt.Printf("host: allocs=%d alloc_bytes=%d gc_cycles=%d heap_sys_bytes=%d\n",
 			hm.Allocs, hm.AllocBytes, hm.GCCycles, hm.HeapSysBytes)
+		lc := hm.Lifecycle
+		fmt.Printf("lifecycle: machines_built=%d machine_reuses=%d machines_evicted=%d input_hits=%d input_misses=%d input_evictions=%d\n",
+			lc.MachinesBuilt, lc.MachineReuses, lc.MachinesEvicted, lc.InputHits, lc.InputMisses, lc.InputEvictions)
 		if jsonFile != nil {
 			if err := json.NewEncoder(jsonFile).Encode(map[string]hostMetrics{"host_metrics": hm}); err != nil {
 				fmt.Fprintf(os.Stderr, "host metrics: %v\n", err)
@@ -254,6 +276,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "note: -threads is ignored by -oracle (the conformance matrix fixes its thread counts)")
 		}
 		e, _ := harness.Get("conformance")
+		opts.Metrics = &sweep.RunMetrics{}
 		start := time.Now()
 		before := readMemStats()
 		out, err := e.Run(opts)
@@ -262,7 +285,7 @@ func main() {
 		}
 		wall := time.Since(start)
 		fmt.Print(out)
-		reportHost(metricsDelta("conformance", before, readMemStats(), wall))
+		reportHost(metricsDelta("conformance", before, readMemStats(), wall, opts.Metrics))
 		if !closeSinks() {
 			exitWith(1)
 		}
@@ -286,6 +309,7 @@ func main() {
 		if !ok {
 			fail(2, "unknown experiment %q (use -list)\n", id)
 		}
+		opts.Metrics = &sweep.RunMetrics{} // fresh lifecycle counters per experiment
 		start := time.Now()
 		before := readMemStats()
 		out, err := e.Run(opts)
@@ -294,7 +318,7 @@ func main() {
 		}
 		wall := time.Since(start)
 		fmt.Print(out)
-		reportHost(metricsDelta(id, before, readMemStats(), wall))
+		reportHost(metricsDelta(id, before, readMemStats(), wall, opts.Metrics))
 		fmt.Printf("(%s completed in %v)\n\n", id, wall.Round(time.Millisecond))
 	}
 	if !closeSinks() {

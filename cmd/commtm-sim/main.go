@@ -28,18 +28,21 @@ func main() {
 	)
 	flag.Parse()
 
-	mks := map[string]func() harness.Workload{
-		"counter":    func() harness.Workload { return micro.NewCounter(*ops) },
-		"refcount":   func() harness.Workload { return micro.NewRefcount(*ops, 16) },
-		"list-enq":   func() harness.Workload { return micro.NewList(*ops, 0) },
-		"list-mixed": func() harness.Workload { return micro.NewList(*ops, 0.5) },
-		"oput":       func() harness.Workload { return micro.NewOPut(*ops) },
-		"topk":       func() harness.Workload { return micro.NewTopK(*ops, 1000) },
-		"boruvka":    func() harness.Workload { return apps.NewBoruvka(36, 36, 0.7, *seed) },
-		"kmeans":     func() harness.Workload { return apps.NewKMeans(2048, 8, 12, 3, *seed) },
-		"ssca2":      func() harness.Workload { return apps.NewSSCA2(13, *ops, *seed) },
-		"genome":     func() harness.Workload { return apps.NewGenome(512, 32, *ops, *seed) },
-		"vacation":   func() harness.Workload { return apps.NewVacation(1024, 256, *ops, 4, *seed) },
+	spec := func(name string, mk func() harness.Workload) harness.Spec {
+		return harness.Spec{Name: name, Mk: mk}
+	}
+	mks := map[string]harness.Spec{
+		"counter":    spec(micro.CounterName, func() harness.Workload { return micro.NewCounter(*ops) }),
+		"refcount":   spec(micro.RefcountName, func() harness.Workload { return micro.NewRefcount(*ops, 16) }),
+		"list-enq":   spec(micro.ListName(0), func() harness.Workload { return micro.NewList(*ops, 0) }),
+		"list-mixed": spec(micro.ListName(0.5), func() harness.Workload { return micro.NewList(*ops, 0.5) }),
+		"oput":       spec(micro.OPutName, func() harness.Workload { return micro.NewOPut(*ops) }),
+		"topk":       spec(micro.TopKName, func() harness.Workload { return micro.NewTopK(*ops, 1000) }),
+		"boruvka":    spec(apps.BoruvkaName, func() harness.Workload { return apps.NewBoruvka(36, 36, 0.7, *seed) }),
+		"kmeans":     spec(apps.KMeansName, func() harness.Workload { return apps.NewKMeans(2048, 8, 12, 3, *seed) }),
+		"ssca2":      spec(apps.SSCA2Name, func() harness.Workload { return apps.NewSSCA2(13, *ops, *seed) }),
+		"genome":     spec(apps.GenomeName, func() harness.Workload { return apps.NewGenome(512, 32, *ops, *seed) }),
+		"vacation":   spec(apps.VacationName, func() harness.Workload { return apps.NewVacation(1024, 256, *ops, 4, *seed) }),
 	}
 	mk, ok := mks[*name]
 	if !ok {

@@ -39,6 +39,7 @@ import (
 	"commtm/internal/mem"
 	"commtm/internal/memsys"
 	"commtm/internal/noc"
+	"commtm/internal/xrand"
 )
 
 // Re-exported simulator types. Aliases keep the public surface small while
@@ -58,6 +59,9 @@ type (
 	// LabelSpec defines a commutative operation family (identity value,
 	// reduction handler, optional splitter).
 	LabelSpec = memsys.LabelSpec
+	// RNG is the simulator's deterministic PRNG — the concrete type behind
+	// Thread.Rand and ArchRand.
+	RNG = xrand.RNG
 )
 
 // LineBytes and WordsPerLine mirror the simulated line geometry.
@@ -191,6 +195,14 @@ func (m *Machine) Close() { m.k.Halt() }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// ArchRand returns a PRNG bit-identical to the architectural stream thread
+// tid observes through Thread.Rand at the start of Run on a machine seeded
+// with seed. Workload-input arenas use it to precompute op streams host-side
+// and replay them during Body instead of drawing live; because the streams
+// are equal draw for draw, the replay is architecturally invisible (the
+// golden conformance gate runs with input arenas on and off to prove it).
+func ArchRand(seed uint64, tid int) *RNG { return engine.ArchRand(seed, tid) }
 
 // DefineLabel registers a commutative-operation label (at most 8, the
 // architectural limit; virtualize in software beyond that, Sec. III-D).

@@ -12,8 +12,9 @@ import (
 
 func main() {
 	for _, v := range []harness.Variant{harness.VarBaseline, harness.VarCommTM} {
-		st, err := harness.RunOne(func() harness.Workload {
-			return apps.NewBoruvka(32, 32, 0.7, 11)
+		st, err := harness.RunOne(harness.Spec{
+			Name: apps.BoruvkaName,
+			Mk:   func() harness.Workload { return apps.NewBoruvka(32, 32, 0.7, 11) },
 		}, v, 16, 11)
 		if err != nil {
 			panic(err) // Validate() failed: the MSF did not match Kruskal

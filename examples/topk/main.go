@@ -15,7 +15,10 @@ func main() {
 	const k = 100
 	for _, v := range []harness.Variant{harness.VarBaseline, harness.VarCommTM} {
 		w := micro.NewTopK(20000, k)
-		st, err := harness.RunOne(func() harness.Workload { return w }, v, 32, 3)
+		st, err := harness.RunOne(harness.Spec{
+			Name: micro.TopKName,
+			Mk:   func() harness.Workload { return w },
+		}, v, 32, 3)
 		if err != nil {
 			panic(err)
 		}

@@ -68,9 +68,9 @@ func goldenCells() []sweep.Cell {
 	return cells
 }
 
-func runGoldenMatrix(t *testing.T, reuse sweep.Reuse) sweep.Results {
+func runGoldenMatrix(t *testing.T, reuse sweep.Reuse, in sweep.InputMode) sweep.Results {
 	t.Helper()
-	eng := sweep.Engine{Workers: 0, Reuse: reuse}
+	eng := sweep.Engine{Workers: 0, Reuse: reuse, Inputs: in}
 	rs, err := eng.Run(goldenCells())
 	if err != nil {
 		t.Fatalf("golden matrix run failed: %v", err)
@@ -81,22 +81,27 @@ func runGoldenMatrix(t *testing.T, reuse sweep.Reuse) sweep.Results {
 	return rs
 }
 
-// TestGoldenConformance gates hot-path and lifecycle refactors on
-// cycle-exactness: every cell of the golden matrix (the reduced conformance
-// matrix — 6 workloads × 3 variants × {1,8,32} threads × 2 seeds — plus the
-// geometry-swept group) must reproduce the committed per-cell Stats and
-// memory digests bit-identically, with machine-arena reuse both enabled and
-// disabled. The reuse-on pass is the lifecycle proof: a Reset machine that
-// leaked any state between cells (cache lines, directory seen bits, RNG
-// position, allocator offsets) would diverge from the goldens recorded on
-// fresh machines. Any divergence is a real behavior change — root-cause it
-// rather than re-baselining (golden drift gets its own fix + regression
-// test).
+// TestGoldenConformance gates hot-path, lifecycle, and input-arena
+// refactors on cycle-exactness: every cell of the golden matrix (the
+// reduced conformance matrix — 6 workloads × 3 variants × {1,8,32} threads
+// × 2 seeds — plus the geometry-swept group) must reproduce the committed
+// per-cell Stats and memory digests bit-identically, in every combination
+// of machine-arena reuse and workload-input arenas. The reuse-on pass is
+// the lifecycle proof: a Reset machine that leaked any state between cells
+// (cache lines, directory seen bits, RNG position, allocator offsets) would
+// diverge from the goldens recorded on fresh machines. The inputs-on passes
+// are the replay proof: a cached input or precomputed op stream that
+// differed in any way from fresh generation (a draw out of order, a mutated
+// graph) would diverge the same way. Any divergence is a real behavior
+// change — root-cause it rather than re-baselining (golden drift gets its
+// own fix + regression test).
 func TestGoldenConformance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden matrix runs at fixed scale; skipped in -short")
 	}
-	rs := runGoldenMatrix(t, sweep.ReuseOff)
+	// The baseline pass regenerates everything per cell, like the revision
+	// the goldens were recorded at.
+	rs := runGoldenMatrix(t, sweep.ReuseOff, sweep.InputsOff)
 
 	if *updateGolden {
 		cells := make([]goldenCell, 0, len(rs))
@@ -140,11 +145,13 @@ func TestGoldenConformance(t *testing.T) {
 	if len(want) != len(rs) {
 		t.Errorf("golden file has %d cells, matrix produced %d", len(want), len(rs))
 	}
-	checkAgainstGolden(t, rs, want, "reuse=off")
+	checkAgainstGolden(t, rs, want, "reuse=off,inputs=off")
 
-	// Second pass with machine-arena reuse: same cells, same goldens, but
-	// every worker reuses one machine per configuration across its cells.
-	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOn), want, "reuse=on")
+	// Remaining passes against the same goldens: machine reuse alone, input
+	// arenas alone, and the full-reuse default (both on).
+	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOn, sweep.InputsOff), want, "reuse=on,inputs=off")
+	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOff, sweep.InputsOn), want, "reuse=off,inputs=on")
+	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOn, sweep.InputsOn), want, "reuse=on,inputs=on")
 }
 
 func checkAgainstGolden(t *testing.T, rs sweep.Results, want map[string]goldenCell, mode string) {

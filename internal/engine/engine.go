@@ -101,6 +101,16 @@ type Kernel struct {
 // values, so it passes through).
 type drainSig struct{}
 
+// ArchRand returns a PRNG in the state proc tid's architectural stream
+// (Proc.Rand) has at the start of a run on a kernel seeded with seed. It is
+// the one authoritative statement of the architectural stream derivation:
+// workload-input arenas use it to precompute, host-side, the exact draw
+// sequence a workload body would make through Thread.Rand, so replayed op
+// streams are bit-identical to live draws.
+func ArchRand(seed uint64, tid int) *xrand.RNG {
+	return xrand.Derive(seed, uint64(tid))
+}
+
 // NewKernel creates a kernel with n procs whose PRNGs derive from seed.
 func NewKernel(n int, seed uint64) *Kernel {
 	if n <= 0 {
@@ -112,7 +122,9 @@ func NewKernel(n int, seed uint64) *Kernel {
 			ID: i,
 			// Distinct stream ids keep the architectural and
 			// microarchitectural streams independent (core ids are < 2^32).
-			Rand:    xrand.Derive(seed, uint64(i)),
+			// The architectural derivation must match ArchRand (and the
+			// in-place reseed in Reset).
+			Rand:    ArchRand(seed, i),
 			SysRand: xrand.Derive(seed, uint64(i)+1<<32),
 			k:       k,
 		})

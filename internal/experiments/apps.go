@@ -11,33 +11,35 @@ import (
 )
 
 // Application default inputs, scaled from the paper's (Table II) so the
-// full suite regenerates in minutes. Options.Scale grows them.
-func appWorkloads(o harness.Options) map[string]func() harness.Workload {
-	return map[string]func() harness.Workload{
-		"boruvka": func() harness.Workload {
+// full suite regenerates in minutes. Options.Scale grows them. Specs carry
+// the workloads' exported Name constants, so row naming never builds a
+// throwaway instance and cannot diverge from the real ones.
+func appWorkloads(o harness.Options) map[string]harness.Spec {
+	return map[string]harness.Spec{
+		apps.BoruvkaName: {Name: apps.BoruvkaName, Mk: func() harness.Workload {
 			side := 24 + int(24*o.Scale)
 			return apps.NewBoruvka(side, side, 0.7, o.Seed)
-		},
-		"kmeans": func() harness.Workload {
+		}},
+		apps.KMeansName: {Name: apps.KMeansName, Mk: func() harness.Workload {
 			return apps.NewKMeans(o.ScaledOps(4096), 8, 12, 3, o.Seed)
-		},
-		"ssca2": func() harness.Workload {
+		}},
+		apps.SSCA2Name: {Name: apps.SSCA2Name, Mk: func() harness.Workload {
 			return apps.NewSSCA2(14, o.ScaledOps(24576), o.Seed)
-		},
-		"genome": func() harness.Workload {
+		}},
+		apps.GenomeName: {Name: apps.GenomeName, Mk: func() harness.Workload {
 			return apps.NewGenome(512, 32, o.ScaledOps(32768), o.Seed)
-		},
-		"vacation": func() harness.Workload {
+		}},
+		apps.VacationName: {Name: apps.VacationName, Mk: func() harness.Workload {
 			return apps.NewVacation(1024, 256, o.ScaledOps(8192), 4, o.Seed)
-		},
+		}},
 	}
 }
 
 // appOrder fixes the paper's sub-figure order.
-var appOrder = []string{"boruvka", "kmeans", "ssca2", "genome", "vacation"}
+var appOrder = []string{apps.BoruvkaName, apps.KMeansName, apps.SSCA2Name, apps.GenomeName, apps.VacationName}
 
 var appFigLetter = map[string]string{
-	"boruvka": "a", "kmeans": "b", "ssca2": "c", "genome": "d", "vacation": "e",
+	apps.BoruvkaName: "a", apps.KMeansName: "b", apps.SSCA2Name: "c", apps.GenomeName: "d", apps.VacationName: "e",
 }
 
 func init() {
@@ -46,7 +48,7 @@ func init() {
 		letter := appFigLetter[name]
 		registerSpeedup("fig16"+letter,
 			fmt.Sprintf("Fig. 16%s: %s speedup, CommTM vs baseline HTM", letter, name),
-			func(o harness.Options) func() harness.Workload { return appWorkloads(o)[name] },
+			func(o harness.Options) harness.Spec { return appWorkloads(o)[name] },
 			[]harness.Variant{harness.VarCommTM, harness.VarBaseline})
 	}
 	harness.Register(harness.Experiment{
@@ -70,7 +72,7 @@ func init() {
 		Run: func(o harness.Options) (string, error) {
 			var out strings.Builder
 			wl := appWorkloads(o)
-			for _, name := range []string{"boruvka", "kmeans"} {
+			for _, name := range []string{apps.BoruvkaName, apps.KMeansName} {
 				bd, err := harness.BreakdownSweep("fig19", name, wl[name],
 					[]harness.Variant{harness.VarBaseline, harness.VarCommTM}, breakThreads(o), o)
 				if err != nil {
@@ -188,16 +190,18 @@ func tableII(o harness.Options) (string, error) {
 func ablationGather(o harness.Options) (string, error) {
 	th := breakThreads(o)
 	threads := th[len(th)-1]
-	mks := map[string]func() harness.Workload{
-		"refcount":   func() harness.Workload { return micro.NewRefcount(o.ScaledOps(30000), 16) },
-		"list-mixed": func() harness.Workload { return micro.NewList(o.ScaledOps(60000), 0.5) },
-		"genome":     appWorkloads(o)["genome"],
-		"vacation":   appWorkloads(o)["vacation"],
+	mks := map[string]harness.Spec{
+		micro.RefcountName: {Name: micro.RefcountName,
+			Mk: func() harness.Workload { return micro.NewRefcount(o.ScaledOps(30000), 16) }},
+		micro.ListMixedName: {Name: micro.ListName(0.5),
+			Mk: func() harness.Workload { return micro.NewList(o.ScaledOps(60000), 0.5) }},
+		apps.GenomeName:   appWorkloads(o)[apps.GenomeName],
+		apps.VacationName: appWorkloads(o)[apps.VacationName],
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "# ablation-gather: CommTM with vs without gather requests (%d threads)\n", threads)
 	fmt.Fprintf(&b, "%-12s %14s %14s %10s %12s %12s\n", "workload", "with (cyc)", "without (cyc)", "gain", "gathers", "reductions")
-	for _, name := range []string{"refcount", "list-mixed", "genome", "vacation"} {
+	for _, name := range []string{micro.RefcountName, micro.ListMixedName, apps.GenomeName, apps.VacationName} {
 		with, err := harness.RunOne(mks[name], harness.VarCommTM, threads, o.Seed)
 		if err != nil {
 			return "", err

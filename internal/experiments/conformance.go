@@ -41,12 +41,12 @@ func ConformanceMatrix(o harness.Options) sweep.Matrix {
 	}
 	return sweep.Matrix{
 		Workloads: []sweep.WorkloadSpec{
-			wl("counter", func() harness.Workload { return micro.NewCounter(o.ScaledOps(confCounterOps)) }),
-			wl("refcount", func() harness.Workload { return micro.NewRefcount(o.ScaledOps(confRefcountOps), 16) }),
-			wl("list-enq", func() harness.Workload { return micro.NewList(o.ScaledOps(confListOps), 0) }),
-			wl("list-mixed", func() harness.Workload { return micro.NewList(o.ScaledOps(confListOps), 0.5) }),
-			wl("oput", func() harness.Workload { return micro.NewOPut(o.ScaledOps(confOPutOps)) }),
-			wl("topk", func() harness.Workload { return micro.NewTopK(o.ScaledOps(confTopKOps), confTopKK) }),
+			wl(micro.CounterName, func() harness.Workload { return micro.NewCounter(o.ScaledOps(confCounterOps)) }),
+			wl(micro.RefcountName, func() harness.Workload { return micro.NewRefcount(o.ScaledOps(confRefcountOps), 16) }),
+			wl(micro.ListName(0), func() harness.Workload { return micro.NewList(o.ScaledOps(confListOps), 0) }),
+			wl(micro.ListName(0.5), func() harness.Workload { return micro.NewList(o.ScaledOps(confListOps), 0.5) }),
+			wl(micro.OPutName, func() harness.Workload { return micro.NewOPut(o.ScaledOps(confOPutOps)) }),
+			wl(micro.TopKName, func() harness.Workload { return micro.NewTopK(o.ScaledOps(confTopKOps), confTopKK) }),
 		},
 		Variants: []sweep.Variant{harness.VarBaseline, harness.VarCommTM, harness.VarCommTMNoGather},
 		Threads:  ConformanceThreads,
@@ -67,9 +67,9 @@ func GeometryMatrix(o harness.Options) sweep.Matrix {
 	}
 	return sweep.Matrix{
 		Workloads: []sweep.WorkloadSpec{
-			wl("counter", func() harness.Workload { return micro.NewCounter(o.ScaledOps(confCounterOps)) }),
-			wl("list-mixed", func() harness.Workload { return micro.NewList(o.ScaledOps(confListOps), 0.5) }),
-			wl("topk", func() harness.Workload { return micro.NewTopK(o.ScaledOps(confTopKOps), confTopKK) }),
+			wl(micro.CounterName, func() harness.Workload { return micro.NewCounter(o.ScaledOps(confCounterOps)) }),
+			wl(micro.ListName(0.5), func() harness.Workload { return micro.NewList(o.ScaledOps(confListOps), 0.5) }),
+			wl(micro.TopKName, func() harness.Workload { return micro.NewTopK(o.ScaledOps(confTopKOps), confTopKK) }),
 		},
 		Variants: []sweep.Variant{harness.VarBaseline, harness.VarCommTM, harness.VarCommTMNoGather},
 		Threads:  []int{8},

@@ -31,13 +31,15 @@ func init() {
 		Run:   tableI,
 	})
 	registerSpeedup("fig9", "Fig. 9: counter microbenchmark speedup",
-		func(o harness.Options) func() harness.Workload {
-			return func() harness.Workload { return micro.NewCounter(o.ScaledOps(microOps)) }
+		func(o harness.Options) harness.Spec {
+			return harness.Spec{Name: micro.CounterName,
+				Mk: func() harness.Workload { return micro.NewCounter(o.ScaledOps(microOps)) }}
 		},
 		[]harness.Variant{harness.VarCommTM, harness.VarBaseline})
 	registerSpeedup("fig10", "Fig. 10: reference-counting microbenchmark speedup",
-		func(o harness.Options) func() harness.Workload {
-			return func() harness.Workload { return micro.NewRefcount(o.ScaledOps(refcountOps), 16) }
+		func(o harness.Options) harness.Spec {
+			return harness.Spec{Name: micro.RefcountName,
+				Mk: func() harness.Workload { return micro.NewRefcount(o.ScaledOps(refcountOps), 16) }}
 		},
 		[]harness.Variant{
 			{Label: "CommTM w/ gather", Protocol: commtm.CommTM},
@@ -45,34 +47,38 @@ func init() {
 			harness.VarBaseline,
 		})
 	registerSpeedup("fig12a", "Fig. 12a: linked list speedup, 100% enqueues",
-		func(o harness.Options) func() harness.Workload {
-			return func() harness.Workload { return micro.NewList(o.ScaledOps(microOps), 0) }
+		func(o harness.Options) harness.Spec {
+			return harness.Spec{Name: micro.ListName(0),
+				Mk: func() harness.Workload { return micro.NewList(o.ScaledOps(microOps), 0) }}
 		},
 		[]harness.Variant{harness.VarCommTM, harness.VarBaseline})
 	registerSpeedup("fig12b", "Fig. 12b: linked list speedup, 50% enqueues / 50% dequeues",
-		func(o harness.Options) func() harness.Workload {
-			return func() harness.Workload { return micro.NewList(o.ScaledOps(microOps), 0.5) }
+		func(o harness.Options) harness.Spec {
+			return harness.Spec{Name: micro.ListName(0.5),
+				Mk: func() harness.Workload { return micro.NewList(o.ScaledOps(microOps), 0.5) }}
 		},
 		[]harness.Variant{harness.VarCommTM, harness.VarBaseline})
 	registerSpeedup("fig13", "Fig. 13: ordered put microbenchmark speedup",
-		func(o harness.Options) func() harness.Workload {
-			return func() harness.Workload { return micro.NewOPut(o.ScaledOps(microOps)) }
+		func(o harness.Options) harness.Spec {
+			return harness.Spec{Name: micro.OPutName,
+				Mk: func() harness.Workload { return micro.NewOPut(o.ScaledOps(microOps)) }}
 		},
 		[]harness.Variant{harness.VarCommTM, harness.VarBaseline})
 	registerSpeedup("fig14", "Fig. 14: top-K insertion microbenchmark speedup (K=1000)",
-		func(o harness.Options) func() harness.Workload {
-			return func() harness.Workload { return micro.NewTopK(o.ScaledOps(topkOps), topkK) }
+		func(o harness.Options) harness.Spec {
+			return harness.Spec{Name: micro.TopKName,
+				Mk: func() harness.Workload { return micro.NewTopK(o.ScaledOps(topkOps), topkK) }}
 		},
 		[]harness.Variant{harness.VarCommTM, harness.VarBaseline})
 }
 
 // registerSpeedup wires a standard speedup-vs-threads figure.
-func registerSpeedup(id, title string, mk func(harness.Options) func() harness.Workload, variants []harness.Variant) {
+func registerSpeedup(id, title string, spec func(harness.Options) harness.Spec, variants []harness.Variant) {
 	harness.Register(harness.Experiment{
 		ID:    id,
 		Title: title,
 		Run: func(o harness.Options) (string, error) {
-			fig, err := harness.SpeedupSweep(id, title, mk(o), variants, o)
+			fig, err := harness.SpeedupSweep(id, title, spec(o), variants, o)
 			if err != nil {
 				return "", err
 			}

@@ -24,6 +24,13 @@ type Workload = sweep.Workload
 // Variant labels one protocol configuration in a sweep.
 type Variant = sweep.Variant
 
+// Spec names one workload family and how to build instances. The name is
+// the workloads' exported Name constant (the same constant their Name
+// methods return), so sink-row naming needs no throwaway instance and the
+// engine's per-cell name check (runCell) guarantees it cannot silently
+// diverge from the real instance.
+type Spec = sweep.WorkloadSpec
+
 // Baseline and CommTM are the paper's two standard variants.
 var (
 	VarBaseline = Variant{Label: "Baseline", Protocol: commtm.Baseline}
@@ -37,18 +44,17 @@ var DefaultThreads = []int{1, 2, 4, 8, 16, 32, 64, 128}
 
 // RunOne builds a machine, runs the workload, validates, and returns stats.
 // It is a single-cell sweep.
-func RunOne(mk func() Workload, v Variant, threads int, seed uint64) (commtm.Stats, error) {
-	w := mk()
+func RunOne(ws Spec, v Variant, threads int, seed uint64) (commtm.Stats, error) {
 	r := sweep.RunCell(sweep.Cell{
-		Workload: w.Name(),
+		Workload: ws.Name,
 		Variant:  v,
 		Threads:  threads,
 		Seed:     seed,
-		Mk:       func() Workload { return w },
+		Mk:       ws.Mk,
 		NoDigest: true, // RunOne returns Stats only
 	})
 	if r.Err != "" {
-		return commtm.Stats{}, fmt.Errorf("%s [%s, %d threads]: %s", w.Name(), v.Label, threads, r.Err)
+		return commtm.Stats{}, fmt.Errorf("%s [%s, %d threads]: %s", ws.Name, v.Label, threads, r.Err)
 	}
 	return r.Stats, nil
 }
@@ -78,14 +84,13 @@ type Figure struct {
 // the baseline variant is not in the requested series). All cells — the
 // reference included — run on the parallel sweep engine with o.Workers
 // workers and stream to o.Sinks.
-func SpeedupSweep(id, title string, mk func() Workload, variants []Variant, o Options) (*Figure, error) {
+func SpeedupSweep(id, title string, ws Spec, variants []Variant, o Options) (*Figure, error) {
 	type key struct {
 		v  Variant
 		th int
 	}
-	// Workload constructors are cheap (heavy input generation happens in
-	// Setup), so one throwaway instance names the sink rows.
-	name := mk().Name()
+	// The spec's static name labels the sink rows — no throwaway instance;
+	// the engine fails any cell whose instance disagrees with it.
 	var cells []sweep.Cell
 	index := make(map[key]int)
 	add := func(v Variant, th int) {
@@ -96,11 +101,11 @@ func SpeedupSweep(id, title string, mk func() Workload, variants []Variant, o Op
 		index[k] = len(cells)
 		cells = append(cells, sweep.Cell{
 			Index:    len(cells),
-			Workload: name,
+			Workload: ws.Name,
 			Variant:  v,
 			Threads:  th,
 			Seed:     o.Seed,
-			Mk:       mk,
+			Mk:       ws.Mk,
 		})
 	}
 	add(VarBaseline, 1) // reference cell first
@@ -204,18 +209,17 @@ type BreakdownRow struct {
 
 // BreakdownSweep measures the workload at the paper's 8/32/128-thread
 // points for both variants, on the parallel sweep engine.
-func BreakdownSweep(id, title string, mk func() Workload, variants []Variant, threads []int, o Options) (*Breakdown, error) {
-	name := mk().Name()
+func BreakdownSweep(id, title string, ws Spec, variants []Variant, threads []int, o Options) (*Breakdown, error) {
 	var cells []sweep.Cell
 	for _, th := range threads {
 		for _, v := range variants {
 			cells = append(cells, sweep.Cell{
 				Index:    len(cells),
-				Workload: name,
+				Workload: ws.Name,
 				Variant:  v,
 				Threads:  th,
 				Seed:     o.Seed,
-				Mk:       mk,
+				Mk:       ws.Mk,
 			})
 		}
 	}
@@ -318,12 +322,23 @@ type Options struct {
 	// (sweep.ReuseOn) runs cells on per-worker machine arenas; ReuseOff
 	// builds a fresh machine per cell.
 	Reuse sweep.Reuse
+	// Inputs selects the workload-input arena policy of every sweep: the
+	// default (sweep.InputsOn) caches generated inputs across cells;
+	// InputsOff regenerates them per cell.
+	Inputs sweep.InputMode
+	// MachineCap / InputCap bound the machine pool and input arena with LRU
+	// eviction; 0 (default) is unbounded.
+	MachineCap, InputCap int
 	// DetSample/DetSampleSeed select the determinism oracle's sampled mode
 	// for the conformance experiment; zero DetSample re-runs every cell.
 	DetSample     float64
 	DetSampleSeed uint64
 	// Sinks receive every cell result of every sweep, in cell order.
 	Sinks []sweep.Sink
+	// Metrics, when non-nil, accumulates host-side lifecycle counters
+	// (machines built/reused/evicted, input arena hits/misses) across every
+	// sweep run with these options.
+	Metrics *sweep.RunMetrics
 }
 
 // DefaultOptions is used when flags don't override.
@@ -335,7 +350,12 @@ func DefaultOptions() Options {
 // fail fast: a broken workload aborts the rest of its matrix instead of
 // simulating every remaining cell first.
 func (o Options) engine() *sweep.Engine {
-	return &sweep.Engine{Workers: o.Workers, Sinks: o.Sinks, FailFast: true, Reuse: o.Reuse}
+	return &sweep.Engine{
+		Workers: o.Workers, Sinks: o.Sinks, FailFast: true,
+		Reuse: o.Reuse, Inputs: o.Inputs,
+		MachineCap: o.MachineCap, InputCap: o.InputCap,
+		Metrics: o.Metrics,
+	}
 }
 
 // Oracle translates the options into the conformance-oracle configuration.
@@ -343,9 +363,13 @@ func (o Options) Oracle() sweep.OracleOptions {
 	return sweep.OracleOptions{
 		Workers:       o.Workers,
 		Reuse:         o.Reuse,
+		Inputs:        o.Inputs,
+		MachineCap:    o.MachineCap,
+		InputCap:      o.InputCap,
 		DetSample:     o.DetSample,
 		DetSampleSeed: o.DetSampleSeed,
 		Sinks:         o.Sinks,
+		Metrics:       o.Metrics,
 	}
 }
 

@@ -41,10 +41,10 @@ func (w *incWorkload) Validate(m *commtm.Machine) error {
 	return nil
 }
 
-func mk() Workload { return &incWorkload{ops: 400} }
+func mk() Spec { return Spec{Name: "inc", Mk: func() Workload { return &incWorkload{ops: 400} }} }
 
 func TestRunOneValidates(t *testing.T) {
-	st, err := RunOne(mk, VarCommTM, 4, 1)
+	st, err := RunOne(mk(), VarCommTM, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,11 +54,22 @@ func TestRunOneValidates(t *testing.T) {
 }
 
 func TestRunOneSurfacesValidationErrors(t *testing.T) {
-	bad := func() Workload { return &badWorkload{} }
+	bad := Spec{Name: "inc", Mk: func() Workload { return &badWorkload{} }}
 	if _, err := RunOne(bad, VarBaseline, 2, 1); err == nil {
 		t.Fatal("validation error not surfaced")
 	} else if !strings.Contains(err.Error(), "Baseline") {
 		t.Fatalf("error lacks context: %v", err)
+	}
+}
+
+// TestRunOneRejectsNameDivergence pins the anti-divergence guarantee behind
+// static row naming: a spec whose name disagrees with the instances it
+// builds must fail the cell, not emit rows under the wrong name.
+func TestRunOneRejectsNameDivergence(t *testing.T) {
+	wrong := Spec{Name: "not-inc", Mk: func() Workload { return &incWorkload{ops: 40} }}
+	_, err := RunOne(wrong, VarBaseline, 1, 1)
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("diverged spec name not rejected: %v", err)
 	}
 }
 
@@ -67,7 +78,7 @@ type badWorkload struct{ incWorkload }
 func (w *badWorkload) Validate(*commtm.Machine) error { return fmt.Errorf("nope") }
 
 func TestSpeedupSweepNormalization(t *testing.T) {
-	fig, err := SpeedupSweep("t", "test", mk,
+	fig, err := SpeedupSweep("t", "test", mk(),
 		[]Variant{VarBaseline, VarCommTM}, Options{Threads: []int{1, 2, 4}, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -91,7 +102,7 @@ func TestSpeedupSweepNormalization(t *testing.T) {
 }
 
 func TestBreakdownTables(t *testing.T) {
-	bd, err := BreakdownSweep("t", "test", mk, []Variant{VarBaseline, VarCommTM}, []int{2, 4}, Options{Seed: 1})
+	bd, err := BreakdownSweep("t", "test", mk(), []Variant{VarBaseline, VarCommTM}, []int{2, 4}, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

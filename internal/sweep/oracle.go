@@ -85,6 +85,14 @@ type DeterminismOptions struct {
 	Workers int
 	// Reuse is the machine-lifecycle policy of the re-run engine.
 	Reuse Reuse
+	// Inputs is the workload-input arena policy of the re-run engine.
+	Inputs InputMode
+	// MachineCap / InputCap bound the re-run engine's pools (Engine
+	// semantics); 0 is unbounded.
+	MachineCap, InputCap int
+	// Metrics, when non-nil, accumulates the re-run engine's host-side
+	// lifecycle counters.
+	Metrics *RunMetrics
 	// Sample in (0, 1) re-runs only that fraction of passing cells,
 	// hash-selected per cell key so the subset is stable for a given
 	// SampleSeed and independent of matrix size or cell order. <= 0 or
@@ -142,7 +150,10 @@ func CheckDeterminismOpts(rs Results, o DeterminismOptions) error {
 			cells = append(cells, r.Cell)
 		}
 	}
-	eng := Engine{Workers: o.Workers, Reuse: o.Reuse}
+	eng := Engine{
+		Workers: o.Workers, Reuse: o.Reuse, Inputs: o.Inputs,
+		MachineCap: o.MachineCap, InputCap: o.InputCap, Metrics: o.Metrics,
+	}
 	rerun, err := eng.Run(cells)
 	if err != nil {
 		return err
@@ -172,6 +183,11 @@ type OracleOptions struct {
 	// Reuse is the lifecycle policy for both the first run and the
 	// determinism re-run.
 	Reuse Reuse
+	// Inputs is the workload-input arena policy for both runs.
+	Inputs InputMode
+	// MachineCap / InputCap bound both runs' machine pools and input
+	// arenas (Engine.MachineCap / InputCap semantics); 0 is unbounded.
+	MachineCap, InputCap int
 	// DetSample / DetSampleSeed select the determinism oracle's sampled
 	// mode (DeterminismOptions.Sample semantics); zero means full.
 	DetSample     float64
@@ -181,6 +197,9 @@ type OracleOptions struct {
 	// zero per matrix).
 	IndexBase int
 	Sinks     []Sink
+	// Metrics, when non-nil, accumulates host-side lifecycle counters
+	// across the first run and the determinism re-run.
+	Metrics *RunMetrics
 }
 
 // Conformance expands the matrix, runs it, and applies both oracles. The
@@ -194,7 +213,10 @@ func Conformance(mx Matrix, workers int, sinks ...Sink) (Results, error) {
 // ConformanceOpts is Conformance with explicit lifecycle and determinism
 // sampling policies.
 func ConformanceOpts(mx Matrix, o OracleOptions) (Results, error) {
-	eng := Engine{Workers: o.Workers, Sinks: o.Sinks, Reuse: o.Reuse}
+	eng := Engine{
+		Workers: o.Workers, Sinks: o.Sinks, Reuse: o.Reuse, Inputs: o.Inputs,
+		MachineCap: o.MachineCap, InputCap: o.InputCap, Metrics: o.Metrics,
+	}
 	cells := mx.Cells()
 	for i := range cells {
 		cells[i].Index += o.IndexBase
@@ -206,7 +228,11 @@ func ConformanceOpts(mx Matrix, o OracleOptions) (Results, error) {
 	if err := CheckDifferential(rs); err != nil {
 		return rs, fmt.Errorf("differential oracle:\n%w", err)
 	}
-	det := DeterminismOptions{Workers: o.Workers, Reuse: o.Reuse, Sample: o.DetSample, SampleSeed: o.DetSampleSeed}
+	det := DeterminismOptions{
+		Workers: o.Workers, Reuse: o.Reuse, Inputs: o.Inputs,
+		MachineCap: o.MachineCap, InputCap: o.InputCap, Metrics: o.Metrics,
+		Sample: o.DetSample, SampleSeed: o.DetSampleSeed,
+	}
 	if err := CheckDeterminismOpts(rs, det); err != nil {
 		return rs, fmt.Errorf("determinism oracle:\n%w", err)
 	}

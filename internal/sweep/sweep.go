@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"commtm"
+	"commtm/internal/workloads/inputs"
 )
 
 // Workload is the unit of benchmarking: it allocates and initializes
@@ -194,65 +195,231 @@ func (rs Results) FirstErr() error {
 // cell cannot take down a whole sweep. Engine workers run cells through a
 // machine arena instead; RunCell is the construct-per-call path for
 // single-cell callers (harness.RunOne, tests).
-func RunCell(c Cell) Result { return runCell(c, nil) }
+func RunCell(c Cell) Result { return runCell(c, nil, nil, nil) }
 
-// arena is one worker's pool of reusable machines, keyed by the cell
-// configuration with the seed erased (Reset re-derives every PRNG stream
-// from the next cell's seed, so machines are shareable across seeds).
-type arena map[commtm.Config]*commtm.Machine
+// RunMetrics accumulates host-side lifecycle counters across engine runs:
+// how many machines were built versus Reset-reused (the duplicate-machine
+// cost of tail stealing shows up in MachinesBuilt), how many were evicted
+// by the machine cap, and the input arena's cache behavior. Fields are
+// updated atomically by concurrent workers; read them only after Run
+// returns (or via a snapshot copy). Sharing one RunMetrics across several
+// engine runs accumulates totals — cmd/commtm-bench reports it per
+// experiment in its host-metrics line.
+type RunMetrics struct {
+	MachinesBuilt   int64 `json:"machines_built"`
+	MachineReuses   int64 `json:"machine_reuses"`
+	MachinesEvicted int64 `json:"machines_evicted"`
+	InputHits       int64 `json:"input_hits"`
+	InputMisses     int64 `json:"input_misses"`
+	InputEvictions  int64 `json:"input_evictions"`
+}
 
-// arenaKey returns c's machine configuration with the seed erased.
+// add accumulates (atomically) into rm; nil-safe.
+func (rm *RunMetrics) add(built, reuses, evicted int64) {
+	if rm == nil {
+		return
+	}
+	atomic.AddInt64(&rm.MachinesBuilt, built)
+	atomic.AddInt64(&rm.MachineReuses, reuses)
+	atomic.AddInt64(&rm.MachinesEvicted, evicted)
+}
+
+// addInputs folds an input arena's since-last-snapshot deltas into rm.
+func (rm *RunMetrics) addInputs(s inputs.Stats) {
+	if rm == nil {
+		return
+	}
+	atomic.AddInt64(&rm.InputHits, int64(s.Hits))
+	atomic.AddInt64(&rm.InputMisses, int64(s.Misses))
+	atomic.AddInt64(&rm.InputEvictions, int64(s.Evictions))
+}
+
+// arenaKey returns c's machine configuration with the seed erased (Reset
+// re-derives every PRNG stream from the next cell's seed, so machines are
+// shareable across seeds).
 func arenaKey(c Cell) commtm.Config {
 	cfg := c.Config()
 	cfg.Seed = 0
 	return cfg
 }
 
+// poolSlot is one pooled machine: owned by a single worker's arena, but
+// tracked in the engine-wide limiter's LRU when a machine cap is set.
+type poolSlot struct {
+	owner *arena
+	key   commtm.Config
+	m     *commtm.Machine
+	inUse bool // running a cell; the limiter must not evict it
+}
+
+// poolLimiter globally bounds pooled machines across every arena sharing it
+// — all workers of one engine run, or all engines of a long-lived server
+// sharing metrics. With a limiter set, every arena operation takes its
+// mutex (so the limiter may evict from any worker's arena); without one
+// (the CLI default), arenas stay lock-free per worker.
+type poolLimiter struct {
+	mu  sync.Mutex
+	cap int
+	lru []*poolSlot // front = least recently used; tiny, linear ops fine
+	n   int         // pooled machines across all arenas
+}
+
+// touch moves s to the most-recently-used end. A slot not in the list
+// (already removed) is left alone. Caller holds mu.
+func (pl *poolLimiter) touch(s *poolSlot) {
+	for i, e := range pl.lru {
+		if e == s {
+			pl.lru = append(append(pl.lru[:i:i], pl.lru[i+1:]...), s)
+			return
+		}
+	}
+}
+
+// remove forgets s. Caller holds mu.
+func (pl *poolLimiter) remove(s *poolSlot) {
+	for i, e := range pl.lru {
+		if e == s {
+			pl.lru = append(pl.lru[:i:i], pl.lru[i+1:]...)
+			pl.n--
+			return
+		}
+	}
+}
+
+// evictOver closes least-recently-used idle machines until the pool fits
+// the cap, returning how many were evicted. Caller holds mu. In-use
+// machines are skipped: a machine mid-cell cannot be closed under it, so a
+// pool whose cap is smaller than its in-flight set transiently exceeds the
+// cap and shrinks at the next release.
+func (pl *poolLimiter) evictOver() (evicted int64) {
+	for i := 0; pl.n > pl.cap && i < len(pl.lru); {
+		s := pl.lru[i]
+		if s.inUse {
+			i++
+			continue
+		}
+		pl.lru = append(pl.lru[:i:i], pl.lru[i+1:]...)
+		pl.n--
+		delete(s.owner.m, s.key)
+		s.m.Close()
+		evicted++
+	}
+	return evicted
+}
+
+// arena is one worker's pool of reusable machines, keyed by configuration
+// modulo seed. A nil *arena always builds fresh without pooling.
+type arena struct {
+	lim *poolLimiter // nil = unbounded, lock-free
+	rm  *RunMetrics  // nil = uncounted
+	m   map[commtm.Config]*poolSlot
+}
+
+func newArena(lim *poolLimiter, rm *RunMetrics) *arena {
+	return &arena{lim: lim, rm: rm, m: make(map[commtm.Config]*poolSlot)}
+}
+
 // acquire returns a pristine machine for c: a Reset arena machine when one
-// exists for the configuration, else a freshly built (and pooled) one. A
-// nil arena always builds fresh without pooling.
-func (a arena) acquire(c Cell) *commtm.Machine {
+// exists for the configuration, else a freshly built (and pooled) one.
+func (a *arena) acquire(c Cell) *commtm.Machine {
 	if a == nil {
 		return commtm.New(c.Config())
 	}
 	key := arenaKey(c)
-	if m := a[key]; m != nil {
-		m.ResetSeed(c.Seed)
+	if a.lim == nil {
+		if s := a.m[key]; s != nil {
+			a.rm.add(0, 1, 0)
+			s.m.ResetSeed(c.Seed)
+			return s.m
+		}
+		m := commtm.New(c.Config())
+		a.rm.add(1, 0, 0)
+		a.m[key] = &poolSlot{owner: a, key: key, m: m}
 		return m
 	}
-	m := commtm.New(c.Config())
-	a[key] = m
+	a.lim.mu.Lock()
+	if s := a.m[key]; s != nil {
+		s.inUse = true
+		a.lim.touch(s)
+		a.lim.mu.Unlock()
+		a.rm.add(0, 1, 0)
+		s.m.ResetSeed(c.Seed)
+		return s.m
+	}
+	a.lim.mu.Unlock()
+	m := commtm.New(c.Config()) // build outside the lock: construction is heavy
+	a.rm.add(1, 0, 0)
+	a.lim.mu.Lock()
+	s := &poolSlot{owner: a, key: key, m: m, inUse: true}
+	a.m[key] = s
+	a.lim.lru = append(a.lim.lru, s)
+	a.lim.n++
+	ev := a.lim.evictOver()
+	a.lim.mu.Unlock()
+	a.rm.add(0, 0, ev)
 	return m
+}
+
+// release marks c's machine idle (evictable) after a successful cell and
+// applies any pending cap overflow.
+func (a *arena) release(c Cell) {
+	if a == nil || a.lim == nil {
+		return
+	}
+	a.lim.mu.Lock()
+	if s := a.m[arenaKey(c)]; s != nil {
+		s.inUse = false
+		a.lim.touch(s)
+	}
+	ev := a.lim.evictOver()
+	a.lim.mu.Unlock()
+	a.rm.add(0, 0, ev)
 }
 
 // drop discards the arena machine for c's configuration. Workers call it
 // when a cell fails: Reset is designed to recover even a panic-drained
 // machine, but a failed cell's machine is cheap to rebuild and dropping it
 // removes any doubt.
-func (a arena) drop(c Cell) {
+func (a *arena) drop(c Cell) {
 	if a == nil {
 		return
 	}
 	key := arenaKey(c)
-	if m := a[key]; m != nil {
-		m.Close()
-		delete(a, key)
+	if a.lim != nil {
+		a.lim.mu.Lock()
+		defer a.lim.mu.Unlock()
+	}
+	if s := a.m[key]; s != nil {
+		if a.lim != nil {
+			a.lim.remove(s)
+		}
+		s.m.Close()
+		delete(a.m, key)
 	}
 }
 
 // close releases every pooled machine's coroutine pool. Workers close their
 // arena on exit so engine runs do not accumulate parked goroutines.
-func (a arena) close() {
-	for _, m := range a {
-		m.Close()
+func (a *arena) close() {
+	if a.lim != nil {
+		a.lim.mu.Lock()
+		defer a.lim.mu.Unlock()
+	}
+	for key, s := range a.m {
+		if a.lim != nil {
+			a.lim.remove(s)
+		}
+		s.m.Close()
+		delete(a.m, key)
 	}
 }
 
 // runCell executes one cell on a machine from the arena (nil = always
-// fresh). Machine acquisition happens inside the recover window so
-// construction-time panics (invalid configurations) are captured like any
-// other cell failure.
-func runCell(c Cell, a arena) (res Result) {
+// fresh), handing the input arena (nil = generate fresh) to workloads that
+// can replay cached inputs. Machine acquisition happens inside the recover
+// window so construction-time panics (invalid configurations) are captured
+// like any other cell failure.
+func runCell(c Cell, a *arena, ia *inputs.Arena, rm *RunMetrics) (res Result) {
 	start := time.Now()
 	res = Result{Cell: c}
 	var m *commtm.Machine
@@ -266,6 +433,8 @@ func runCell(c Cell, a arena) (res Result) {
 			// failure before acquire (workload constructor panic) must not
 			// evict the configuration's healthy pooled machine.
 			a.drop(c)
+		} else if m != nil {
+			a.release(c)
 		}
 		if a == nil && m != nil {
 			// Unpooled machine: release its coroutine pool now rather than
@@ -274,7 +443,21 @@ func runCell(c Cell, a arena) (res Result) {
 		}
 	}()
 	w := c.Mk()
+	if c.Workload != "" && c.Workload != w.Name() {
+		// The cell's row name comes from a static accessor (WorkloadSpec /
+		// the workloads' Name constants); a mismatch with the instance means
+		// the registration diverged from the constructor — fail the cell
+		// loudly rather than emit rows under the wrong name.
+		res.Err = fmt.Sprintf("workload name mismatch: cell %q, instance %q", c.Workload, w.Name())
+		return res
+	}
+	if u, ok := w.(inputs.User); ok && ia != nil {
+		u.UseInputs(ia)
+	}
 	m = a.acquire(c)
+	if a == nil {
+		rm.add(1, 0, 0) // pooled builds are counted inside acquire
+	}
 	w.Setup(m)
 	m.Run(w.Body)
 	res.Stats = m.Stats()
@@ -308,6 +491,21 @@ const (
 	ReuseOff
 )
 
+// InputMode selects the workload-input arena policy of an engine run.
+type InputMode int
+
+const (
+	// InputsOn (the default) shares one workload-input arena across the
+	// run's workers: generated inputs (graphs, datasets, references, op
+	// streams) are cached by (kind, params, seed) and replayed on later
+	// cells instead of regenerated. Results are bit-identical to InputsOff —
+	// the golden conformance gate runs the golden matrix both ways.
+	InputsOn InputMode = iota
+	// InputsOff regenerates every workload input per cell, the
+	// pre-input-arena behavior.
+	InputsOff
+)
+
 // Engine runs cells on a bounded worker pool.
 type Engine struct {
 	// Workers bounds host parallelism; <= 0 means runtime.GOMAXPROCS(0),
@@ -326,25 +524,50 @@ type Engine struct {
 	// per-worker machine arenas with configuration-affinity scheduling;
 	// ReuseOff runs every cell on a fresh machine in plain index order.
 	Reuse Reuse
+	// Inputs selects the workload-input arena policy: InputsOn (default)
+	// caches generated inputs across cells, InputsOff regenerates per cell.
+	Inputs InputMode
+	// MachineCap, when > 0, globally bounds pooled machines across all
+	// workers' arenas, evicting (and Closing) the least recently used
+	// beyond it. 0 — the CLI-sweep default — leaves pools unbounded (a
+	// sweep's pool is naturally bounded by workers × configurations);
+	// long-lived processes running many matrices set it to bound machine
+	// memory.
+	MachineCap int
+	// InputCap, when > 0, bounds the shared input arena's entries with the
+	// same LRU policy. 0 (default) is unbounded.
+	InputCap int
+	// Metrics, when non-nil, accumulates host-side lifecycle counters
+	// (machines built/reused/evicted, input arena hits/misses) across this
+	// engine's runs. Counters add up across runs sharing one RunMetrics.
+	Metrics *RunMetrics
 }
 
 // sched hands out cells with configuration affinity: cells are grouped by
 // arena key, a worker drains the group it owns before claiming another, and
-// once every group is owned, idle workers steal from the group with the
-// most cells left (building a second machine for that configuration — a
-// bounded tail cost that keeps the pool busy). With a single group the
-// scheduler degenerates to the plain shared index-order queue, which is how
-// ReuseOff runs.
+// once every group is owned, idle workers steal — in chunks — from the
+// group with the most cells left. A steal splits off half the victim's
+// remainder as a new private group owned by the stealer, so the stealer
+// builds one machine for the configuration and drains its chunk without
+// further contention, instead of re-stealing (and re-building machines for)
+// a different configuration after every single cell — at worker counts far
+// above the number of distinct configurations, one-at-a-time stealing made
+// every stealer a machine factory. With a single group the scheduler
+// degenerates to the plain shared index-order queue, which is how ReuseOff
+// runs.
 type sched struct {
 	mu     sync.Mutex
 	groups []*schedGroup
 }
 
 type schedGroup struct {
-	cells []int // cell indexes, in index order; cells[next:] still to run
-	next  int
+	cells []int // cell indexes, in index order (shared by split groups)
+	next  int   // cells[next:end] still to hand out from this group
+	end   int
 	owned bool
 }
+
+func (g *schedGroup) remaining() int { return g.end - g.next }
 
 // newSched groups cell indexes by arena key in first-appearance order (so
 // group order tracks index order); byConfig=false puts every cell in one
@@ -356,6 +579,7 @@ func newSched(cells []Cell, byConfig bool) *sched {
 		for i := range cells {
 			all.cells[i] = i
 		}
+		all.end = len(all.cells)
 		s.groups = append(s.groups, all)
 		return s
 	}
@@ -369,14 +593,15 @@ func newSched(cells []Cell, byConfig bool) *sched {
 			s.groups = append(s.groups, g)
 		}
 		g.cells = append(g.cells, i)
+		g.end = len(g.cells)
 	}
 	return s
 }
 
 // next returns the next cell index for a worker whose current group is cur
 // (nil at start). It prefers the current group, then an unowned group, then
-// steals from the group with the most remaining cells. ok=false means the
-// sweep is fully claimed.
+// steals half the remainder of the group with the most remaining cells as a
+// new group owned by the caller. ok=false means the sweep is fully claimed.
 func (s *sched) next(cur *schedGroup) (g *schedGroup, cell int, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -385,32 +610,35 @@ func (s *sched) next(cur *schedGroup) (g *schedGroup, cell int, ok bool) {
 		g.next++
 		return g, i, true
 	}
-	if cur != nil && cur.next < len(cur.cells) {
+	if cur != nil && cur.remaining() > 0 {
 		return take(cur)
 	}
+	for _, g := range s.groups {
+		if !g.owned && g.remaining() > 0 {
+			g.owned = true
+			return take(g)
+		}
+	}
+	// All groups owned: steal from the largest remainder. Chunked: split off
+	// the tail half as the caller's private group (stolen chunks are owned,
+	// so they are themselves steal victims only by remainder size).
 	var best *schedGroup
 	for _, g := range s.groups {
-		if g.owned || g.next >= len(g.cells) {
-			continue
-		}
-		best = g
-		break
-	}
-	if best == nil { // all groups owned: steal from the largest remainder
-		for _, g := range s.groups {
-			if g.next >= len(g.cells) {
-				continue
-			}
-			if best == nil || len(g.cells)-g.next > len(best.cells)-best.next {
-				best = g
-			}
+		if g.remaining() > 0 && (best == nil || g.remaining() > best.remaining()) {
+			best = g
 		}
 	}
 	if best == nil {
 		return nil, 0, false
 	}
-	best.owned = true
-	return take(best)
+	k := best.remaining() / 2
+	if k == 0 {
+		k = 1
+	}
+	ng := &schedGroup{cells: best.cells, next: best.end - k, end: best.end, owned: true}
+	best.end -= k
+	s.groups = append(s.groups, ng)
+	return take(ng)
 }
 
 // Run executes all cells and returns their results ordered by cell index.
@@ -429,15 +657,29 @@ func (e *Engine) Run(cells []Cell) (Results, error) {
 	reuse := e.Reuse == ReuseOn
 	q := newSched(cells, reuse)
 
+	// One input arena is shared by every worker: cached inputs are immutable
+	// host data, so sharing costs one short critical section per Setup and
+	// buys cross-worker hits (e.g. all protocol variants of one
+	// configuration reuse one generated graph, which per-worker machine
+	// arenas — mutable state — can never do).
+	var ia *inputs.Arena
+	if e.Inputs == InputsOn {
+		ia = inputs.NewCapped(e.InputCap)
+	}
+	var lim *poolLimiter
+	if reuse && e.MachineCap > 0 {
+		lim = &poolLimiter{cap: e.MachineCap}
+	}
+
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var a arena
+			var a *arena
 			if reuse {
-				a = arena{}
+				a = newArena(lim, e.Metrics)
 				defer a.close()
 			}
 			var cur *schedGroup
@@ -451,7 +693,7 @@ func (e *Engine) Run(cells []Cell) (Results, error) {
 					em.put(i, Result{Cell: cells[i], Err: "skipped: earlier cell failed"})
 					continue
 				}
-				r := runCell(cells[i], a)
+				r := runCell(cells[i], a, ia, e.Metrics)
 				if r.Err != "" {
 					failed.Store(true)
 				}
@@ -460,6 +702,7 @@ func (e *Engine) Run(cells []Cell) (Results, error) {
 		}()
 	}
 	wg.Wait()
+	e.Metrics.addInputs(ia.Stats())
 	return results, em.err
 }
 

@@ -8,8 +8,11 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"commtm"
+	"commtm/internal/workloads/inputs"
+	"commtm/internal/workloads/micro"
 )
 
 // addWorkload is a minimal counter workload for engine plumbing tests.
@@ -174,44 +177,345 @@ func TestSchedulerAffinityAndStealing(t *testing.T) {
 // same machine (Reset), different seed → same machine, failed cell → the
 // machine is dropped and rebuilt.
 func TestArenaReusesAndDrops(t *testing.T) {
-	a := arena{}
-	c1 := Cell{Threads: 2, Seed: 1, Mk: func() Workload { return &addWorkload{ops: 8} }}
+	a := newArena(nil, nil)
+	c1 := Cell{Workload: "add", Threads: 2, Seed: 1, Mk: func() Workload { return &addWorkload{ops: 8} }}
 	c2 := c1
 	c2.Seed = 99
 	m1 := a.acquire(c1)
-	r := runCell(c2, a)
+	r := runCell(c2, a, nil, nil)
 	if r.Err != "" {
 		t.Fatalf("reused-machine cell failed: %s", r.Err)
 	}
-	if m2 := a[arenaKey(c2)]; m2 != m1 {
+	if s := a.m[arenaKey(c2)]; s == nil || s.m != m1 {
 		t.Fatal("cell with different seed did not reuse the arena machine")
 	}
 	// A panicking cell must evict its machine from the arena.
 	boom := c1
 	boom.Mk = func() Workload { return &panicWorkload{addWorkload{ops: 1}} }
-	if r := runCell(boom, a); !strings.Contains(r.Err, "boom") {
+	if r := runCell(boom, a, nil, nil); !strings.Contains(r.Err, "boom") {
 		t.Fatalf("panic not captured: %q", r.Err)
 	}
-	if a[arenaKey(boom)] != nil {
+	if a.m[arenaKey(boom)] != nil {
 		t.Fatal("failed cell's machine still pooled")
 	}
 	// And the next cell of that configuration runs on a fresh machine.
-	if r := runCell(c1, a); r.Err != "" {
+	if r := runCell(c1, a, nil, nil); r.Err != "" {
 		t.Fatalf("cell after dropped machine failed: %s", r.Err)
 	}
 	// A failure before the machine is acquired (workload constructor panic)
 	// must NOT evict the configuration's healthy pooled machine.
-	kept := a[arenaKey(c1)]
+	kept := a.m[arenaKey(c1)]
 	if kept == nil {
 		t.Fatal("no pooled machine to protect")
 	}
 	mkBoom := c1
 	mkBoom.Mk = func() Workload { panic("constructor boom") }
-	if r := runCell(mkBoom, a); !strings.Contains(r.Err, "constructor boom") {
+	if r := runCell(mkBoom, a, nil, nil); !strings.Contains(r.Err, "constructor boom") {
 		t.Fatalf("constructor panic not captured: %q", r.Err)
 	}
-	if a[arenaKey(c1)] != kept {
+	if a.m[arenaKey(c1)] != kept {
 		t.Fatal("pre-acquire failure evicted the pooled machine")
+	}
+}
+
+// stealingMatrix builds the migration-prone tail-stealing shape: few
+// distinct configurations with skewed cell counts (sizes[c] seeds for
+// config c), so groups drain at different times and finished workers
+// migrate into the surviving groups.
+func stealingMatrix(sizes []int) []Cell {
+	var cells []Cell
+	for c, n := range sizes {
+		for s := 0; s < n; s++ {
+			cells = append(cells, Cell{
+				Index: len(cells), Workload: "add", Threads: c + 1, Seed: uint64(s + 1),
+				Mk: func() Workload { return &addWorkload{ops: 8} },
+			})
+		}
+	}
+	return cells
+}
+
+// legacyNext reimplements the pre-chunking steal policy (take one cell from
+// the group with the largest remainder) over the same group state, so the
+// regression test can quantify the duplicate machines the old policy built.
+// Kept test-only: it exists to document the before/after.
+func legacyNext(groups []*schedGroup, cur *schedGroup) (*schedGroup, int, bool) {
+	take := func(g *schedGroup) (*schedGroup, int, bool) {
+		i := g.cells[g.next]
+		g.next++
+		return g, i, true
+	}
+	if cur != nil && cur.remaining() > 0 {
+		return take(cur)
+	}
+	for _, g := range groups {
+		if !g.owned && g.remaining() > 0 {
+			g.owned = true
+			return take(g)
+		}
+	}
+	var best *schedGroup
+	for _, g := range groups {
+		if g.remaining() > 0 && (best == nil || g.remaining() > best.remaining()) {
+			best = g
+		}
+	}
+	if best == nil {
+		return nil, 0, false
+	}
+	return take(best)
+}
+
+// simulateMachines drives a scheduler with `workers` simulated workers in
+// round-robin lockstep and returns how many machines per-worker arenas
+// would build: the number of distinct (worker, configuration) pairs.
+func simulateMachines(t *testing.T, cells []Cell, workers int,
+	next func(cur *schedGroup) (*schedGroup, int, bool)) int {
+	t.Helper()
+	type wstate struct {
+		cur  *schedGroup
+		done bool
+		seen map[commtm.Config]bool
+	}
+	ws := make([]wstate, workers)
+	for i := range ws {
+		ws[i].seen = make(map[commtm.Config]bool)
+	}
+	machines, handed := 0, 0
+	for active := workers; active > 0; {
+		for i := range ws {
+			w := &ws[i]
+			if w.done {
+				continue
+			}
+			g, ci, ok := next(w.cur)
+			if !ok {
+				w.done = true
+				active--
+				continue
+			}
+			w.cur = g
+			handed++
+			if k := arenaKey(cells[ci]); !w.seen[k] {
+				w.seen[k] = true
+				machines++
+			}
+		}
+	}
+	if handed != len(cells) {
+		t.Fatalf("scheduler handed out %d cells, want %d", handed, len(cells))
+	}
+	return machines
+}
+
+// TestChunkedStealingBoundsDuplicateMachines is the regression test for the
+// tail-stealing bug: at worker counts far above the number of distinct
+// configurations, the old one-cell-at-a-time steal made workers finishing a
+// drained group migrate — together — through each surviving group, so most
+// workers built machines for most configurations. Chunked stealing (split
+// off half the victim's remainder as a private group) keeps each migrant on
+// one configuration for a whole chunk. The simulation is deterministic
+// (lockstep round-robin), so the counts are exact: the chunked machine
+// count must stay within one machine per worker plus one per configuration,
+// and at least 1.5x below the legacy policy's on this shape (measured:
+// 28 vs 50; BENCH_inputs.json records the pair).
+func TestChunkedStealingBoundsDuplicateMachines(t *testing.T) {
+	sizes := []int{8, 16, 32, 128} // skewed groups: drain times differ
+	const workers = 24             // far above the 4 distinct configurations
+	cells := stealingMatrix(sizes)
+	chunked := simulateMachines(t, cells, workers, newSched(cells, true).next)
+
+	legacy := newSched(cells, true)
+	legacyMachines := simulateMachines(t, cells, workers,
+		func(cur *schedGroup) (*schedGroup, int, bool) {
+			legacy.mu.Lock()
+			defer legacy.mu.Unlock()
+			return legacyNext(legacy.groups, cur)
+		})
+
+	t.Logf("machines built: chunked=%d legacy=%d (workers=%d configs=%d cells=%d)",
+		chunked, legacyMachines, workers, len(sizes), len(cells))
+	if chunked*3 > legacyMachines*2 {
+		t.Errorf("chunked stealing built %d machines vs legacy %d; want at least 1.5x fewer",
+			chunked, legacyMachines)
+	}
+	if chunked > workers+len(sizes) {
+		t.Errorf("chunked stealing built %d machines, budget %d", chunked, workers+len(sizes))
+	}
+}
+
+// TestInputArenaMatchesFresh is the input-arena guarantee at engine level:
+// running a matrix with cached-input replay (InputsOn, the default) must
+// produce results bit-identical to fresh generation per cell (InputsOff),
+// and the shared arena must actually hit across variants and workers.
+func TestInputArenaMatchesFresh(t *testing.T) {
+	mx := Matrix{
+		Workloads: []WorkloadSpec{
+			{Name: micro.OPutName, Mk: func() Workload { return micro.NewOPut(240) }},
+			{Name: micro.RefcountName, Mk: func() Workload { return micro.NewRefcount(240, 8) }},
+			{Name: micro.TopKName, Mk: func() Workload { return micro.NewTopK(200, 16) }},
+			{Name: micro.ListName(0.5), Mk: func() Workload { return micro.NewList(200, 0.5) }},
+		},
+		Variants: []Variant{
+			{Label: "Baseline", Protocol: commtm.Baseline},
+			{Label: "CommTM", Protocol: commtm.CommTM},
+		},
+		Threads: []int{1, 2},
+		Seeds:   []uint64{1, 2},
+	}
+	run := func(in InputMode, workers int, rm *RunMetrics) Results {
+		eng := Engine{Workers: workers, Inputs: in, Metrics: rm}
+		rs, err := eng.Run(mx.Cells())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.FirstErr(); err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	fresh := run(InputsOff, 1, nil)
+	for _, workers := range []int{1, 0} {
+		rm := &RunMetrics{}
+		cached := run(InputsOn, workers, rm)
+		for i := range fresh {
+			if fresh[i].Stats != cached[i].Stats || fresh[i].Digest != cached[i].Digest {
+				t.Errorf("workers=%d: cell %d (%s) differs between fresh and cached inputs",
+					workers, i, fresh[i].key())
+			}
+		}
+		if rm.InputMisses == 0 || rm.InputHits == 0 {
+			t.Errorf("workers=%d: input arena never exercised: %+v", workers, rm)
+		}
+		// Each (workload, threads, seed) input generates once and serves both
+		// protocol variants; with one worker the split is exact.
+		if workers == 1 && rm.InputHits != rm.InputMisses {
+			t.Errorf("workers=1: hits=%d misses=%d; want one hit per miss (two variants per key)",
+				rm.InputHits, rm.InputMisses)
+		}
+	}
+}
+
+// genPanicWorkload's Setup-time input generation panics. Both cells of a
+// matrix share its input key, which used to wedge the engine: the first
+// cell's panic left the singleflight entry pending forever and the second
+// cell blocked on it.
+type genPanicWorkload struct {
+	addWorkload
+	in *inputs.Arena
+}
+
+func (w *genPanicWorkload) Name() string              { return "gen-panic" }
+func (w *genPanicWorkload) UseInputs(a *inputs.Arena) { w.in = a }
+func (w *genPanicWorkload) Setup(m *commtm.Machine) {
+	inputs.Load(w.in, inputs.Key{Kind: "gen-panic"}, func() int { panic("generation failed") })
+	w.addWorkload.Setup(m)
+}
+
+// TestGenerationPanicDoesNotWedgeEngine: a Setup-time generation panic must
+// fail its cell (and, deterministically, every later cell that re-attempts
+// the same broken generation) — never hang Engine.Run.
+func TestGenerationPanicDoesNotWedgeEngine(t *testing.T) {
+	cells := []Cell{
+		{Index: 0, Workload: "gen-panic", Threads: 1, Seed: 1,
+			Mk: func() Workload { return &genPanicWorkload{addWorkload: addWorkload{ops: 8}} }},
+		{Index: 1, Workload: "gen-panic", Threads: 1, Seed: 2,
+			Mk: func() Workload { return &genPanicWorkload{addWorkload: addWorkload{ops: 8}} }},
+	}
+	done := make(chan Results, 1)
+	go func() {
+		eng := Engine{Workers: 2}
+		rs, err := eng.Run(cells)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rs
+	}()
+	select {
+	case rs := <-done:
+		for i, r := range rs {
+			if !strings.Contains(r.Err, "generation failed") {
+				t.Errorf("cell %d: err = %q, want the generation panic", i, r.Err)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Engine.Run wedged on a generation panic")
+	}
+}
+
+// TestMachineCapEvictsLRU covers the global machine cap: with a cap below
+// the number of distinct configurations, the pool evicts (and Closes) least
+// recently used machines instead of growing, and results stay identical to
+// the unbounded run.
+func TestMachineCapEvictsLRU(t *testing.T) {
+	cells := testMatrix().Cells() // 6 distinct configurations
+	unbounded := &RunMetrics{}
+	eng := Engine{Workers: 1, Metrics: unbounded}
+	want, err := eng.Run(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := &RunMetrics{}
+	eng = Engine{Workers: 1, MachineCap: 2, Metrics: capped}
+	got, err := eng.Run(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i].Stats != got[i].Stats || want[i].Digest != got[i].Digest {
+			t.Errorf("cell %d differs between capped and unbounded pools", i)
+		}
+	}
+	if capped.MachinesEvicted == 0 {
+		t.Error("cap below config count evicted nothing")
+	}
+	if unbounded.MachinesEvicted != 0 {
+		t.Errorf("unbounded pool evicted %d machines", unbounded.MachinesEvicted)
+	}
+	if unbounded.MachinesBuilt != 6 {
+		t.Errorf("unbounded pool built %d machines, want 6 (one per config)", unbounded.MachinesBuilt)
+	}
+}
+
+// TestPoolLimiterSkipsInUse pins the cap's safety property: a machine
+// running a cell must never be evicted from under its worker, even when the
+// in-flight set alone exceeds the cap; the pool shrinks at release instead.
+func TestPoolLimiterSkipsInUse(t *testing.T) {
+	lim := &poolLimiter{cap: 1}
+	rm := &RunMetrics{}
+	a1, a2 := newArena(lim, rm), newArena(lim, rm)
+	c1 := Cell{Workload: "add", Threads: 1, Seed: 1, Mk: func() Workload { return &addWorkload{ops: 8} }}
+	c2 := c1
+	c2.Threads = 2
+	m1 := a1.acquire(c1) // in use by worker 1
+	_ = a2.acquire(c2)   // in use by worker 2: over cap, nothing evictable
+	if lim.n != 2 {
+		t.Fatalf("pool has %d machines, want 2 in flight", lim.n)
+	}
+	if rm.MachinesEvicted != 0 {
+		t.Fatal("in-use machine evicted")
+	}
+	if a1.m[arenaKey(c1)].m != m1 {
+		t.Fatal("in-use machine vanished from its arena")
+	}
+	a1.release(c1) // now idle: the overflow eviction fires
+	if lim.n != 1 {
+		t.Fatalf("pool has %d machines after release, want cap 1", lim.n)
+	}
+	if rm.MachinesEvicted != 1 {
+		t.Fatalf("evictions = %d, want 1", rm.MachinesEvicted)
+	}
+	if a1.m[arenaKey(c1)] != nil {
+		t.Fatal("LRU machine (worker 1's idle one) still pooled")
+	}
+	a2.release(c2)
+	if lim.n != 1 {
+		t.Fatalf("pool has %d machines, want 1", lim.n)
+	}
+	a1.close()
+	a2.close()
+	if lim.n != 0 {
+		t.Fatalf("pool has %d machines after close, want 0", lim.n)
 	}
 }
 
@@ -280,7 +584,9 @@ func (w *panicWorkload) Body(*commtm.Thread) { panic("boom") }
 
 func TestCellPanicIsContained(t *testing.T) {
 	cells := []Cell{
-		{Index: 0, Workload: "panic", Variant: Variant{Label: "Baseline"}, Threads: 1, Seed: 1,
+		// Both cells carry the instance's name ("add"; panicWorkload embeds
+		// addWorkload) — runCell rejects rows whose name diverges.
+		{Index: 0, Workload: "add", Variant: Variant{Label: "Baseline"}, Threads: 1, Seed: 1,
 			Mk: func() Workload { return &panicWorkload{addWorkload{ops: 1}} }},
 		{Index: 1, Workload: "add", Variant: Variant{Label: "Baseline"}, Threads: 1, Seed: 1,
 			Mk: func() Workload { return &addWorkload{ops: 240} }},
@@ -308,7 +614,7 @@ func TestFailFastSkipsRemainingCells(t *testing.T) {
 		if i == 0 {
 			mk = func() Workload { return &panicWorkload{addWorkload{ops: 1}} }
 		}
-		cells[i] = Cell{Index: i, Workload: "w", Variant: Variant{Label: "Baseline"}, Threads: 1, Seed: 1, Mk: mk}
+		cells[i] = Cell{Index: i, Workload: "add", Variant: Variant{Label: "Baseline"}, Threads: 1, Seed: 1, Mk: mk}
 	}
 	eng := Engine{Workers: 1, FailFast: true}
 	rs, err := eng.Run(cells)

@@ -14,7 +14,7 @@ func checkApp(t *testing.T, name string, mk func() harness.Workload) {
 		for _, th := range []int{1, 3, 8} {
 			v, th := v, th
 			t.Run(fmt.Sprintf("%s/%s/%dthr", name, v.Label, th), func(t *testing.T) {
-				if _, err := harness.RunOne(mk, v, th, 99); err != nil {
+				if _, err := harness.RunOne(harness.Spec{Name: name, Mk: mk}, v, th, 99); err != nil {
 					t.Fatal(err)
 				}
 			})
@@ -35,15 +35,15 @@ func TestBoruvkaCorrect(t *testing.T) {
 }
 
 func TestBoruvkaLargerGraph(t *testing.T) {
-	if _, err := harness.RunOne(func() harness.Workload { return NewBoruvka(24, 24, 0.65, 3) },
-		harness.VarCommTM, 8, 5); err != nil {
+	ws := harness.Spec{Name: BoruvkaName, Mk: func() harness.Workload { return NewBoruvka(24, 24, 0.65, 3) }}
+	if _, err := harness.RunOne(ws, harness.VarCommTM, 8, 5); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestKMeansMoreClustersThanThreads(t *testing.T) {
-	if _, err := harness.RunOne(func() harness.Workload { return NewKMeans(128, 3, 11, 2, 5) },
-		harness.VarCommTM, 4, 6); err != nil {
+	ws := harness.Spec{Name: KMeansName, Mk: func() harness.Workload { return NewKMeans(128, 3, 11, 2, 5) }}
+	if _, err := harness.RunOne(ws, harness.VarCommTM, 4, 6); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -58,7 +58,8 @@ func TestVacationCorrect(t *testing.T) {
 
 func TestGenomeResizes(t *testing.T) {
 	g := NewGenome(1024, 16, 8000, 3)
-	if _, err := harness.RunOne(func() harness.Workload { return g }, harness.VarCommTM, 8, 3); err != nil {
+	ws := harness.Spec{Name: GenomeName, Mk: func() harness.Workload { return g }}
+	if _, err := harness.RunOne(ws, harness.VarCommTM, 8, 3); err != nil {
 		t.Fatal(err)
 	}
 	// Capacity starts at half the uniques, so at least one grow must fire.

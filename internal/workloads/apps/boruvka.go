@@ -5,6 +5,7 @@ import (
 
 	"commtm"
 	"commtm/internal/workloads/graphgen"
+	"commtm/internal/workloads/inputs"
 )
 
 // Boruvka computes the minimum spanning forest of a road-network-like graph
@@ -37,6 +38,7 @@ type Boruvka struct {
 	min     commtm.LabelID
 	max     commtm.LabelID
 	add     commtm.LabelID
+	inputs  *inputs.Arena
 
 	g          *graphgen.Graph
 	parentA    commtm.Addr
@@ -61,10 +63,26 @@ func NewBoruvka(w, h int, keep float64, seed uint64) *Boruvka {
 	return &Boruvka{W: w, H: h, Keep: keep, Seed: seed}
 }
 
+// BoruvkaName is the workload's registry/row name.
+const BoruvkaName = "boruvka"
+
 // Name implements harness.Workload.
-func (b *Boruvka) Name() string { return "boruvka" }
+func (b *Boruvka) Name() string { return BoruvkaName }
+
+// UseInputs implements inputs.User.
+func (b *Boruvka) UseInputs(a *inputs.Arena) { b.inputs = a }
 
 const oputIdentity = ^uint64(0)
+
+// boruvkaInput is the machine-independent generated input: the road
+// network and its Kruskal reference forest. The graph is read-only during
+// runs; every mutable round structure (union-find mirror, liveness bitmaps)
+// is rebuilt per Setup.
+type boruvkaInput struct {
+	g          *graphgen.Graph
+	wantWeight uint64
+	wantEdges  int
+}
 
 // Setup implements harness.Workload.
 func (b *Boruvka) Setup(m *commtm.Machine) {
@@ -74,8 +92,14 @@ func (b *Boruvka) Setup(m *commtm.Machine) {
 	b.max = m.DefineLabel(commtm.MaxLabel("MAX"))
 	b.add = m.DefineLabel(commtm.AddLabel("ADD"))
 
-	b.g = graphgen.RoadNetwork(b.W, b.H, b.Keep, b.Seed)
-	b.wantWeight, b.wantEdges = graphgen.KruskalMST(b.g)
+	in := inputs.Load(b.inputs,
+		inputs.Key{Kind: BoruvkaName, Params: fmt.Sprintf("w=%d h=%d keep=%g", b.W, b.H, b.Keep), Seed: b.Seed},
+		func() *boruvkaInput {
+			g := graphgen.RoadNetwork(b.W, b.H, b.Keep, b.Seed)
+			w, e := graphgen.KruskalMST(g)
+			return &boruvkaInput{g: g, wantWeight: w, wantEdges: e}
+		})
+	b.g, b.wantWeight, b.wantEdges = in.g, in.wantWeight, in.wantEdges
 
 	v, e := b.g.V, len(b.g.Edges)
 	b.parentA = m.AllocLines((v*8 + commtm.LineBytes - 1) / commtm.LineBytes)

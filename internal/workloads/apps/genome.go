@@ -5,6 +5,7 @@ import (
 
 	"commtm"
 	"commtm/internal/workloads/hashtab"
+	"commtm/internal/workloads/inputs"
 	"commtm/internal/xrand"
 )
 
@@ -29,6 +30,7 @@ type Genome struct {
 	add     commtm.LabelID
 	tb      *hashtab.Table
 	m       *commtm.Machine
+	inputs  *inputs.Arena
 
 	positions int     // number of distinct segment start positions
 	drawn     [][]int // per-thread segment draws
@@ -42,10 +44,26 @@ func NewGenome(geneLen, segLen, nSegs int, seed uint64) *Genome {
 	return &Genome{GeneLen: geneLen, SegLen: segLen, NSegs: nSegs, Seed: seed}
 }
 
+// GenomeName is the workload's registry/row name.
+const GenomeName = "genome"
+
 // Name implements harness.Workload.
-func (g *Genome) Name() string { return "genome" }
+func (g *Genome) Name() string { return GenomeName }
+
+// UseInputs implements inputs.User.
+func (g *Genome) UseInputs(a *inputs.Arena) { g.inputs = a }
 
 func (g *Genome) segKey(pos int) uint64 { return uint64(pos) + 1 }
+
+// genomeInput is the machine-independent generated input: the per-thread
+// segment draws and the host-side presence reference. The draws are
+// partitioned by thread count, so the cache key includes it. Read-only
+// after generation.
+type genomeInput struct {
+	drawn   [][]int
+	present []bool
+	uniques int
+}
 
 // Setup implements harness.Workload.
 func (g *Genome) Setup(m *commtm.Machine) {
@@ -62,21 +80,29 @@ func (g *Genome) Setup(m *commtm.Machine) {
 	g.tb = hashtab.New(m, g.add, nb, g.positions/2+1)
 	g.linkA = m.AllocWords(g.positions + 1)
 
-	g.drawn = make([][]int, g.threads)
-	g.present = make([]bool, g.positions+1)
-	for th := 0; th < g.threads; th++ {
-		rng := xrand.Derive(g.Seed^0x6e0d3, uint64(th))
-		n := share(g.NSegs, g.threads, th)
-		g.drawn[th] = make([]int, n)
-		for i := range g.drawn[th] {
-			pos := rng.Intn(g.positions)
-			g.drawn[th][i] = pos
-			if !g.present[pos] {
-				g.present[pos] = true
-				g.uniques++
+	in := inputs.Load(g.inputs,
+		inputs.Key{Kind: GenomeName, Params: fmt.Sprintf("g=%d s=%d n=%d t=%d", g.GeneLen, g.SegLen, g.NSegs, g.threads), Seed: g.Seed},
+		func() *genomeInput {
+			in := &genomeInput{
+				drawn:   make([][]int, g.threads),
+				present: make([]bool, g.positions+1),
 			}
-		}
-	}
+			for th := 0; th < g.threads; th++ {
+				rng := xrand.Derive(g.Seed^0x6e0d3, uint64(th))
+				n := share(g.NSegs, g.threads, th)
+				in.drawn[th] = make([]int, n)
+				for i := range in.drawn[th] {
+					pos := rng.Intn(g.positions)
+					in.drawn[th][i] = pos
+					if !in.present[pos] {
+						in.present[pos] = true
+						in.uniques++
+					}
+				}
+			}
+			return in
+		})
+	g.drawn, g.present, g.uniques = in.drawn, in.present, in.uniques
 }
 
 // Body implements harness.Workload.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"commtm"
+	"commtm/internal/workloads/inputs"
 	"commtm/internal/xrand"
 )
 
@@ -27,6 +28,7 @@ type KMeans struct {
 
 	threads int
 	add     commtm.LabelID
+	inputs  *inputs.Arena
 
 	pts   []uint64 // host-side copy (coordinates are small non-negatives)
 	ptsA  commtm.Addr
@@ -41,8 +43,22 @@ func NewKMeans(points, dims, k, iters int, seed uint64) *KMeans {
 	return &KMeans{Points: points, Dims: dims, K: k, Iters: iters, Seed: seed}
 }
 
+// KMeansName is the workload's registry/row name.
+const KMeansName = "kmeans"
+
 // Name implements harness.Workload.
-func (km *KMeans) Name() string { return "kmeans" }
+func (km *KMeans) Name() string { return KMeansName }
+
+// UseInputs implements inputs.User.
+func (km *KMeans) UseInputs(a *inputs.Arena) { km.inputs = a }
+
+// kmeansInput is the machine-independent generated input: the point cloud
+// and the sequential reference centroids (the expensive part — Iters full
+// passes over the data). Read-only after generation.
+type kmeansInput struct {
+	pts       []uint64
+	wantCents []uint64
+}
 
 func (km *KMeans) gen() []uint64 {
 	rng := xrand.New(km.Seed*2654435761 + 1)
@@ -78,9 +94,9 @@ func nearest(cents []uint64, k, dims int, pt []uint64) int {
 }
 
 // reference runs the same algorithm sequentially on the host.
-func (km *KMeans) reference() []uint64 {
+func (km *KMeans) reference(pts []uint64) []uint64 {
 	cents := make([]uint64, km.K*km.Dims)
-	copy(cents, km.pts[:km.K*km.Dims]) // first K points seed the centroids
+	copy(cents, pts[:km.K*km.Dims]) // first K points seed the centroids
 	sums := make([]uint64, km.K*km.Dims)
 	counts := make([]uint64, km.K)
 	for it := 0; it < km.Iters; it++ {
@@ -91,7 +107,7 @@ func (km *KMeans) reference() []uint64 {
 			counts[i] = 0
 		}
 		for p := 0; p < km.Points; p++ {
-			pt := km.pts[p*km.Dims : (p+1)*km.Dims]
+			pt := pts[p*km.Dims : (p+1)*km.Dims]
 			c := nearest(cents, km.K, km.Dims, pt)
 			for d := 0; d < km.Dims; d++ {
 				sums[c*km.Dims+d] += pt[d]
@@ -114,8 +130,13 @@ func (km *KMeans) reference() []uint64 {
 func (km *KMeans) Setup(m *commtm.Machine) {
 	km.threads = m.Config().Threads
 	km.add = m.DefineLabel(commtm.AddLabel("ADD"))
-	km.pts = km.gen()
-	km.wantCents = km.reference()
+	in := inputs.Load(km.inputs,
+		inputs.Key{Kind: KMeansName, Params: fmt.Sprintf("p=%d d=%d k=%d it=%d", km.Points, km.Dims, km.K, km.Iters), Seed: km.Seed},
+		func() *kmeansInput {
+			pts := km.gen()
+			return &kmeansInput{pts: pts, wantCents: km.reference(pts)}
+		})
+	km.pts, km.wantCents = in.pts, in.wantCents
 
 	km.ptsA = m.AllocWords(km.Points * km.Dims)
 	for i, v := range km.pts {

@@ -5,6 +5,7 @@ import (
 
 	"commtm"
 	"commtm/internal/workloads/graphgen"
+	"commtm/internal/workloads/inputs"
 )
 
 // SSCA2 reproduces the transactional behaviour of STAMP ssca2 (kernel 1,
@@ -23,6 +24,7 @@ type SSCA2 struct {
 	threads int
 	add     commtm.LabelID
 	g       *graphgen.Graph
+	inputs  *inputs.Arena
 
 	degA    commtm.Addr // V shared degree counters
 	metaA   commtm.Addr // global metadata: {edges, totalWeight, heavyEdges}
@@ -35,22 +37,41 @@ func NewSSCA2(scale, edges int, seed uint64) *SSCA2 {
 	return &SSCA2{Scale: scale, Edges: edges, Seed: seed}
 }
 
+// SSCA2Name is the workload's registry/row name.
+const SSCA2Name = "ssca2"
+
 // Name implements harness.Workload.
-func (s *SSCA2) Name() string { return "ssca2" }
+func (s *SSCA2) Name() string { return SSCA2Name }
+
+// UseInputs implements inputs.User.
+func (s *SSCA2) UseInputs(a *inputs.Arena) { s.inputs = a }
 
 // heavyThreshold classifies edges for the metadata histogram.
 const heavyThreshold = 900
+
+// ssca2Input is the machine-independent generated input: the sorted edge
+// list and the reference degree counts. Immutable once generated — Body and
+// Validate only read it.
+type ssca2Input struct {
+	g       *graphgen.Graph
+	wantDeg []int
+}
 
 // Setup implements harness.Workload.
 func (s *SSCA2) Setup(m *commtm.Machine) {
 	s.threads = m.Config().Threads
 	s.add = m.DefineLabel(commtm.AddLabel("ADD"))
-	// SSCA2's generator produces clustered, bounded-degree graphs (not the
-	// heavy-tailed R-MAT hubs), and STAMP partitions work by source vertex;
-	// both keep transactional conflicts rare.
-	s.g = graphgen.Uniform(1<<s.Scale, s.Edges, s.Seed)
-	graphgen.SortBySource(s.g)
-	s.wantDeg = graphgen.Degrees(s.g)
+	in := inputs.Load(s.inputs,
+		inputs.Key{Kind: SSCA2Name, Params: fmt.Sprintf("scale=%d edges=%d", s.Scale, s.Edges), Seed: s.Seed},
+		func() *ssca2Input {
+			// SSCA2's generator produces clustered, bounded-degree graphs (not
+			// the heavy-tailed R-MAT hubs), and STAMP partitions work by source
+			// vertex; both keep transactional conflicts rare.
+			g := graphgen.Uniform(1<<s.Scale, s.Edges, s.Seed)
+			graphgen.SortBySource(g)
+			return &ssca2Input{g: g, wantDeg: graphgen.Degrees(g)}
+		})
+	s.g, s.wantDeg = in.g, in.wantDeg
 
 	// One degree counter per vertex, 8 per line (aligned words), plus a
 	// private counting array per thread (STAMP ssca2 builds per-thread

@@ -5,6 +5,7 @@ import (
 
 	"commtm"
 	"commtm/internal/workloads/hashtab"
+	"commtm/internal/workloads/inputs"
 	"commtm/internal/xrand"
 )
 
@@ -27,6 +28,7 @@ type Vacation struct {
 	threads int
 	add     commtm.LabelID
 	m       *commtm.Machine
+	inputs  *inputs.Arena
 	tables  [3]*hashtab.Table
 	custTb  *hashtab.Table
 	nextID  []int // per-thread fresh item ids for update-tables adds
@@ -45,17 +47,45 @@ func NewVacation(items, customers, tasks, queries int, seed uint64) *Vacation {
 	return &Vacation{NItems: items, NCustomers: customers, NTasks: tasks, NQueries: queries, Seed: seed}
 }
 
+// VacationName is the workload's registry/row name.
+const VacationName = "vacation"
+
 // Name implements harness.Workload.
-func (vc *Vacation) Name() string { return "vacation" }
+func (vc *Vacation) Name() string { return VacationName }
+
+// UseInputs implements inputs.User.
+func (vc *Vacation) UseInputs(a *inputs.Arena) { vc.inputs = a }
 
 func itemRef(table int, id uint64) uint64 { return uint64(table)<<48 | id }
+
+// vacationInput is the machine-independent generated input: the item
+// {total, price} streams, in the exact draw order the uncached Setup
+// produces them (tables outermost, items innermost, total before price).
+// The table installs themselves (allocations, record writes) are
+// machine-side and happen per Setup.
+type vacationInput struct {
+	totals, prices []uint64 // 3*NItems each, indexed ti*NItems + (id-1)
+}
 
 // Setup implements harness.Workload.
 func (vc *Vacation) Setup(m *commtm.Machine) {
 	vc.m = m
 	vc.threads = m.Config().Threads
 	vc.add = m.DefineLabel(commtm.AddLabel("ADD"))
-	rng := xrand.New(vc.Seed ^ 0x7ac1a7)
+	in := inputs.Load(vc.inputs,
+		inputs.Key{Kind: VacationName, Params: fmt.Sprintf("r=%d", vc.NItems), Seed: vc.Seed},
+		func() *vacationInput {
+			rng := xrand.New(vc.Seed ^ 0x7ac1a7)
+			in := &vacationInput{
+				totals: make([]uint64, 3*vc.NItems),
+				prices: make([]uint64, 3*vc.NItems),
+			}
+			for i := range in.totals {
+				in.totals[i] = uint64(rng.Intn(5)) + 1
+				in.prices[i] = uint64(rng.Intn(500)) + 100
+			}
+			return in
+		})
 	for ti := range vc.tables {
 		// Capacity covers the initial population with modest slack, so
 		// update-tables inserts exercise the counter and occasionally the
@@ -63,8 +93,8 @@ func (vc *Vacation) Setup(m *commtm.Machine) {
 		vc.tables[ti] = hashtab.New(m, vc.add, 256, vc.NItems+vc.NItems/8)
 		for id := 1; id <= vc.NItems; id++ {
 			rec := m.AllocLines(1)
-			m.MemWrite64(rec+recTotal, uint64(rng.Intn(5))+1)
-			m.MemWrite64(rec+recPrice, uint64(rng.Intn(500))+100)
+			m.MemWrite64(rec+recTotal, in.totals[ti*vc.NItems+id-1])
+			m.MemWrite64(rec+recPrice, in.prices[ti*vc.NItems+id-1])
 			vc.seedInsert(m, vc.tables[ti], uint64(id), uint64(rec))
 		}
 	}

@@ -21,8 +21,14 @@ type Counter struct {
 // NewCounter builds the workload with the given total increment count.
 func NewCounter(ops int) *Counter { return &Counter{Ops: ops} }
 
+// CounterName is the workload's registry/row name.
+const CounterName = "counter"
+
 // Name implements harness.Workload.
-func (c *Counter) Name() string { return "counter" }
+func (c *Counter) Name() string { return CounterName }
+
+// Counter has no generated input (its op stream is a plain loop), so it
+// does not implement inputs.User; the sweep engine runs it unchanged.
 
 // Setup implements harness.Workload.
 func (c *Counter) Setup(m *commtm.Machine) {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"commtm"
+	"commtm/internal/workloads/inputs"
 )
 
 // List is the Sec. VI linked-list microbenchmark (Figs. 11–12): threads
@@ -26,6 +27,8 @@ type List struct {
 
 	threads int
 	label   commtm.LabelID
+	inputs  *inputs.Arena
+	deqOps  [][]bool    // cached per-thread dequeue decisions (nil = draw live)
 	dsc     commtm.Addr // CommTM: words {head, tail}
 	headA   commtm.Addr // baseline: head on its own line
 	tailA   commtm.Addr // baseline: tail on its own line
@@ -51,12 +54,36 @@ func NewList(ops int, deqFrac float64) *List {
 	return &List{Ops: ops, DeqFrac: deqFrac, Prime: -1}
 }
 
-// Name implements harness.Workload.
-func (l *List) Name() string {
-	if l.DeqFrac == 0 {
-		return "list-enq"
+// ListEnqName and ListMixedName are the workload's registry/row names for
+// the enqueue-only and mixed configurations.
+const (
+	ListEnqName   = "list-enq"
+	ListMixedName = "list-mixed"
+)
+
+// ListName returns the registry/row name of a list workload with the given
+// dequeue fraction — the same rule Name applies, usable without an instance.
+func ListName(deqFrac float64) string {
+	if deqFrac == 0 {
+		return ListEnqName
 	}
-	return "list-mixed"
+	return ListMixedName
+}
+
+// Name implements harness.Workload.
+func (l *List) Name() string { return ListName(l.DeqFrac) }
+
+// UseInputs implements inputs.User.
+func (l *List) UseInputs(a *inputs.Arena) { l.inputs = a }
+
+// listInput is the cached op stream: each thread's enqueue/dequeue
+// decisions, precomputed with commtm.ArchRand so replay equals the live
+// Thread.Rand draws bit for bit. The enqueued values themselves are
+// sequence numbers (no randomness) and the enqueued/dequeued multisets are
+// run outputs, so only the decision stream is cacheable. Read-only after
+// generation.
+type listInput struct {
+	deq [][]bool
 }
 
 // nodeBytes: each node is {value, next}, padded to a full line so nodes of
@@ -81,6 +108,25 @@ func (l *List) Setup(m *commtm.Machine) {
 				l.Prime = 128
 			}
 		}
+	}
+	if l.inputs != nil {
+		seed := m.Config().Seed
+		in := inputs.Load(l.inputs,
+			inputs.Key{Kind: "list", Params: fmt.Sprintf("ops=%d deq=%g t=%d", l.Ops, l.DeqFrac, l.threads), Seed: seed},
+			func() *listInput {
+				in := &listInput{deq: make([][]bool, l.threads)}
+				for id := 0; id < l.threads; id++ {
+					rng := commtm.ArchRand(seed, id)
+					n := share(l.Ops, l.threads, id)
+					ds := make([]bool, n)
+					for i := range ds {
+						ds[i] = rng.Float64() < l.DeqFrac
+					}
+					in.deq[id] = ds
+				}
+				return in
+			})
+		l.deqOps = in.deq
 	}
 	l.label = m.DefineLabel(listLabelSpec())
 	l.dsc = m.AllocLines(1)
@@ -199,7 +245,13 @@ func (l *List) Body(t *commtm.Thread) {
 	}
 	for i := 0; i < n; i++ {
 		t.Cycles(listSetupCycles)
-		if rng.Float64() < l.DeqFrac {
+		deq := false
+		if l.deqOps != nil {
+			deq = l.deqOps[id][i]
+		} else {
+			deq = rng.Float64() < l.DeqFrac
+		}
+		if deq {
 			if v, ok := l.dequeue(t); ok {
 				l.dequeued[id] = append(l.dequeued[id], v)
 			} else {

@@ -15,7 +15,7 @@ func checkAll(t *testing.T, name string, mk func() harness.Workload) {
 		for _, th := range []int{1, 2, 4, 8} {
 			v, th := v, th
 			t.Run(fmt.Sprintf("%s/%s/%dthr", name, v.Label, th), func(t *testing.T) {
-				if _, err := harness.RunOne(mk, v, th, 12345); err != nil {
+				if _, err := harness.RunOne(harness.Spec{Name: name, Mk: mk}, v, th, 12345); err != nil {
 					t.Fatal(err)
 				}
 			})
@@ -49,18 +49,19 @@ func TestTopKCorrect(t *testing.T) {
 
 func TestTopKLargerThanInserts(t *testing.T) {
 	// K larger than the number of inserts: the heap holds everything.
-	if _, err := harness.RunOne(func() harness.Workload { return NewTopK(20, 64) },
-		harness.VarCommTM, 4, 7); err != nil {
+	ws := harness.Spec{Name: TopKName, Mk: func() harness.Workload { return NewTopK(20, 64) }}
+	if _, err := harness.RunOne(ws, harness.VarCommTM, 4, 7); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCounterCommTMOutscalesBaseline(t *testing.T) {
-	base, err := harness.RunOne(func() harness.Workload { return NewCounter(800) }, harness.VarBaseline, 8, 3)
+	ws := harness.Spec{Name: CounterName, Mk: func() harness.Workload { return NewCounter(800) }}
+	base, err := harness.RunOne(ws, harness.VarBaseline, 8, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	comm, err := harness.RunOne(func() harness.Workload { return NewCounter(800) }, harness.VarCommTM, 8, 3)
+	comm, err := harness.RunOne(ws, harness.VarCommTM, 8, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,12 +74,12 @@ func TestCounterCommTMOutscalesBaseline(t *testing.T) {
 }
 
 func TestRefcountGatherBeatsNoGather(t *testing.T) {
-	mk := func() harness.Workload { return NewRefcount(1200, 4) }
-	gather, err := harness.RunOne(mk, harness.VarCommTM, 8, 5)
+	ws := harness.Spec{Name: RefcountName, Mk: func() harness.Workload { return NewRefcount(1200, 4) }}
+	gather, err := harness.RunOne(ws, harness.VarCommTM, 8, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	noGather, err := harness.RunOne(mk, harness.VarCommTMNoGather, 8, 5)
+	noGather, err := harness.RunOne(ws, harness.VarCommTMNoGather, 8, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"commtm"
+	"commtm/internal/workloads/inputs"
 )
 
 // OPut is the Sec. VI ordered-put (priority update) microbenchmark
@@ -19,17 +20,33 @@ type OPut struct {
 	oput    commtm.LabelID
 	pair    commtm.Addr // words {key, value}
 	mins    []uint64    // per-thread local minimum generated (for Validate)
+	inputs  *inputs.Arena
+	keys    [][]uint64 // cached per-thread key streams (nil = draw live)
 }
 
 // NewOPut builds the workload with the given total put count.
 func NewOPut(ops int) *OPut { return &OPut{Ops: ops} }
 
+// OPutName is the workload's registry/row name.
+const OPutName = "oput"
+
 // Name implements harness.Workload.
-func (o *OPut) Name() string { return "oput" }
+func (o *OPut) Name() string { return OPutName }
+
+// UseInputs implements inputs.User.
+func (o *OPut) UseInputs(a *inputs.Arena) { o.inputs = a }
 
 // valueOf derives the value word deterministically from the key so Validate
 // can detect torn pairs.
 func valueOf(k uint64) uint64 { return k ^ 0x5bd1e995 }
+
+// oputInput is the cached op stream: each thread's keys, precomputed with
+// commtm.ArchRand so replay equals the live Thread.Rand draws bit for bit,
+// plus the per-thread minima Validate needs. Read-only after generation.
+type oputInput struct {
+	keys [][]uint64
+	mins []uint64
+}
 
 // Setup implements harness.Workload.
 func (o *OPut) Setup(m *commtm.Machine) {
@@ -37,6 +54,30 @@ func (o *OPut) Setup(m *commtm.Machine) {
 	o.oput = m.DefineLabel(commtm.OPutLabel("OPUT"))
 	o.pair = m.AllocLines(1)
 	m.MemWrite64(o.pair, ^uint64(0)) // identity key
+	if o.inputs != nil {
+		seed := m.Config().Seed
+		in := inputs.Load(o.inputs,
+			inputs.Key{Kind: OPutName, Params: fmt.Sprintf("ops=%d t=%d", o.Ops, o.threads), Seed: seed},
+			func() *oputInput {
+				in := &oputInput{keys: make([][]uint64, o.threads), mins: make([]uint64, o.threads)}
+				for id := 0; id < o.threads; id++ {
+					rng := commtm.ArchRand(seed, id)
+					n := share(o.Ops, o.threads, id)
+					ks := make([]uint64, n)
+					min := ^uint64(0)
+					for i := range ks {
+						ks[i] = rng.Uint64()
+						if ks[i] < min {
+							min = ks[i]
+						}
+					}
+					in.keys[id], in.mins[id] = ks, min
+				}
+				return in
+			})
+		o.keys, o.mins = in.keys, in.mins
+		return
+	}
 	o.mins = make([]uint64, o.threads)
 	for i := range o.mins {
 		o.mins[i] = ^uint64(0)
@@ -47,12 +88,7 @@ func (o *OPut) Setup(m *commtm.Machine) {
 func (o *OPut) Body(t *commtm.Thread) {
 	id := t.ID()
 	n := share(o.Ops, o.threads, id)
-	rng := t.Rand()
-	for i := 0; i < n; i++ {
-		k := rng.Uint64()
-		if k < o.mins[id] {
-			o.mins[id] = k
-		}
+	put := func(k uint64) {
 		t.Txn(func() {
 			cur := t.LoadL(o.pair, o.oput)
 			if k < cur {
@@ -60,6 +96,20 @@ func (o *OPut) Body(t *commtm.Thread) {
 				t.StoreL(o.pair+8, o.oput, valueOf(k))
 			}
 		})
+	}
+	if o.keys != nil {
+		for _, k := range o.keys[id] {
+			put(k)
+		}
+		return
+	}
+	rng := t.Rand()
+	for i := 0; i < n; i++ {
+		k := rng.Uint64()
+		if k < o.mins[id] {
+			o.mins[id] = k
+		}
+		put(k)
 	}
 }
 

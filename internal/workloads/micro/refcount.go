@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"commtm"
+	"commtm/internal/workloads/inputs"
 )
 
 // Refcount is the Sec. VI reference-counting microbenchmark (Fig. 10):
@@ -21,7 +22,9 @@ type Refcount struct {
 	threads int
 	add     commtm.LabelID
 	ctrs    []commtm.Addr
-	held    [][]int // [thread][object] references held at the end
+	inputs  *inputs.Arena
+	ops     [][]refcountOp // cached per-thread op streams (nil = draw live)
+	held    [][]int        // [thread][object] references held at the end
 }
 
 // NewRefcount builds the workload; objects <= 0 defaults to the paper's 16.
@@ -32,13 +35,41 @@ func NewRefcount(ops, objects int) *Refcount {
 	return &Refcount{Ops: ops, Objects: objects}
 }
 
+// RefcountName is the workload's registry/row name.
+const RefcountName = "refcount"
+
 // Name implements harness.Workload.
-func (r *Refcount) Name() string { return "refcount" }
+func (r *Refcount) Name() string { return RefcountName }
+
+// UseInputs implements inputs.User.
+func (r *Refcount) UseInputs(a *inputs.Arena) { r.inputs = a }
 
 const (
 	refStart   = 3  // initial references per thread per object
 	refMaxHeld = 10 // max references a thread holds to one object
 )
+
+// refcountOp is one replayed operation of the cached stream.
+type refcountOp struct {
+	obj  int32
+	kind uint8 // refSkip, refAcquire, refRelease
+}
+
+const (
+	refSkip uint8 = iota
+	refAcquire
+	refRelease
+)
+
+// refcountInput is the cached op stream: the held-count evolution is a pure
+// function of the per-thread architectural RNG (acquire probability depends
+// only on prior decisions), so the whole decision sequence — and the final
+// held counts Validate sums — precomputes with commtm.ArchRand, draw for
+// draw equal to the live Body. Read-only after generation.
+type refcountInput struct {
+	ops  [][]refcountOp
+	held [][]int // final held counts
+}
 
 // Setup implements harness.Workload.
 func (r *Refcount) Setup(m *commtm.Machine) {
@@ -49,6 +80,15 @@ func (r *Refcount) Setup(m *commtm.Machine) {
 		r.ctrs[i] = m.AllocLines(1)
 		m.MemWrite64(r.ctrs[i], uint64(refStart*r.threads))
 	}
+	if r.inputs != nil {
+		seed := m.Config().Seed
+		in := inputs.Load(r.inputs,
+			inputs.Key{Kind: RefcountName, Params: fmt.Sprintf("ops=%d obj=%d t=%d", r.Ops, r.Objects, r.threads), Seed: seed},
+			func() *refcountInput { return r.genOps(seed) })
+		r.ops, r.held = in.ops, in.held
+		return
+	}
+	r.ops = nil
 	r.held = make([][]int, r.threads)
 	for i := range r.held {
 		r.held[i] = make([]int, r.Objects)
@@ -56,6 +96,41 @@ func (r *Refcount) Setup(m *commtm.Machine) {
 			r.held[i][j] = refStart
 		}
 	}
+}
+
+// genOps precomputes every thread's decision stream and final held counts,
+// mirroring Body's live path exactly: two draws per iteration (object, then
+// acquire probability), held updated only on acquire/release.
+func (r *Refcount) genOps(seed uint64) *refcountInput {
+	in := &refcountInput{
+		ops:  make([][]refcountOp, r.threads),
+		held: make([][]int, r.threads),
+	}
+	for id := 0; id < r.threads; id++ {
+		rng := commtm.ArchRand(seed, id)
+		held := make([]int, r.Objects)
+		for j := range held {
+			held[j] = refStart
+		}
+		n := share(r.Ops, r.threads, id)
+		ops := make([]refcountOp, n)
+		for i := range ops {
+			obj := rng.Intn(r.Objects)
+			pAcq := 1.0 - float64(held[obj])/float64(refMaxHeld)
+			switch {
+			case rng.Float64() < pAcq:
+				ops[i] = refcountOp{obj: int32(obj), kind: refAcquire}
+				held[obj]++
+			case held[obj] == 0:
+				ops[i] = refcountOp{obj: int32(obj), kind: refSkip}
+			default:
+				ops[i] = refcountOp{obj: int32(obj), kind: refRelease}
+				held[obj]--
+			}
+		}
+		in.ops[id], in.held[id] = ops, held
+	}
+	return in
 }
 
 // acquire increments the object's reference count.
@@ -95,6 +170,23 @@ const opSetupCycles = 40
 
 // Body implements harness.Workload.
 func (r *Refcount) Body(t *commtm.Thread) {
+	if r.ops != nil {
+		// Replay the cached decision stream: same per-iteration setup cost,
+		// same transaction sequence, no PRNG draws or held bookkeeping (the
+		// final held counts came with the cached input).
+		for _, op := range r.ops[t.ID()] {
+			t.Cycles(opSetupCycles)
+			switch op.kind {
+			case refAcquire:
+				r.acquire(t, r.ctrs[op.obj])
+			case refRelease:
+				if !r.release(t, r.ctrs[op.obj]) {
+					return // impossible while we hold a reference; Validate catches it
+				}
+			}
+		}
+		return
+	}
 	n := share(r.Ops, r.threads, t.ID())
 	held := r.held[t.ID()]
 	rng := t.Rand()

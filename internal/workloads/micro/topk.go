@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"commtm"
+	"commtm/internal/workloads/inputs"
 )
 
 // TopK is the Sec. VI top-K set microbenchmark (Figs. 14–15): threads
@@ -28,7 +29,9 @@ type TopK struct {
 	arenas  [][]commtm.Addr
 	arenaAt []int
 
-	inserted [][]uint64
+	inputs   *inputs.Arena
+	replay   bool       // inserted holds a cached stream; Body must not append
+	inserted [][]uint64 // per-thread inserted values (Validate's reference)
 }
 
 // NewTopK builds the workload (paper: 10M inserts, K=1000).
@@ -39,8 +42,22 @@ func NewTopK(ops, k int) *TopK {
 	return &TopK{Ops: ops, K: k}
 }
 
+// TopKName is the workload's registry/row name.
+const TopKName = "topk"
+
 // Name implements harness.Workload.
-func (tk *TopK) Name() string { return "topk" }
+func (tk *TopK) Name() string { return TopKName }
+
+// UseInputs implements inputs.User.
+func (tk *TopK) UseInputs(a *inputs.Arena) { tk.inputs = a }
+
+// topkInput is the cached op stream: each thread's inserted values,
+// precomputed with commtm.ArchRand so replay equals the live Thread.Rand
+// draws bit for bit. The streams double as Validate's inserted-values
+// reference. Read-only after generation.
+type topkInput struct {
+	streams [][]uint64
+}
 
 // arenaBlocks bounds how many times one thread can restart a partial heap
 // (one per reduction it loses plus one initial). Reductions happen only on
@@ -54,13 +71,34 @@ func (tk *TopK) Setup(m *commtm.Machine) {
 	tk.dsc = m.AllocLines(1)
 	tk.arenas = make([][]commtm.Addr, tk.threads)
 	tk.arenaAt = make([]int, tk.threads)
-	tk.inserted = make([][]uint64, tk.threads)
 	for i := 0; i < tk.threads; i++ {
 		tk.arenas[i] = make([]commtm.Addr, arenaBlocks)
 		for j := range tk.arenas[i] {
 			tk.arenas[i][j] = m.Alloc(tk.K*8, commtm.LineBytes)
 		}
 	}
+	if tk.inputs != nil {
+		seed := m.Config().Seed
+		in := inputs.Load(tk.inputs,
+			inputs.Key{Kind: TopKName, Params: fmt.Sprintf("ops=%d k=%d t=%d", tk.Ops, tk.K, tk.threads), Seed: seed},
+			func() *topkInput {
+				in := &topkInput{streams: make([][]uint64, tk.threads)}
+				for id := 0; id < tk.threads; id++ {
+					rng := commtm.ArchRand(seed, id)
+					n := share(tk.Ops, tk.threads, id)
+					vs := make([]uint64, n)
+					for i := range vs {
+						vs[i] = rng.Uint64() >> 1 // matches Body's sentinel guard
+					}
+					in.streams[id] = vs
+				}
+				return in
+			})
+		tk.inserted, tk.replay = in.streams, true
+		return
+	}
+	tk.inserted = make([][]uint64, tk.threads)
+	tk.replay = false
 }
 
 // heap helpers over simulated memory through the thread API (transactional)
@@ -173,6 +211,12 @@ func (tk *TopK) insert(t *commtm.Thread, v uint64) {
 // Body implements harness.Workload.
 func (tk *TopK) Body(t *commtm.Thread) {
 	id := t.ID()
+	if tk.replay {
+		for _, v := range tk.inserted[id] {
+			tk.insert(t, v)
+		}
+		return
+	}
 	n := share(tk.Ops, tk.threads, id)
 	rng := t.Rand()
 	for i := 0; i < n; i++ {

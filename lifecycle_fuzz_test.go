@@ -5,6 +5,7 @@ import (
 
 	"commtm"
 	"commtm/internal/harness"
+	"commtm/internal/workloads/inputs"
 	"commtm/internal/workloads/micro"
 )
 
@@ -79,6 +80,80 @@ func FuzzRunResetRun(f *testing.F) {
 		}
 		if gotDigest != wantDigest {
 			t.Errorf("Reset leak: MemDigest %#x != fresh %#x", gotDigest, wantDigest)
+		}
+	})
+}
+
+// FuzzInputArenaReplay fuzzes the input-arena contract against the
+// lifecycle: for a random configuration and target workload, a run that
+// replays a cached input (arena hit) — on a machine that was dirtied by
+// another arena-using workload, possibly died mid-run, and was Reset —
+// must produce Stats and MemDigest identical to a freshly built machine
+// generating everything from scratch (nil arena). The first arena pass is
+// a miss (generate-and-cache), the second a hit (pure replay), so every
+// case exercises both sides of inputs.Load interleaved with Reset; any
+// counterexample means a cached input or precomputed op stream diverged
+// from live generation, or replay leaked state across lifecycle
+// generations.
+func FuzzInputArenaReplay(f *testing.F) {
+	f.Add(uint16(200), uint8(1), uint8(1), uint64(1), uint8(4), uint8(5), uint16(80), false)
+	f.Add(uint16(60), uint8(3), uint8(0), uint64(42), uint8(5), uint8(2), uint16(200), true)
+	f.Add(uint16(250), uint8(2), uint8(2), uint64(7), uint8(1), uint8(3), uint16(40), false)
+
+	f.Fuzz(func(t *testing.T, ops uint16, thSel, protoSel uint8, seed uint64, wlSel, dirtyWlSel uint8, dirtyOps uint16, dirtyPanics bool) {
+		cfg := commtm.Config{
+			Threads:       []int{1, 2, 4, 8}[int(thSel)%4],
+			Protocol:      commtm.Protocol(int(protoSel) % 2),
+			DisableGather: protoSel%3 == 2,
+			Seed:          seed,
+		}
+
+		fresh := commtm.New(cfg)
+		wantStats, wantDigest := runWorkload(fresh, fuzzWorkload(wlSel, ops))
+		fresh.Close()
+
+		a := inputs.New()
+		attach := func(w harness.Workload) harness.Workload {
+			if u, ok := w.(inputs.User); ok {
+				u.UseInputs(a)
+			}
+			return w
+		}
+		m := commtm.New(cfg)
+		defer m.Close()
+
+		// Cold pass: the arena misses and caches the generated input.
+		gotStats, gotDigest := runWorkload(m, attach(fuzzWorkload(wlSel, ops)))
+		if gotStats != wantStats || gotDigest != wantDigest {
+			t.Errorf("arena miss diverges from nil-arena run (cfg=%+v wl=%d ops=%d)\n fresh: %+v %#x\n miss:  %+v %#x",
+				cfg, wlSel%6, ops, wantStats, wantDigest, gotStats, gotDigest)
+		}
+
+		// Dirty the machine through the same arena (a different workload's
+		// miss/hit), optionally dying mid-run, then Reset.
+		m.Reset()
+		if dirtyPanics {
+			w := attach(fuzzWorkload(dirtyWlSel, dirtyOps))
+			w.Setup(m)
+			func() {
+				defer func() { recover() }()
+				m.Run(func(th *commtm.Thread) {
+					if th.ID() == cfg.Threads-1 {
+						panic("fuzz: dirty run dies")
+					}
+					w.Body(th)
+				})
+			}()
+		} else {
+			runWorkload(m, attach(fuzzWorkload(dirtyWlSel, dirtyOps)))
+		}
+		m.Reset()
+
+		// Hot pass: the target's input replays from cache.
+		gotStats, gotDigest = runWorkload(m, attach(fuzzWorkload(wlSel, ops)))
+		if gotStats != wantStats || gotDigest != wantDigest {
+			t.Errorf("arena hit diverges from nil-arena run (cfg=%+v wl=%d ops=%d dirty=%d/%d panics=%v)\n fresh: %+v %#x\n hit:   %+v %#x",
+				cfg, wlSel%6, ops, dirtyWlSel%6, dirtyOps, dirtyPanics, wantStats, wantDigest, gotStats, gotDigest)
 		}
 	})
 }
