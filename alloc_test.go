@@ -16,6 +16,7 @@ import (
 	"commtm/internal/workloads/apps"
 	"commtm/internal/workloads/inputs"
 	"commtm/internal/workloads/micro"
+	"commtm/internal/workloads/snapshots"
 )
 
 // TestResetIsAllocationFree asserts the core steady-state property of the
@@ -147,6 +148,63 @@ func TestInputArenaCutsWorkloadAllocations(t *testing.T) {
 				t.Errorf("cached-input setup allocates %.0f bytes vs %.0f fresh; want >= 5x reduction", cached, fresh)
 			}
 			t.Logf("input-path alloc bytes per cell: fresh=%.0f cached=%.0f (%.1fx reduction)", fresh, cached, fresh/cached)
+		})
+	}
+}
+
+// TestSnapshotRestoreCutsSetupCost asserts the machine-image snapshot win:
+// for a repeated cell, the restore path (Machine.Restore + construct +
+// AdoptHost) must allocate at least 5x fewer bytes than a replayed Setup
+// (Reset + construct + Setup with fresh generation — what a repeated cell
+// pays without any arena, since the snapshot subsumes the input cache too).
+// The machine is held warm on both sides, so the window isolates exactly
+// what the snapshot replaces: input generation, host-state construction,
+// and the word-by-word install. The margin is the acceptance bar from
+// BENCH_snapshots.json; measured ratios are far higher.
+func TestSnapshotRestoreCutsSetupCost(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() harness.Workload
+	}{
+		{apps.SSCA2Name, func() harness.Workload { return apps.NewSSCA2(10, 3000, 1) }},
+		{apps.BoruvkaName, func() harness.Workload { return apps.NewBoruvka(16, 16, 0.7, 1) }},
+		{apps.KMeansName, func() harness.Workload { return apps.NewKMeans(512, 8, 12, 3, 1) }},
+		{apps.GenomeName, func() harness.Workload { return apps.NewGenome(512, 32, 3000, 1) }},
+		{micro.TopKName, func() harness.Workload { return micro.NewTopK(2000, 64) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := commtm.Config{Threads: 4, Protocol: commtm.CommTM, Seed: 1}
+			m := commtm.New(cfg)
+			defer m.Close()
+
+			w0 := tc.mk()
+			sn, ok := w0.(snapshots.Snapshotter)
+			if !ok {
+				t.Fatal("workload lacks the snapshot hook")
+			}
+			if _, compatible := sn.SnapshotParams(); !compatible {
+				t.Fatal("workload opted out of snapshotting")
+			}
+			w0.Setup(m)
+			img := m.Snapshot()
+			host := sn.SnapshotHost()
+
+			setup := allocBytesPerRun(10, func() {
+				m.Reset()
+				w := tc.mk()
+				w.Setup(m)
+			})
+			restored := allocBytesPerRun(10, func() {
+				m.Restore(img)
+				w := tc.mk()
+				w.(snapshots.Snapshotter).AdoptHost(m, host)
+			})
+			if restored*5 > setup {
+				t.Errorf("restore path allocates %.0f bytes vs %.0f replayed Setup; want >= 5x reduction", restored, setup)
+			}
+			t.Logf("install-path alloc bytes per repeated cell: setup=%.0f restored=%.0f (%.1fx reduction), image=%d bytes %d lines",
+				setup, restored, setup/restored, img.Bytes(), img.Lines())
 		})
 	}
 }

@@ -19,20 +19,28 @@
 // building a fresh machine per cell; -input-arena (default true) caches
 // generated workload inputs (graphs, datasets, references, op streams) by
 // (kind, params, seed) and replays them across cells instead of
-// regenerating. Results are bit-identical with any combination of the two
-// (the golden gate proves it), only host allocation behavior changes.
-// -machine-cap / -input-cap bound the pools with LRU eviction for
-// long-lived processes (0, the default, is unbounded). -oracle runs the
-// differential conformance + determinism oracle over the reduced matrix
-// (plus the geometry-swept group) and exits nonzero on failure;
-// -det-sample F re-runs only a hash-selected fraction F of cells in the
-// determinism pass, keeping oracle cost flat on large matrices.
+// regenerating; -snapshots (default true) caches post-Setup machine images
+// by (workload, params, seed, config modulo seed and variant) and restores
+// them with bulk page copies on repeated cells, skipping Setup entirely.
+// Results are bit-identical with any combination of the three (the golden
+// gate proves it), only host allocation behavior changes. The input and
+// snapshot arenas are process-lifetime: one invocation running several
+// experiments (-exp all) shares them across every figure sweep, so
+// reference cells and repeated configurations hit across experiments.
+// -machine-cap / -input-cap / -snapshot-cap bound the pools with LRU
+// eviction for long-lived processes (0, the default, is unbounded).
+// -oracle runs the differential conformance + determinism oracle over the
+// reduced matrix (plus the geometry-swept group) and exits nonzero on
+// failure; -det-sample F re-runs only a hash-selected fraction F of cells
+// in the determinism pass, keeping oracle cost flat on large matrices.
 //
 // Every experiment also reports per-sweep host metrics (allocations, GC
 // cycles, heap high-water from runtime.ReadMemStats, and the engine's
-// lifecycle counters: machines built/reused/evicted, input-arena
-// hits/misses) on stdout and, when -json is given, as a trailing
-// {"host_metrics": ...} JSON line — the observability that makes
+// lifecycle counters: machines built/reused/evicted, input-arena and
+// snapshot-arena hits/misses) on stdout and, when -json is given, as a
+// trailing {"host_metrics": ...} JSON line; the line also carries the
+// process-lifetime arenas' cumulative stats (entries, resident bytes,
+// evictions over the whole invocation) — the observability that makes
 // lifecycle/allocation regressions visible in committed BENCH files.
 package main
 
@@ -50,6 +58,8 @@ import (
 	"commtm/internal/experiments"
 	"commtm/internal/harness"
 	"commtm/internal/sweep"
+	"commtm/internal/workloads/inputs"
+	"commtm/internal/workloads/snapshots"
 )
 
 // hostMetrics is the per-sweep host-side cost report: deltas of
@@ -67,6 +77,12 @@ type hostMetrics struct {
 	GCCycles     uint32           `json:"host_gc_cycles"`
 	HeapSysBytes uint64           `json:"host_heap_sys_bytes"`
 	Lifecycle    sweep.RunMetrics `json:"lifecycle"`
+	// Cumulative state of the process-lifetime arenas at the end of this
+	// experiment (monotone counters plus resident gauges, spanning every
+	// experiment the invocation has run so far). Omitted when the
+	// corresponding arena is disabled.
+	InputsArena    *inputs.Stats    `json:"inputs_arena,omitempty"`
+	SnapshotsArena *snapshots.Stats `json:"snapshots_arena,omitempty"`
 }
 
 func readMemStats() runtime.MemStats {
@@ -97,8 +113,10 @@ func main() {
 		parallel = flag.Int("parallel", 1, "host worker pool size per sweep (0 = all cores, 1 = sequential)")
 		reuse    = flag.Bool("reuse", true, "reuse machines across cells via per-worker arenas (false = fresh machine per cell)")
 		inArena  = flag.Bool("input-arena", true, "cache generated workload inputs across cells (false = regenerate per cell)")
+		snaps    = flag.Bool("snapshots", true, "cache post-Setup machine images and restore them on repeated cells (false = run Setup per cell)")
 		mCap     = flag.Int("machine-cap", 0, "global cap on pooled machines, LRU-evicted beyond it (0 = unbounded)")
 		iCap     = flag.Int("input-cap", 0, "cap on cached workload inputs, LRU-evicted beyond it (0 = unbounded)")
+		sCap     = flag.Int("snapshot-cap", 0, "cap on cached machine images, LRU-evicted beyond it (0 = unbounded)")
 		jsonOut  = flag.String("json", "", "write per-cell results as JSON lines to this file")
 		csvOut   = flag.String("csv", "", "write per-cell results as CSV to this file")
 		oracle   = flag.Bool("oracle", false, "run the differential conformance + determinism oracle and exit")
@@ -186,8 +204,24 @@ func main() {
 	if !*inArena {
 		opts.Inputs = sweep.InputsOff
 	}
+	opts.Snapshots = sweep.SnapshotsOn
+	if !*snaps {
+		opts.Snapshots = sweep.SnapshotsOff
+	}
 	opts.MachineCap = *mCap
 	opts.InputCap = *iCap
+	opts.SnapshotCap = *sCap
+	// Process-lifetime arenas: one input arena and one snapshot arena are
+	// owned here and handed to every sweep of the invocation, so inputs and
+	// machine images cache across experiments (the reference cell of each
+	// figure, repeated configurations between figures). The caps ride on the
+	// arenas themselves.
+	if *inArena {
+		opts.InputArena = inputs.NewCapped(*iCap)
+	}
+	if *snaps {
+		opts.SnapshotArena = snapshots.NewCapped(*sCap)
+	}
 	opts.DetSample = *detSmp
 	opts.DetSampleSeed = *detSeed
 	if *threads != "" {
@@ -231,11 +265,30 @@ func main() {
 	// after the experiment's per-cell rows (the JSONL sink is unbuffered, so
 	// all rows precede it).
 	reportHost := func(hm hostMetrics) {
+		if opts.InputArena != nil {
+			st := opts.InputArena.Stats()
+			hm.InputsArena = &st
+		}
+		if opts.SnapshotArena != nil {
+			st := opts.SnapshotArena.Stats()
+			hm.SnapshotsArena = &st
+		}
 		fmt.Printf("host: allocs=%d alloc_bytes=%d gc_cycles=%d heap_sys_bytes=%d\n",
 			hm.Allocs, hm.AllocBytes, hm.GCCycles, hm.HeapSysBytes)
 		lc := hm.Lifecycle
-		fmt.Printf("lifecycle: machines_built=%d machine_reuses=%d machines_evicted=%d input_hits=%d input_misses=%d input_evictions=%d\n",
-			lc.MachinesBuilt, lc.MachineReuses, lc.MachinesEvicted, lc.InputHits, lc.InputMisses, lc.InputEvictions)
+		fmt.Printf("lifecycle: machines_built=%d machine_reuses=%d machines_evicted=%d input_hits=%d input_misses=%d input_evictions=%d snapshot_hits=%d snapshot_misses=%d snapshot_evictions=%d snapshot_bytes=%d\n",
+			lc.MachinesBuilt, lc.MachineReuses, lc.MachinesEvicted, lc.InputHits, lc.InputMisses, lc.InputEvictions,
+			lc.SnapshotHits, lc.SnapshotMisses, lc.SnapshotEvictions, lc.SnapshotBytes)
+		if hm.InputsArena != nil || hm.SnapshotsArena != nil {
+			fmt.Printf("arenas:")
+			if st := hm.InputsArena; st != nil {
+				fmt.Printf(" inputs{size=%d hits=%d misses=%d evictions=%d}", st.Size, st.Hits, st.Misses, st.Evictions)
+			}
+			if st := hm.SnapshotsArena; st != nil {
+				fmt.Printf(" snapshots{size=%d bytes=%d hits=%d misses=%d evictions=%d}", st.Size, st.Bytes, st.Hits, st.Misses, st.Evictions)
+			}
+			fmt.Println(" (cumulative over this invocation)")
+		}
 		if jsonFile != nil {
 			if err := json.NewEncoder(jsonFile).Encode(map[string]hostMetrics{"host_metrics": hm}); err != nil {
 				fmt.Fprintf(os.Stderr, "host metrics: %v\n", err)

@@ -185,6 +185,108 @@ func (m *Machine) ResetSeed(seed uint64) {
 	m.cycles = 0
 }
 
+// Image is an immutable, content-addressed snapshot of a machine's complete
+// post-Setup architectural state: the backing-store pages, the allocator
+// break, the label registry, and every PRNG position. Machine.Snapshot
+// captures one; Machine.Restore reinstates it with bulk page copies on top
+// of the generation-stamp Reset, so a repeated cell skips Setup entirely
+// (no per-word MemWrite64 replay). Images are shared read-only across
+// goroutines — the snapshot arena (internal/workloads/snapshots) hands one
+// image to every worker restoring the same configuration.
+type Image struct {
+	cfg    Config
+	store  *mem.StoreImage
+	brk    Addr
+	labels []LabelSpec
+	rands  []engine.ProcRands
+	msRand uint64
+	digest uint64
+}
+
+// Config returns the configuration (seed included) the image was captured
+// under; Restore replays that seed.
+func (img *Image) Config() Config { return img.cfg }
+
+// Digest returns the image's content address: an FNV-1a hash over the
+// captured memory contents, allocator break, label names, and PRNG
+// positions. Two Setups that produce bit-identical machine state produce
+// equal digests, so the digest identifies an image independently of which
+// worker captured it.
+func (img *Image) Digest() uint64 { return img.digest }
+
+// Bytes returns the host memory the image's page payloads occupy — the unit
+// of the snapshot arena's byte telemetry.
+func (img *Image) Bytes() int { return img.store.Bytes() }
+
+// Lines returns the number of captured simulated-memory lines.
+func (img *Image) Lines() int { return img.store.Lines() }
+
+// Snapshot captures the machine's post-Setup state into an immutable Image.
+// It must be called after Setup-style preparation and before Run: snapshots
+// record installed state, not run outcomes (caches are empty and the
+// directory untouched at this point, which is exactly what Restore's Reset
+// reproduces). Calling it on a machine that has Run panics.
+func (m *Machine) Snapshot() *Image {
+	if m.ran {
+		panic("commtm: Machine.Snapshot after Run; snapshots capture post-Setup state (Reset first)")
+	}
+	img := &Image{
+		cfg:    m.cfg,
+		store:  m.store.Snapshot(),
+		brk:    m.alloc.Brk(),
+		labels: m.ms.SnapshotLabels(),
+		rands:  m.k.SnapshotRands(),
+		msRand: m.ms.SnapshotRand(),
+	}
+	h := m.MemDigest() // store is authoritative pre-Run
+	h = digestWord(h, uint64(img.brk))
+	h = digestWord(h, img.msRand)
+	for _, r := range img.rands {
+		h = digestWord(h, r.Arch)
+		h = digestWord(h, r.Sys)
+	}
+	for _, l := range img.labels {
+		// Length-prefix the name so label tables like ["ab","c"] and
+		// ["a","bc"] cannot digest equal.
+		h = digestWord(h, uint64(len(l.Name)))
+		for i := 0; i < len(l.Name); i++ {
+			h = digestWord(h, uint64(l.Name[i]))
+		}
+		h = digestWord(h, l.ReduceCost)
+		h = digestWord(h, l.SplitCost)
+	}
+	img.digest = h
+	return img
+}
+
+// Restore reinstates a captured Image: a full ResetSeed to the image's seed,
+// then bulk page copies of the backing store, the allocator break, the label
+// registry, and the PRNG positions. Afterwards the machine is bit-identical
+// to the one Snapshot observed — TestGoldenConformance runs the golden
+// matrix with snapshots on and off to prove Restore replays Setup exactly.
+// The image must come from a machine with the same thread count and cache
+// geometry; Restore panics otherwise (restoring across geometries would
+// silently misconfigure the caches). The protocol variant and gather knob
+// are deliberately NOT part of the check: Setup installs state identically
+// for every variant (the protocol only changes how Run interprets it), and
+// sharing one image across a configuration's variants is where the sweep
+// engine's snapshot hits come from.
+func (m *Machine) Restore(img *Image) {
+	mc, ic := m.cfg, img.cfg
+	mc.Seed, ic.Seed = 0, 0
+	mc.Protocol, ic.Protocol = 0, 0
+	mc.DisableGather, ic.DisableGather = false, false
+	if mc != ic {
+		panic(fmt.Sprintf("commtm: Restore of image captured under %+v onto machine configured %+v", img.cfg, m.cfg))
+	}
+	m.ResetSeed(img.cfg.Seed)
+	m.store.Restore(img.store)
+	m.alloc.Restore(img.brk)
+	m.ms.RestoreLabels(img.labels)
+	m.ms.RestoreRand(img.msRand)
+	m.k.RestoreRands(img.rands)
+}
+
 // Close releases the machine's coroutine pool (one parked goroutine per
 // hardware thread, kept across runs so Reset+Run is allocation-free).
 // Callers that discard machines in a long-lived process — sweep arenas,

@@ -68,9 +68,9 @@ func goldenCells() []sweep.Cell {
 	return cells
 }
 
-func runGoldenMatrix(t *testing.T, reuse sweep.Reuse, in sweep.InputMode) sweep.Results {
+func runGoldenMatrix(t *testing.T, reuse sweep.Reuse, in sweep.InputMode, sn sweep.SnapshotMode) sweep.Results {
 	t.Helper()
-	eng := sweep.Engine{Workers: 0, Reuse: reuse, Inputs: in}
+	eng := sweep.Engine{Workers: 0, Reuse: reuse, InputMode: in, SnapshotMode: sn}
 	rs, err := eng.Run(goldenCells())
 	if err != nil {
 		t.Fatalf("golden matrix run failed: %v", err)
@@ -81,27 +81,32 @@ func runGoldenMatrix(t *testing.T, reuse sweep.Reuse, in sweep.InputMode) sweep.
 	return rs
 }
 
-// TestGoldenConformance gates hot-path, lifecycle, and input-arena
-// refactors on cycle-exactness: every cell of the golden matrix (the
-// reduced conformance matrix — 6 workloads × 3 variants × {1,8,32} threads
-// × 2 seeds — plus the geometry-swept group) must reproduce the committed
-// per-cell Stats and memory digests bit-identically, in every combination
-// of machine-arena reuse and workload-input arenas. The reuse-on pass is
-// the lifecycle proof: a Reset machine that leaked any state between cells
-// (cache lines, directory seen bits, RNG position, allocator offsets) would
-// diverge from the goldens recorded on fresh machines. The inputs-on passes
-// are the replay proof: a cached input or precomputed op stream that
-// differed in any way from fresh generation (a draw out of order, a mutated
-// graph) would diverge the same way. Any divergence is a real behavior
-// change — root-cause it rather than re-baselining (golden drift gets its
-// own fix + regression test).
+// TestGoldenConformance gates hot-path, lifecycle, input-arena, and
+// machine-image-snapshot refactors on cycle-exactness: every cell of the
+// golden matrix (the reduced conformance matrix — 6 workloads × 3 variants
+// × {1,8,32} threads × 2 seeds — plus the geometry-swept group) must
+// reproduce the committed per-cell Stats and memory digests bit-identically,
+// in every combination of machine-arena reuse, workload-input arenas, and
+// snapshots. The reuse-on pass is the lifecycle proof: a Reset machine that
+// leaked any state between cells (cache lines, directory seen bits, RNG
+// position, allocator offsets) would diverge from the goldens recorded on
+// fresh machines. The inputs-on passes are the replay proof: a cached input
+// or precomputed op stream that differed in any way from fresh generation
+// (a draw out of order, a mutated graph) would diverge the same way. The
+// snapshots-on passes are the restore proof: a cell whose Setup was skipped
+// and replaced by Machine.Restore + host-state adoption must be
+// indistinguishable from one that ran Setup — any missed state (a store
+// line, the allocator break, a label, an RNG position, a host-side slice)
+// diverges here. Any divergence is a real behavior change — root-cause it
+// rather than re-baselining (golden drift gets its own fix + regression
+// test).
 func TestGoldenConformance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden matrix runs at fixed scale; skipped in -short")
 	}
 	// The baseline pass regenerates everything per cell, like the revision
 	// the goldens were recorded at.
-	rs := runGoldenMatrix(t, sweep.ReuseOff, sweep.InputsOff)
+	rs := runGoldenMatrix(t, sweep.ReuseOff, sweep.InputsOff, sweep.SnapshotsOff)
 
 	if *updateGolden {
 		cells := make([]goldenCell, 0, len(rs))
@@ -145,13 +150,18 @@ func TestGoldenConformance(t *testing.T) {
 	if len(want) != len(rs) {
 		t.Errorf("golden file has %d cells, matrix produced %d", len(want), len(rs))
 	}
-	checkAgainstGolden(t, rs, want, "reuse=off,inputs=off")
+	checkAgainstGolden(t, rs, want, "reuse=off,inputs=off,snapshots=off")
 
 	// Remaining passes against the same goldens: machine reuse alone, input
-	// arenas alone, and the full-reuse default (both on).
-	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOn, sweep.InputsOff), want, "reuse=on,inputs=off")
-	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOff, sweep.InputsOn), want, "reuse=off,inputs=on")
-	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOn, sweep.InputsOn), want, "reuse=on,inputs=on")
+	// arenas alone, both on, and snapshots layered on top — once over the
+	// full-reuse default (the engine's production shape) and once over fresh
+	// machines with fresh inputs (so a Restore bug cannot hide behind Reset
+	// reuse or cached-input replay).
+	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOn, sweep.InputsOff, sweep.SnapshotsOff), want, "reuse=on,inputs=off,snapshots=off")
+	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOff, sweep.InputsOn, sweep.SnapshotsOff), want, "reuse=off,inputs=on,snapshots=off")
+	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOn, sweep.InputsOn, sweep.SnapshotsOff), want, "reuse=on,inputs=on,snapshots=off")
+	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOn, sweep.InputsOn, sweep.SnapshotsOn), want, "reuse=on,inputs=on,snapshots=on")
+	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOff, sweep.InputsOff, sweep.SnapshotsOn), want, "reuse=off,inputs=off,snapshots=on")
 }
 
 func checkAgainstGolden(t *testing.T, rs sweep.Results, want map[string]goldenCell, mode string) {

@@ -12,6 +12,8 @@ import (
 
 	"commtm"
 	"commtm/internal/sweep"
+	"commtm/internal/workloads/inputs"
+	"commtm/internal/workloads/snapshots"
 )
 
 // Workload is one benchmark: it allocates and initializes simulated memory,
@@ -19,7 +21,21 @@ import (
 // sequential reference. A Workload instance is single-use; build a fresh
 // one per machine. It is an alias of the sweep engine's workload interface,
 // so every harness workload runs on the parallel engine unchanged.
+//
+// Workloads may additionally implement Snapshotter, the machine-image
+// snapshot-compatibility hook: a workload whose Setup is a pure function of
+// (constructor params, seed, machine configuration) declares its canonical
+// parameter key and exposes/adopts its Setup-computed host state, letting
+// the engine skip Setup on repeated cells via Machine.Restore. A workload
+// whose Setup depends on anything outside that tuple — including machine
+// RNG draws it cannot replay — must return ok=false from SnapshotParams (or
+// not implement the interface), which opts it out per cell. See
+// EXPERIMENTS.md "The machine-image snapshot contract".
 type Workload = sweep.Workload
+
+// Snapshotter is the snapshot-compatibility hook workloads may implement;
+// see Workload.
+type Snapshotter = snapshots.Snapshotter
 
 // Variant labels one protocol configuration in a sweep.
 type Variant = sweep.Variant
@@ -326,9 +342,20 @@ type Options struct {
 	// default (sweep.InputsOn) caches generated inputs across cells;
 	// InputsOff regenerates them per cell.
 	Inputs sweep.InputMode
-	// MachineCap / InputCap bound the machine pool and input arena with LRU
-	// eviction; 0 (default) is unbounded.
-	MachineCap, InputCap int
+	// Snapshots selects the machine-image snapshot policy of every sweep:
+	// the default (sweep.SnapshotsOn) captures post-Setup machine images
+	// and restores them on repeated cells; SnapshotsOff runs Setup per cell.
+	Snapshots sweep.SnapshotMode
+	// InputArena / SnapshotArena, when non-nil, are externally owned arenas
+	// every sweep run with these options shares (sweep.Engine.Inputs /
+	// Engine.Snapshots semantics): one commtm-bench invocation hands the
+	// same pair across all its figure sweeps so inputs and machine images
+	// cache process-wide.
+	InputArena    *inputs.Arena
+	SnapshotArena *snapshots.Arena
+	// MachineCap / InputCap / SnapshotCap bound the machine pool and the
+	// engine-built arenas with LRU eviction; 0 (default) is unbounded.
+	MachineCap, InputCap, SnapshotCap int
 	// DetSample/DetSampleSeed select the determinism oracle's sampled mode
 	// for the conformance experiment; zero DetSample re-runs every cell.
 	DetSample     float64
@@ -352,8 +379,9 @@ func DefaultOptions() Options {
 func (o Options) engine() *sweep.Engine {
 	return &sweep.Engine{
 		Workers: o.Workers, Sinks: o.Sinks, FailFast: true,
-		Reuse: o.Reuse, Inputs: o.Inputs,
-		MachineCap: o.MachineCap, InputCap: o.InputCap,
+		Reuse: o.Reuse, InputMode: o.Inputs, SnapshotMode: o.Snapshots,
+		Inputs: o.InputArena, Snapshots: o.SnapshotArena,
+		MachineCap: o.MachineCap, InputCap: o.InputCap, SnapshotCap: o.SnapshotCap,
 		Metrics: o.Metrics,
 	}
 }
@@ -363,9 +391,13 @@ func (o Options) Oracle() sweep.OracleOptions {
 	return sweep.OracleOptions{
 		Workers:       o.Workers,
 		Reuse:         o.Reuse,
-		Inputs:        o.Inputs,
+		InputMode:     o.Inputs,
+		Snapshots:     o.Snapshots,
+		InputArena:    o.InputArena,
+		SnapshotArena: o.SnapshotArena,
 		MachineCap:    o.MachineCap,
 		InputCap:      o.InputCap,
+		SnapshotCap:   o.SnapshotCap,
 		DetSample:     o.DetSample,
 		DetSampleSeed: o.DetSampleSeed,
 		Sinks:         o.Sinks,

@@ -183,6 +183,82 @@ func (s *Store) ForEach(fn func(la Addr, l *Line)) {
 	}
 }
 
+// imagePage is one captured page of a StoreImage: the page number, the
+// materialized-line bitmap, and a copy of the page's 4 KiB payload. Within
+// the current epoch every line outside the bitmap is zero (lines only
+// materialize through Line, and revalidate zeroes a stale page's leftovers),
+// so copying whole pages is exact.
+type imagePage struct {
+	index int
+	used  uint64
+	lines [linesPerPage]Line
+}
+
+// StoreImage is an immutable copy of a store's materialized contents,
+// captured by Store.Snapshot and reinstated by Store.Restore with bulk page
+// copies. Images are shared read-only across goroutines (the snapshot arena
+// hands one image to every worker that restores from it), so nothing may
+// mutate one after Snapshot returns.
+type StoreImage struct {
+	pages []imagePage // ascending page index
+	lines int
+}
+
+// Lines returns the number of materialized lines the image holds.
+func (img *StoreImage) Lines() int { return img.lines }
+
+// Bytes returns the host memory footprint of the image's page payloads —
+// the unit the snapshot arena's byte telemetry reports.
+func (img *StoreImage) Bytes() int { return len(img.pages) * pageBytes }
+
+// Snapshot captures the store's current contents into an immutable image.
+// Only pages with materialized lines are copied, whole-page at a time. The
+// page slice is sized up front: imagePage values are 4 KiB each, so append
+// growth would re-copy megabytes on large captures.
+func (s *Store) Snapshot() *StoreImage {
+	n := 0
+	for _, pg := range s.pages {
+		if pg != nil && pg.current(s.epoch) && pg.used != 0 {
+			n++
+		}
+	}
+	img := &StoreImage{lines: s.count, pages: make([]imagePage, 0, n)}
+	for pi, pg := range s.pages {
+		if pg == nil || !pg.current(s.epoch) || pg.used == 0 {
+			continue
+		}
+		img.pages = append(img.pages, imagePage{index: pi, used: pg.used, lines: pg.lines})
+	}
+	return img
+}
+
+// Restore makes the store's contents exactly equal the image: an O(1)
+// epoch-bump Reset followed by one whole-page copy per image page. No
+// per-word writes, and no allocation beyond pages the store has never
+// materialized — a Reset-reused store restores allocation-free.
+func (s *Store) Restore(img *StoreImage) {
+	s.Reset()
+	for i := range img.pages {
+		p := &img.pages[i]
+		if p.index >= len(s.pages) {
+			grown := make([]*storePage, p.index+p.index/2+1)
+			copy(grown, s.pages)
+			s.pages = grown
+		}
+		pg := s.pages[p.index]
+		if pg == nil {
+			pg = &storePage{}
+			s.pages[p.index] = pg
+		}
+		// The whole-page copy overwrites any stale lines from earlier
+		// generations, so no revalidate pass is needed.
+		pg.lines = p.lines
+		pg.used = p.used
+		pg.epoch = s.epoch
+		s.count += bits.OnesCount64(p.used)
+	}
+}
+
 // Addrs returns the base addresses of every materialized line in ascending
 // order, giving callers a canonical iteration order over the store.
 func (s *Store) Addrs() []Addr {
@@ -212,6 +288,16 @@ func NewAllocator() *Allocator {
 // Reset returns the allocator to its freshly constructed state, releasing
 // the whole simulated address space for reuse.
 func (al *Allocator) Reset() { al.next = 4096 }
+
+// Restore rewinds the allocator to a break previously obtained from Brk, so
+// a machine restored from a snapshot resumes allocating exactly where the
+// snapshotted Setup left off.
+func (al *Allocator) Restore(brk Addr) {
+	if brk < 4096 {
+		panic(fmt.Sprintf("mem: Allocator.Restore brk %#x below the unmapped zero page", uint64(brk)))
+	}
+	al.next = brk
+}
 
 // Alloc reserves size bytes aligned to align (which must be a power of two,
 // at least 1) and returns the base address.

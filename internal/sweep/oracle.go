@@ -16,6 +16,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"commtm/internal/workloads/inputs"
+	"commtm/internal/workloads/snapshots"
 )
 
 // groupKey identifies one conformance group: every variant of a fixed
@@ -85,11 +88,19 @@ type DeterminismOptions struct {
 	Workers int
 	// Reuse is the machine-lifecycle policy of the re-run engine.
 	Reuse Reuse
-	// Inputs is the workload-input arena policy of the re-run engine.
-	Inputs InputMode
-	// MachineCap / InputCap bound the re-run engine's pools (Engine
-	// semantics); 0 is unbounded.
-	MachineCap, InputCap int
+	// InputMode is the workload-input arena policy of the re-run engine.
+	// The re-run always builds its own arenas (never shares the first
+	// run's or a process-lifetime one): a warm arena would replay the
+	// first run's cached inputs and machine images, and the oracle's whole
+	// point is an independent re-execution — a nondeterministic generation
+	// or Setup must get a chance to diverge.
+	InputMode InputMode
+	// Snapshots is the machine-image snapshot policy of the re-run engine;
+	// see InputMode for why no external arena is accepted here.
+	Snapshots SnapshotMode
+	// MachineCap / InputCap / SnapshotCap bound the re-run engine's pools
+	// (Engine semantics); 0 is unbounded.
+	MachineCap, InputCap, SnapshotCap int
 	// Metrics, when non-nil, accumulates the re-run engine's host-side
 	// lifecycle counters.
 	Metrics *RunMetrics
@@ -151,8 +162,9 @@ func CheckDeterminismOpts(rs Results, o DeterminismOptions) error {
 		}
 	}
 	eng := Engine{
-		Workers: o.Workers, Reuse: o.Reuse, Inputs: o.Inputs,
-		MachineCap: o.MachineCap, InputCap: o.InputCap, Metrics: o.Metrics,
+		Workers: o.Workers, Reuse: o.Reuse, InputMode: o.InputMode, SnapshotMode: o.Snapshots,
+		MachineCap: o.MachineCap, InputCap: o.InputCap, SnapshotCap: o.SnapshotCap,
+		Metrics: o.Metrics,
 	}
 	rerun, err := eng.Run(cells)
 	if err != nil {
@@ -183,11 +195,17 @@ type OracleOptions struct {
 	// Reuse is the lifecycle policy for both the first run and the
 	// determinism re-run.
 	Reuse Reuse
-	// Inputs is the workload-input arena policy for both runs.
-	Inputs InputMode
-	// MachineCap / InputCap bound both runs' machine pools and input
-	// arenas (Engine.MachineCap / InputCap semantics); 0 is unbounded.
-	MachineCap, InputCap int
+	// InputMode is the workload-input arena policy for both runs.
+	InputMode InputMode
+	// Snapshots is the machine-image snapshot policy for both runs.
+	Snapshots SnapshotMode
+	// InputArena / SnapshotArena, when non-nil, are externally owned arenas
+	// both runs share (Engine.Inputs / Engine.Snapshots semantics).
+	InputArena    *inputs.Arena
+	SnapshotArena *snapshots.Arena
+	// MachineCap / InputCap / SnapshotCap bound both runs' machine pools
+	// and arenas (Engine semantics); 0 is unbounded.
+	MachineCap, InputCap, SnapshotCap int
 	// DetSample / DetSampleSeed select the determinism oracle's sampled
 	// mode (DeterminismOptions.Sample semantics); zero means full.
 	DetSample     float64
@@ -214,8 +232,10 @@ func Conformance(mx Matrix, workers int, sinks ...Sink) (Results, error) {
 // sampling policies.
 func ConformanceOpts(mx Matrix, o OracleOptions) (Results, error) {
 	eng := Engine{
-		Workers: o.Workers, Sinks: o.Sinks, Reuse: o.Reuse, Inputs: o.Inputs,
-		MachineCap: o.MachineCap, InputCap: o.InputCap, Metrics: o.Metrics,
+		Workers: o.Workers, Sinks: o.Sinks, Reuse: o.Reuse, InputMode: o.InputMode, SnapshotMode: o.Snapshots,
+		Inputs: o.InputArena, Snapshots: o.SnapshotArena,
+		MachineCap: o.MachineCap, InputCap: o.InputCap, SnapshotCap: o.SnapshotCap,
+		Metrics: o.Metrics,
 	}
 	cells := mx.Cells()
 	for i := range cells {
@@ -228,10 +248,13 @@ func ConformanceOpts(mx Matrix, o OracleOptions) (Results, error) {
 	if err := CheckDifferential(rs); err != nil {
 		return rs, fmt.Errorf("differential oracle:\n%w", err)
 	}
+	// The determinism re-run deliberately does NOT inherit the external
+	// arenas the first run may share with the process: it must re-execute
+	// generation and Setup independently (see DeterminismOptions.InputMode).
 	det := DeterminismOptions{
-		Workers: o.Workers, Reuse: o.Reuse, Inputs: o.Inputs,
-		MachineCap: o.MachineCap, InputCap: o.InputCap, Metrics: o.Metrics,
-		Sample: o.DetSample, SampleSeed: o.DetSampleSeed,
+		Workers: o.Workers, Reuse: o.Reuse, InputMode: o.InputMode, Snapshots: o.Snapshots,
+		MachineCap: o.MachineCap, InputCap: o.InputCap, SnapshotCap: o.SnapshotCap,
+		Metrics: o.Metrics, Sample: o.DetSample, SampleSeed: o.DetSampleSeed,
 	}
 	if err := CheckDeterminismOpts(rs, det); err != nil {
 		return rs, fmt.Errorf("determinism oracle:\n%w", err)

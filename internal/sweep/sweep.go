@@ -32,6 +32,7 @@ import (
 
 	"commtm"
 	"commtm/internal/workloads/inputs"
+	"commtm/internal/workloads/snapshots"
 )
 
 // Workload is the unit of benchmarking: it allocates and initializes
@@ -195,7 +196,7 @@ func (rs Results) FirstErr() error {
 // cell cannot take down a whole sweep. Engine workers run cells through a
 // machine arena instead; RunCell is the construct-per-call path for
 // single-cell callers (harness.RunOne, tests).
-func RunCell(c Cell) Result { return runCell(c, nil, nil, nil) }
+func RunCell(c Cell) Result { return runCell(c, nil, nil, nil, nil) }
 
 // RunMetrics accumulates host-side lifecycle counters across engine runs:
 // how many machines were built versus Reset-reused (the duplicate-machine
@@ -212,6 +213,14 @@ type RunMetrics struct {
 	InputHits       int64 `json:"input_hits"`
 	InputMisses     int64 `json:"input_misses"`
 	InputEvictions  int64 `json:"input_evictions"`
+	// Snapshot arena behavior: a hit is a cell that skipped Setup via
+	// Machine.Restore; SnapshotBytes counts the image bytes captured (a
+	// cumulative cost counter, not the arena's resident size — the arena's
+	// own Stats reports that gauge).
+	SnapshotHits      int64 `json:"snapshot_hits"`
+	SnapshotMisses    int64 `json:"snapshot_misses"`
+	SnapshotEvictions int64 `json:"snapshot_evictions"`
+	SnapshotBytes     int64 `json:"snapshot_bytes"`
 }
 
 // add accumulates (atomically) into rm; nil-safe.
@@ -224,7 +233,7 @@ func (rm *RunMetrics) add(built, reuses, evicted int64) {
 	atomic.AddInt64(&rm.MachinesEvicted, evicted)
 }
 
-// addInputs folds an input arena's since-last-snapshot deltas into rm.
+// addInputs folds an input arena's per-run stat deltas into rm.
 func (rm *RunMetrics) addInputs(s inputs.Stats) {
 	if rm == nil {
 		return
@@ -234,12 +243,39 @@ func (rm *RunMetrics) addInputs(s inputs.Stats) {
 	atomic.AddInt64(&rm.InputEvictions, int64(s.Evictions))
 }
 
+// addSnapshots folds a snapshot arena's per-run stat deltas into rm.
+func (rm *RunMetrics) addSnapshots(s snapshots.Stats) {
+	if rm == nil {
+		return
+	}
+	atomic.AddInt64(&rm.SnapshotHits, int64(s.Hits))
+	atomic.AddInt64(&rm.SnapshotMisses, int64(s.Misses))
+	atomic.AddInt64(&rm.SnapshotEvictions, int64(s.Evictions))
+	atomic.AddInt64(&rm.SnapshotBytes, int64(s.BytesAdded))
+}
+
 // arenaKey returns c's machine configuration with the seed erased (Reset
 // re-derives every PRNG stream from the next cell's seed, so machines are
 // shareable across seeds).
 func arenaKey(c Cell) commtm.Config {
 	cfg := c.Config()
 	cfg.Seed = 0
+	return cfg
+}
+
+// snapshotKey returns c's configuration with the seed AND the protocol
+// variant erased: post-Setup machine state is variant-invariant (Setup
+// installs memory, labels, and the allocator break identically whether the
+// machine will run Baseline or CommTM — the protocol only changes how Run
+// interprets them), so all variants of one (workload, params, seed,
+// threads, geometry) configuration share one image. This is where the
+// snapshot win comes from inside a single sweep: every conformance group
+// runs Setup once. Machine.Restore enforces the same compatibility rule.
+func snapshotKey(c Cell) commtm.Config {
+	cfg := c.Config()
+	cfg.Seed = 0
+	cfg.Protocol = 0
+	cfg.DisableGather = false
 	return cfg
 }
 
@@ -416,10 +452,11 @@ func (a *arena) close() {
 
 // runCell executes one cell on a machine from the arena (nil = always
 // fresh), handing the input arena (nil = generate fresh) to workloads that
-// can replay cached inputs. Machine acquisition happens inside the recover
-// window so construction-time panics (invalid configurations) are captured
-// like any other cell failure.
-func runCell(c Cell, a *arena, ia *inputs.Arena, rm *RunMetrics) (res Result) {
+// can replay cached inputs and the snapshot arena (nil = always Setup) to
+// workloads that can skip Setup via machine-image restore. Machine
+// acquisition happens inside the recover window so construction-time panics
+// (invalid configurations) are captured like any other cell failure.
+func runCell(c Cell, a *arena, ia *inputs.Arena, sa *snapshots.Arena, rm *RunMetrics) (res Result) {
 	start := time.Now()
 	res = Result{Cell: c}
 	var m *commtm.Machine
@@ -458,7 +495,34 @@ func runCell(c Cell, a *arena, ia *inputs.Arena, rm *RunMetrics) (res Result) {
 	if a == nil {
 		rm.add(1, 0, 0) // pooled builds are counted inside acquire
 	}
-	w.Setup(m)
+	installed := false
+	if sa != nil {
+		if sn, ok := w.(snapshots.Snapshotter); ok {
+			if params, compatible := sn.SnapshotParams(); compatible {
+				// The snapshot key is the workload identity plus the
+				// configuration modulo seed and protocol variant: two cells
+				// with equal keys produce bit-identical post-Setup state, so
+				// one captured image serves every variant of a configuration.
+				key := snapshots.Key{Workload: w.Name(), Params: params, Seed: c.Seed, Config: snapshotKey(c)}
+				// On a miss this caller's Setup runs (on its own machine, just
+				// acquired pristine) and the captured image is published; on a
+				// hit the cached image is copied over the pristine machine and
+				// the host state adopted — Setup is skipped entirely.
+				ent, hit := sa.Load(key, func() snapshots.Entry {
+					w.Setup(m)
+					return snapshots.Entry{Img: m.Snapshot(), Host: sn.SnapshotHost()}
+				})
+				if hit {
+					m.Restore(ent.Img)
+					sn.AdoptHost(m, ent.Host)
+				}
+				installed = true
+			}
+		}
+	}
+	if !installed {
+		w.Setup(m)
+	}
 	m.Run(w.Body)
 	res.Stats = m.Stats()
 	if err := w.Validate(m); err != nil {
@@ -506,6 +570,21 @@ const (
 	InputsOff
 )
 
+// SnapshotMode selects the machine-image snapshot policy of an engine run.
+type SnapshotMode int
+
+const (
+	// SnapshotsOn (the default) shares one snapshot arena across the run's
+	// workers: the first cell of each (workload, params, seed, config modulo
+	// seed) runs Setup and captures the post-Setup machine image; repeated
+	// cells restore it with bulk page copies and skip Setup entirely.
+	// Results are bit-identical to SnapshotsOff — the golden conformance
+	// gate runs the golden matrix both ways against the same goldens.
+	SnapshotsOn SnapshotMode = iota
+	// SnapshotsOff runs Setup on every cell, the pre-snapshot behavior.
+	SnapshotsOff
+)
+
 // Engine runs cells on a bounded worker pool.
 type Engine struct {
 	// Workers bounds host parallelism; <= 0 means runtime.GOMAXPROCS(0),
@@ -524,9 +603,25 @@ type Engine struct {
 	// per-worker machine arenas with configuration-affinity scheduling;
 	// ReuseOff runs every cell on a fresh machine in plain index order.
 	Reuse Reuse
-	// Inputs selects the workload-input arena policy: InputsOn (default)
+	// InputMode selects the workload-input arena policy: InputsOn (default)
 	// caches generated inputs across cells, InputsOff regenerates per cell.
-	Inputs InputMode
+	// Ignored when Inputs supplies an external arena.
+	InputMode InputMode
+	// SnapshotMode selects the machine-image snapshot policy: SnapshotsOn
+	// (default) captures post-Setup machine images and restores them on
+	// repeated cells, SnapshotsOff runs Setup per cell. Ignored when
+	// Snapshots supplies an external arena.
+	SnapshotMode SnapshotMode
+	// Inputs, when non-nil, is an externally owned workload-input arena the
+	// run uses instead of building its own: a long-lived process (one
+	// commtm-bench invocation running many figure sweeps, a server) hands
+	// one arena across all its engine runs so inputs cache process-wide.
+	// The engine never drops an external arena; per-run hit/miss deltas
+	// still land in Metrics.
+	Inputs *inputs.Arena
+	// Snapshots is the snapshot-arena counterpart of Inputs: an externally
+	// owned machine-image arena shared across runs.
+	Snapshots *snapshots.Arena
 	// MachineCap, when > 0, globally bounds pooled machines across all
 	// workers' arenas, evicting (and Closing) the least recently used
 	// beyond it. 0 — the CLI-sweep default — leaves pools unbounded (a
@@ -534,9 +629,13 @@ type Engine struct {
 	// long-lived processes running many matrices set it to bound machine
 	// memory.
 	MachineCap int
-	// InputCap, when > 0, bounds the shared input arena's entries with the
-	// same LRU policy. 0 (default) is unbounded.
+	// InputCap, when > 0, bounds the engine-built input arena's entries
+	// with the same LRU policy. 0 (default) is unbounded. External arenas
+	// carry their own cap.
 	InputCap int
+	// SnapshotCap bounds the engine-built snapshot arena's entries the same
+	// way. 0 (default) is unbounded.
+	SnapshotCap int
 	// Metrics, when non-nil, accumulates host-side lifecycle counters
 	// (machines built/reused/evicted, input arena hits/misses) across this
 	// engine's runs. Counters add up across runs sharing one RunMetrics.
@@ -545,14 +644,17 @@ type Engine struct {
 
 // sched hands out cells with configuration affinity: cells are grouped by
 // arena key, a worker drains the group it owns before claiming another, and
-// once every group is owned, idle workers steal — in chunks — from the
-// group with the most cells left. A steal splits off half the victim's
-// remainder as a new private group owned by the stealer, so the stealer
-// builds one machine for the configuration and drains its chunk without
-// further contention, instead of re-stealing (and re-building machines for)
-// a different configuration after every single cell — at worker counts far
-// above the number of distinct configurations, one-at-a-time stealing made
-// every stealer a machine factory. With a single group the scheduler
+// once every group is owned, idle workers steal — in chunks — from a victim
+// group. A steal splits off half the victim's remainder as a new private
+// group owned by the stealer, so the stealer builds one machine for the
+// configuration and drains its chunk without further contention, instead of
+// re-stealing (and re-building machines for) a different configuration
+// after every single cell — at worker counts far above the number of
+// distinct configurations, one-at-a-time stealing made every stealer a
+// machine factory. Victim selection is affinity-aware: a stealer prefers
+// groups whose configuration it already has pooled machines (and snapshots)
+// for — those steals cost no machine build at all — and falls back to the
+// largest remainder otherwise. With a single group the scheduler
 // degenerates to the plain shared index-order queue, which is how ReuseOff
 // runs.
 type sched struct {
@@ -561,8 +663,9 @@ type sched struct {
 }
 
 type schedGroup struct {
-	cells []int // cell indexes, in index order (shared by split groups)
-	next  int   // cells[next:end] still to hand out from this group
+	key   commtm.Config // arena key of the group's cells (split groups inherit it)
+	cells []int         // cell indexes, in index order (shared by split groups)
+	next  int           // cells[next:end] still to hand out from this group
 	end   int
 	owned bool
 }
@@ -588,7 +691,7 @@ func newSched(cells []Cell, byConfig bool) *sched {
 		k := arenaKey(c)
 		g := byKey[k]
 		if g == nil {
-			g = &schedGroup{}
+			g = &schedGroup{key: k}
 			byKey[k] = g
 			s.groups = append(s.groups, g)
 		}
@@ -600,9 +703,14 @@ func newSched(cells []Cell, byConfig bool) *sched {
 
 // next returns the next cell index for a worker whose current group is cur
 // (nil at start). It prefers the current group, then an unowned group, then
-// steals half the remainder of the group with the most remaining cells as a
-// new group owned by the caller. ok=false means the sweep is fully claimed.
-func (s *sched) next(cur *schedGroup) (g *schedGroup, cell int, ok bool) {
+// steals half the remainder of a victim group as a new group owned by the
+// caller. have — nil when the worker pools no machines — reports whether
+// the worker already holds a pooled machine for a configuration; among
+// steal victims, groups the worker has affinity with win (largest remainder
+// among them), then the overall largest remainder. have is called with
+// s.mu held, so it must not take locks ordered before the scheduler's.
+// ok=false means the sweep is fully claimed.
+func (s *sched) next(cur *schedGroup, have func(commtm.Config) bool) (g *schedGroup, cell int, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	take := func(g *schedGroup) (*schedGroup, int, bool) {
@@ -619,13 +727,22 @@ func (s *sched) next(cur *schedGroup) (g *schedGroup, cell int, ok bool) {
 			return take(g)
 		}
 	}
-	// All groups owned: steal from the largest remainder. Chunked: split off
-	// the tail half as the caller's private group (stolen chunks are owned,
-	// so they are themselves steal victims only by remainder size).
+	// All groups owned: pick a steal victim. Chunked: split off the tail
+	// half as the caller's private group (stolen chunks are owned, so they
+	// are themselves steal victims only by remainder size).
 	var best *schedGroup
-	for _, g := range s.groups {
-		if g.remaining() > 0 && (best == nil || g.remaining() > best.remaining()) {
-			best = g
+	if have != nil {
+		for _, g := range s.groups {
+			if g.remaining() > 0 && have(g.key) && (best == nil || g.remaining() > best.remaining()) {
+				best = g
+			}
+		}
+	}
+	if best == nil {
+		for _, g := range s.groups {
+			if g.remaining() > 0 && (best == nil || g.remaining() > best.remaining()) {
+				best = g
+			}
 		}
 	}
 	if best == nil {
@@ -635,7 +752,7 @@ func (s *sched) next(cur *schedGroup) (g *schedGroup, cell int, ok bool) {
 	if k == 0 {
 		k = 1
 	}
-	ng := &schedGroup{cells: best.cells, next: best.end - k, end: best.end, owned: true}
+	ng := &schedGroup{key: best.key, cells: best.cells, next: best.end - k, end: best.end, owned: true}
 	best.end -= k
 	s.groups = append(s.groups, ng)
 	return take(ng)
@@ -657,15 +774,22 @@ func (e *Engine) Run(cells []Cell) (Results, error) {
 	reuse := e.Reuse == ReuseOn
 	q := newSched(cells, reuse)
 
-	// One input arena is shared by every worker: cached inputs are immutable
-	// host data, so sharing costs one short critical section per Setup and
-	// buys cross-worker hits (e.g. all protocol variants of one
-	// configuration reuse one generated graph, which per-worker machine
-	// arenas — mutable state — can never do).
-	var ia *inputs.Arena
-	if e.Inputs == InputsOn {
+	// One input arena and one snapshot arena are shared by every worker:
+	// cached entries are immutable host data, so sharing costs one short
+	// critical section per Setup and buys cross-worker hits (e.g. all seeds
+	// of one configuration reuse one generated graph, which per-worker
+	// machine arenas — mutable state — can never do). Externally owned
+	// arenas (Engine.Inputs / Engine.Snapshots) extend the sharing across
+	// runs; metrics then report this run's deltas.
+	ia := e.Inputs
+	if ia == nil && e.InputMode == InputsOn {
 		ia = inputs.NewCapped(e.InputCap)
 	}
+	sa := e.Snapshots
+	if sa == nil && e.SnapshotMode == SnapshotsOn {
+		sa = snapshots.NewCapped(e.SnapshotCap)
+	}
+	iaBefore, saBefore := ia.Stats(), sa.Stats()
 	var lim *poolLimiter
 	if reuse && e.MachineCap > 0 {
 		lim = &poolLimiter{cap: e.MachineCap}
@@ -678,22 +802,33 @@ func (e *Engine) Run(cells []Cell) (Results, error) {
 		go func() {
 			defer wg.Done()
 			var a *arena
+			var pooled map[commtm.Config]bool
+			var have func(commtm.Config) bool
 			if reuse {
 				a = newArena(lim, e.Metrics)
 				defer a.close()
+				// Worker-local record of configurations this worker has built
+				// machines for, feeding affinity-aware steal selection. It may
+				// go stale against cap evictions — affinity is a heuristic, and
+				// a stale preference only costs what stealing always cost.
+				pooled = make(map[commtm.Config]bool)
+				have = func(k commtm.Config) bool { return pooled[k] }
 			}
 			var cur *schedGroup
 			for {
-				g, i, ok := q.next(cur)
+				g, i, ok := q.next(cur, have)
 				if !ok {
 					return
 				}
 				cur = g
+				if pooled != nil {
+					pooled[arenaKey(cells[i])] = true
+				}
 				if e.FailFast && failed.Load() {
 					em.put(i, Result{Cell: cells[i], Err: "skipped: earlier cell failed"})
 					continue
 				}
-				r := runCell(cells[i], a, ia, e.Metrics)
+				r := runCell(cells[i], a, ia, sa, e.Metrics)
 				if r.Err != "" {
 					failed.Store(true)
 				}
@@ -702,7 +837,8 @@ func (e *Engine) Run(cells []Cell) (Results, error) {
 		}()
 	}
 	wg.Wait()
-	e.Metrics.addInputs(ia.Stats())
+	e.Metrics.addInputs(ia.Stats().Delta(iaBefore))
+	e.Metrics.addSnapshots(sa.Stats().Delta(saBefore))
 	return results, em.err
 }
 

@@ -140,7 +140,7 @@ func TestSchedulerAffinityAndStealing(t *testing.T) {
 	seen := make(map[int]bool)
 	var cur *schedGroup
 	for {
-		g, i, ok := q.next(cur)
+		g, i, ok := q.next(cur, nil)
 		if !ok {
 			break
 		}
@@ -154,7 +154,7 @@ func TestSchedulerAffinityAndStealing(t *testing.T) {
 		t.Fatalf("scheduler handed out %d cells, want %d", len(seen), len(cells))
 	}
 	// A second worker starting now finds everything claimed.
-	if _, _, ok := q.next(nil); ok {
+	if _, _, ok := q.next(nil, nil); ok {
 		t.Fatal("exhausted scheduler handed out a cell")
 	}
 
@@ -165,10 +165,10 @@ func TestSchedulerAffinityAndStealing(t *testing.T) {
 	if got := len(q.groups); got != 1 {
 		t.Fatalf("same-config cells built %d groups, want 1", got)
 	}
-	if _, _, ok := q.next(nil); !ok { // worker A claims the group
+	if _, _, ok := q.next(nil, nil); !ok { // worker A claims the group
 		t.Fatal("worker A got no cell")
 	}
-	if _, _, ok := q.next(nil); !ok { // worker B must steal
+	if _, _, ok := q.next(nil, nil); !ok { // worker B must steal
 		t.Fatal("worker B could not steal from the owned group")
 	}
 }
@@ -182,7 +182,7 @@ func TestArenaReusesAndDrops(t *testing.T) {
 	c2 := c1
 	c2.Seed = 99
 	m1 := a.acquire(c1)
-	r := runCell(c2, a, nil, nil)
+	r := runCell(c2, a, nil, nil, nil)
 	if r.Err != "" {
 		t.Fatalf("reused-machine cell failed: %s", r.Err)
 	}
@@ -192,14 +192,14 @@ func TestArenaReusesAndDrops(t *testing.T) {
 	// A panicking cell must evict its machine from the arena.
 	boom := c1
 	boom.Mk = func() Workload { return &panicWorkload{addWorkload{ops: 1}} }
-	if r := runCell(boom, a, nil, nil); !strings.Contains(r.Err, "boom") {
+	if r := runCell(boom, a, nil, nil, nil); !strings.Contains(r.Err, "boom") {
 		t.Fatalf("panic not captured: %q", r.Err)
 	}
 	if a.m[arenaKey(boom)] != nil {
 		t.Fatal("failed cell's machine still pooled")
 	}
 	// And the next cell of that configuration runs on a fresh machine.
-	if r := runCell(c1, a, nil, nil); r.Err != "" {
+	if r := runCell(c1, a, nil, nil, nil); r.Err != "" {
 		t.Fatalf("cell after dropped machine failed: %s", r.Err)
 	}
 	// A failure before the machine is acquired (workload constructor panic)
@@ -210,7 +210,7 @@ func TestArenaReusesAndDrops(t *testing.T) {
 	}
 	mkBoom := c1
 	mkBoom.Mk = func() Workload { panic("constructor boom") }
-	if r := runCell(mkBoom, a, nil, nil); !strings.Contains(r.Err, "constructor boom") {
+	if r := runCell(mkBoom, a, nil, nil, nil); !strings.Contains(r.Err, "constructor boom") {
 		t.Fatalf("constructor panic not captured: %q", r.Err)
 	}
 	if a.m[arenaKey(c1)] != kept {
@@ -268,9 +268,11 @@ func legacyNext(groups []*schedGroup, cur *schedGroup) (*schedGroup, int, bool) 
 
 // simulateMachines drives a scheduler with `workers` simulated workers in
 // round-robin lockstep and returns how many machines per-worker arenas
-// would build: the number of distinct (worker, configuration) pairs.
+// would build: the number of distinct (worker, configuration) pairs. Each
+// simulated worker's seen-set doubles as its affinity predicate, exactly as
+// Engine.Run's workers feed their pooled-config sets to the scheduler.
 func simulateMachines(t *testing.T, cells []Cell, workers int,
-	next func(cur *schedGroup) (*schedGroup, int, bool)) int {
+	next func(cur *schedGroup, have func(commtm.Config) bool) (*schedGroup, int, bool)) int {
 	t.Helper()
 	type wstate struct {
 		cur  *schedGroup
@@ -288,7 +290,7 @@ func simulateMachines(t *testing.T, cells []Cell, workers int,
 			if w.done {
 				continue
 			}
-			g, ci, ok := next(w.cur)
+			g, ci, ok := next(w.cur, func(k commtm.Config) bool { return w.seen[k] })
 			if !ok {
 				w.done = true
 				active--
@@ -327,7 +329,7 @@ func TestChunkedStealingBoundsDuplicateMachines(t *testing.T) {
 
 	legacy := newSched(cells, true)
 	legacyMachines := simulateMachines(t, cells, workers,
-		func(cur *schedGroup) (*schedGroup, int, bool) {
+		func(cur *schedGroup, _ func(commtm.Config) bool) (*schedGroup, int, bool) {
 			legacy.mu.Lock()
 			defer legacy.mu.Unlock()
 			return legacyNext(legacy.groups, cur)
@@ -341,6 +343,63 @@ func TestChunkedStealingBoundsDuplicateMachines(t *testing.T) {
 	}
 	if chunked > workers+len(sizes) {
 		t.Errorf("chunked stealing built %d machines, budget %d", chunked, workers+len(sizes))
+	}
+}
+
+// TestAffinityStealingPrefersPooledConfigs pins the affinity-aware steal
+// policy: once every group is owned, a stealer holding a pooled machine for
+// some configuration steals from that configuration's group — even when
+// another group has a larger remainder — and only falls back to the largest
+// remainder when it has no affinity anywhere. The deterministic lockstep
+// simulation beside TestChunkedStealingBoundsDuplicateMachines then shows
+// the policy never builds more machines than remainder-only stealing on the
+// skewed regression shape.
+func TestAffinityStealingPrefersPooledConfigs(t *testing.T) {
+	// Config A (threads=1): 6 cells; config B (threads=2): 20 cells.
+	cells := stealingMatrix([]int{6, 20})
+	q := newSched(cells, true)
+	gA, _, ok := q.next(nil, nil) // worker 1 claims A (first-appearance order)
+	if !ok || cells[gA.cells[gA.next-1]].Threads != 1 {
+		t.Fatal("worker 1 did not claim config A")
+	}
+	gB, _, ok := q.next(nil, nil) // worker 2 claims B
+	if !ok || cells[gB.cells[gB.next-1]].Threads != 2 {
+		t.Fatal("worker 2 did not claim config B")
+	}
+	// Worker 3 pools a machine for A: it must steal from A despite B's much
+	// larger remainder.
+	g, i, ok := q.next(nil, func(k commtm.Config) bool { return k == gA.key })
+	if !ok {
+		t.Fatal("affinity stealer got no cell")
+	}
+	if g.key != gA.key || cells[i].Threads != 1 {
+		t.Fatalf("affinity stealer got config with %d threads, want its pooled config A", cells[i].Threads)
+	}
+	// Worker 4 with no affinity falls back to the largest remainder (B).
+	g, i, ok = q.next(nil, func(commtm.Config) bool { return false })
+	if !ok || g.key != gB.key || cells[i].Threads != 2 {
+		t.Fatal("no-affinity stealer did not take the largest remainder")
+	}
+
+	// Lockstep comparison on the regression shape: affinity-aware stealing
+	// must never build more machines than remainder-only stealing.
+	sizes := []int{8, 16, 32, 128}
+	const workers = 24
+	cells = stealingMatrix(sizes)
+	affinity := simulateMachines(t, cells, workers, newSched(cells, true).next)
+	q2 := newSched(cells, true)
+	remainderOnly := simulateMachines(t, cells, workers,
+		func(cur *schedGroup, _ func(commtm.Config) bool) (*schedGroup, int, bool) {
+			return q2.next(cur, nil)
+		})
+	t.Logf("machines built: affinity=%d remainder-only=%d (workers=%d configs=%d)",
+		affinity, remainderOnly, workers, len(sizes))
+	if affinity > remainderOnly {
+		t.Errorf("affinity stealing built %d machines vs %d remainder-only; must never be worse",
+			affinity, remainderOnly)
+	}
+	if affinity > workers+len(sizes) {
+		t.Errorf("affinity stealing built %d machines, budget %d", affinity, workers+len(sizes))
 	}
 }
 
@@ -364,7 +423,9 @@ func TestInputArenaMatchesFresh(t *testing.T) {
 		Seeds:   []uint64{1, 2},
 	}
 	run := func(in InputMode, workers int, rm *RunMetrics) Results {
-		eng := Engine{Workers: workers, Inputs: in, Metrics: rm}
+		// Snapshots off: a snapshot hit skips Setup (and with it the input
+		// arena), which would starve the input-arena behavior under test.
+		eng := Engine{Workers: workers, InputMode: in, SnapshotMode: SnapshotsOff, Metrics: rm}
 		rs, err := eng.Run(mx.Cells())
 		if err != nil {
 			t.Fatal(err)

@@ -81,6 +81,40 @@ func (s *SSCA2) Setup(m *commtm.Machine) {
 	s.adjA = m.AllocLines((s.g.V*8 + commtm.LineBytes - 1) / commtm.LineBytes)
 }
 
+// ssca2Host is the snapshot host state: the graph and reference degrees are
+// immutable generated input; the base addresses and label id are immutable
+// scalars. Nothing ssca2 holds host-side is run-mutable.
+type ssca2Host struct {
+	threads int
+	add     commtm.LabelID
+	g       *graphgen.Graph
+	wantDeg []int
+	degA    commtm.Addr
+	metaA   commtm.Addr
+	adjA    commtm.Addr
+}
+
+// SnapshotParams implements snapshots.Snapshotter. The workload-private
+// generation seed is a constructor parameter, so it is part of the key.
+func (s *SSCA2) SnapshotParams() (string, bool) {
+	return fmt.Sprintf("scale=%d edges=%d wseed=%d", s.Scale, s.Edges, s.Seed), true
+}
+
+// SnapshotHost implements snapshots.Snapshotter.
+func (s *SSCA2) SnapshotHost() any {
+	return ssca2Host{
+		threads: s.threads, add: s.add, g: s.g, wantDeg: s.wantDeg,
+		degA: s.degA, metaA: s.metaA, adjA: s.adjA,
+	}
+}
+
+// AdoptHost implements snapshots.Snapshotter.
+func (s *SSCA2) AdoptHost(_ *commtm.Machine, host any) {
+	h := host.(ssca2Host)
+	s.threads, s.add, s.g, s.wantDeg = h.threads, h.add, h.g, h.wantDeg
+	s.degA, s.metaA, s.adjA = h.degA, h.metaA, h.adjA
+}
+
 // Body implements harness.Workload.
 func (s *SSCA2) Body(t *commtm.Thread) {
 	id := t.ID()

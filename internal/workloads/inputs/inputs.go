@@ -38,10 +38,23 @@ type User interface {
 	UseInputs(*Arena)
 }
 
-// Stats is a snapshot of an arena's cache behavior.
+// Stats is a snapshot of an arena's cache behavior. Hits, Misses, and
+// Evictions are cumulative counters; Size is a current gauge.
 type Stats struct {
-	Hits, Misses, Evictions uint64
-	Size                    int
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+}
+
+// Delta returns the counter movement between prev and s, keeping s's Size
+// gauge. Engine runs sharing a process-lifetime arena use it to report
+// per-run metrics.
+func (s Stats) Delta(prev Stats) Stats {
+	s.Hits -= prev.Hits
+	s.Misses -= prev.Misses
+	s.Evictions -= prev.Evictions
+	return s
 }
 
 // entry is one cached input, linked into the arena's LRU list

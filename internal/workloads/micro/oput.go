@@ -84,6 +84,45 @@ func (o *OPut) Setup(m *commtm.Machine) {
 	}
 }
 
+// oputHost is the snapshot host state. keys (and, with them, mins) come
+// from the immutable cached input when the snapshotting Setup replayed one;
+// on the live-draw path mins is run-mutable and must be rebuilt per adopt.
+type oputHost struct {
+	threads int
+	oput    commtm.LabelID
+	pair    commtm.Addr
+	keys    [][]uint64
+	mins    []uint64 // valid (and immutable) only when keys != nil
+}
+
+// SnapshotParams implements snapshots.Snapshotter.
+func (o *OPut) SnapshotParams() (string, bool) {
+	return fmt.Sprintf("ops=%d", o.Ops), true
+}
+
+// SnapshotHost implements snapshots.Snapshotter.
+func (o *OPut) SnapshotHost() any {
+	h := oputHost{threads: o.threads, oput: o.oput, pair: o.pair, keys: o.keys}
+	if o.keys != nil {
+		h.mins = o.mins // cached-input reference data, never mutated
+	}
+	return h
+}
+
+// AdoptHost implements snapshots.Snapshotter.
+func (o *OPut) AdoptHost(_ *commtm.Machine, host any) {
+	h := host.(oputHost)
+	o.threads, o.oput, o.pair, o.keys = h.threads, h.oput, h.pair, h.keys
+	if h.keys != nil {
+		o.mins = h.mins
+		return
+	}
+	o.mins = make([]uint64, o.threads)
+	for i := range o.mins {
+		o.mins[i] = ^uint64(0)
+	}
+}
+
 // Body implements harness.Workload.
 func (o *OPut) Body(t *commtm.Thread) {
 	id := t.ID()

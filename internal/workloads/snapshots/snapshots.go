@@ -1,0 +1,297 @@
+// Package snapshots implements the machine-image snapshot arena: a
+// content-addressed cache of post-Setup machine state (commtm.Image) plus
+// the host-side state the owning workload instance computed during Setup,
+// keyed by (workload, canonical params, seed, configuration modulo seed).
+// With PR 4's input arenas the generated inputs are already cached, but
+// every cell still replays them into the machine word by word; the snapshot
+// arena caches the *installed* state instead, so a repeated cell skips
+// Setup entirely — Machine.Restore reinstates the image with bulk page
+// copies and the workload adopts the cached host state.
+//
+// The contract (EXPERIMENTS.md "The machine-image snapshot contract"): a
+// cached entry is captured once, immediately after the owning instance's
+// Setup, and is immutable afterwards. The image side is enforced by
+// commtm.Image (workers only read it); the host side is the workload's
+// responsibility — SnapshotHost may expose only state that every instance
+// sharing the key computes identically and that no run mutates, and
+// AdoptHost must rebuild anything run-mutable fresh. Label handler closures
+// captured in the image must be pure functions of data equal across
+// instances sharing the key. Replay is proven invisible by the golden
+// conformance gate, which runs the golden matrix with snapshots on and off
+// against the same committed goldens.
+package snapshots
+
+import (
+	"sync"
+
+	"commtm"
+)
+
+// Snapshotter is the optional workload hook the sweep engine looks for. A
+// workload implements it when its Setup is a pure function of (params,
+// seed, machine configuration) — equivalently, when two instances built
+// with the same constructor arguments produce bit-identical machine state
+// and equivalent host state for the same (seed, config). Workloads whose
+// Setup draws from sources outside that tuple (wall clock, global mutable
+// state, machine RNG streams it cannot replay) must return ok=false from
+// SnapshotParams, which opts every cell of the workload out of snapshotting.
+type Snapshotter interface {
+	// SnapshotParams returns the canonical encoding of every constructor
+	// parameter Setup reads (workload-private seeds included), and whether
+	// this instance is snapshot-compatible at all. It is called before
+	// Setup, so it may read only constructor-set fields.
+	SnapshotParams() (params string, ok bool)
+	// SnapshotHost returns the host-side state Setup computed — label ids,
+	// base addresses, references to immutable cached inputs — to be cached
+	// alongside the machine image. Called once, on the instance whose Setup
+	// ran, immediately after Setup.
+	SnapshotHost() any
+	// AdoptHost installs host state captured by SnapshotHost on a fresh
+	// instance whose machine m was restored from the image, replacing its
+	// Setup call. Run-mutable state (per-thread cursors, output multisets,
+	// union-find mirrors) must be rebuilt fresh here, never shared.
+	AdoptHost(m *commtm.Machine, host any)
+}
+
+// Key identifies one snapshot. Two keys are equal exactly when the
+// post-Setup machine state would be bit-identical and the host state
+// interchangeable: the workload name, the canonical parameter encoding from
+// SnapshotParams, the machine seed, and the full machine configuration with
+// the seed erased (geometry, protocol, and thread count all shape installed
+// state or its interpretation).
+type Key struct {
+	Workload string
+	Params   string
+	Seed     uint64
+	Config   commtm.Config
+}
+
+// Entry is one cached snapshot: the immutable machine image and the
+// workload's host-side state.
+type Entry struct {
+	Img  *commtm.Image
+	Host any
+}
+
+// Stats is a snapshot of an arena's cache behavior. Hits, Misses,
+// Evictions, and BytesAdded are cumulative counters (Delta subtracts two
+// readings); Size and Bytes are current gauges.
+type Stats struct {
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+	BytesAdded uint64 `json:"bytes_added"` // total bytes of all images ever captured
+	Size       int    `json:"size"`        // entries currently cached
+	Bytes      int    `json:"bytes"`       // image bytes currently cached
+}
+
+// Delta returns the counter movement between prev and s, keeping s's
+// gauges. Engine runs sharing a process-lifetime arena use it to report
+// per-run metrics.
+func (s Stats) Delta(prev Stats) Stats {
+	s.Hits -= prev.Hits
+	s.Misses -= prev.Misses
+	s.Evictions -= prev.Evictions
+	s.BytesAdded -= prev.BytesAdded
+	return s
+}
+
+// entry is one cached snapshot, linked into the arena's LRU list (front =
+// most recently used). Like the input arena, an entry is published before
+// its value exists (per-key singleflight): the claiming caller runs Setup
+// and captures, then closes ready; racers wait instead of re-running Setup.
+type entry struct {
+	key        Key
+	val        Entry
+	ready      chan struct{}
+	done       bool // val is set; only done entries are evictable
+	prev, next *entry
+}
+
+// Arena is a content-addressed, optionally capped snapshot cache, safe for
+// concurrent use: the sweep engine shares one arena across all workers of a
+// run (or, via Engine.Snapshots, across every run of a process). A nil
+// *Arena is valid and never caches.
+type Arena struct {
+	mu         sync.Mutex
+	cap        int // max entries; <= 0 = unbounded
+	entries    map[Key]*entry
+	front      *entry
+	back       *entry
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	bytesAdded uint64
+	bytes      int
+}
+
+// New returns an unbounded arena.
+func New() *Arena { return NewCapped(0) }
+
+// NewCapped returns an arena holding at most cap entries, evicting the
+// least recently used beyond that; cap <= 0 means unbounded.
+func NewCapped(cap int) *Arena {
+	return &Arena{cap: cap, entries: make(map[Key]*entry)}
+}
+
+// Load returns the cached snapshot for k, running capture on a miss and
+// caching its result. capture must run the workload's Setup on the caller's
+// machine and return the captured entry. The returned hit reports whether
+// the entry came from cache (true) — the caller must then Restore the image
+// and adopt the host state — or was captured by this call (false) — the
+// caller's machine already holds the state. Misses are single-flighted per
+// key: one concurrent caller captures while the others wait, so Setup never
+// runs twice for one key. A capture panic unpublishes the pending entry and
+// wakes its waiters before propagating (sweep panic containment per cell);
+// a waiter woken by an abandoned entry re-claims, possibly becoming the new
+// owner. A nil arena runs capture directly and reports hit=false.
+func (a *Arena) Load(k Key, capture func() Entry) (e Entry, hit bool) {
+	if a == nil {
+		return capture(), false
+	}
+	for {
+		en, owner := a.claim(k)
+		if owner {
+			return a.capture(en, capture), false
+		}
+		<-en.ready
+		if en.done {
+			return en.val, true
+		}
+	}
+}
+
+// capture runs the capture function as en's owner, settling or abandoning
+// the pending entry.
+func (a *Arena) capture(en *entry, capture func() Entry) Entry {
+	defer func() {
+		if !en.done {
+			a.abandon(en)
+		}
+		close(en.ready)
+	}()
+	en.val = capture() // outside the lock: Setup is the expensive part
+	a.settle(en)
+	return en.val
+}
+
+// claim returns k's entry and whether the caller owns capture.
+func (a *Arena) claim(k Key) (*entry, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if e := a.entries[k]; e != nil {
+		a.hits++
+		a.touch(e)
+		return e, false
+	}
+	a.misses++
+	e := &entry{key: k, ready: make(chan struct{})}
+	a.entries[k] = e
+	a.pushFront(e)
+	return e, true
+}
+
+// abandon unpublishes a pending entry whose capture panicked.
+func (a *Arena) abandon(e *entry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.unlink(e)
+	delete(a.entries, e.key)
+}
+
+// settle marks e captured (making it evictable), accounts its bytes, and
+// applies any over-cap eviction.
+func (a *Arena) settle(e *entry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e.done = true
+	if e.val.Img != nil {
+		b := e.val.Img.Bytes()
+		a.bytes += b
+		a.bytesAdded += uint64(b)
+	}
+	if a.cap <= 0 {
+		return
+	}
+	for len(a.entries) > a.cap {
+		evicted := false
+		for v := a.back; v != nil; v = v.prev {
+			if v.done {
+				a.evict(v)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything over cap is still capturing; retry at next settle
+		}
+	}
+}
+
+// touch moves e to the front of the LRU list.
+func (a *Arena) touch(e *entry) {
+	if a.front == e {
+		return
+	}
+	a.unlink(e)
+	a.pushFront(e)
+}
+
+func (a *Arena) pushFront(e *entry) {
+	e.prev, e.next = nil, a.front
+	if a.front != nil {
+		a.front.prev = e
+	}
+	a.front = e
+	if a.back == nil {
+		a.back = e
+	}
+}
+
+func (a *Arena) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		a.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		a.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// evict removes e and releases its byte accounting. Images are plain host
+// memory; dropping the reference frees them.
+func (a *Arena) evict(e *entry) {
+	a.unlink(e)
+	delete(a.entries, e.key)
+	a.evictions++
+	if e.val.Img != nil {
+		a.bytes -= e.val.Img.Bytes()
+	}
+}
+
+// Stats returns a snapshot of the arena's counters. Nil-safe.
+func (a *Arena) Stats() Stats {
+	if a == nil {
+		return Stats{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Stats{
+		Hits: a.hits, Misses: a.misses, Evictions: a.evictions,
+		BytesAdded: a.bytesAdded, Size: len(a.entries), Bytes: a.bytes,
+	}
+}
+
+// Len returns the number of cached snapshots. Nil-safe.
+func (a *Arena) Len() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.entries)
+}

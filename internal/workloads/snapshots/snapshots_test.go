@@ -1,0 +1,154 @@
+package snapshots
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"commtm"
+)
+
+func key(i int) Key {
+	return Key{Workload: "w", Params: "p", Seed: uint64(i), Config: commtm.Config{Threads: 1}}
+}
+
+// capturedImage builds a real (tiny) machine image so byte accounting has
+// something to count.
+func capturedImage(t *testing.T, words int) *commtm.Image {
+	t.Helper()
+	m := commtm.New(commtm.Config{Threads: 1, Seed: 1})
+	defer m.Close()
+	a := m.AllocWords(words)
+	for i := 0; i < words; i++ {
+		m.MemWrite64(a+commtm.Addr(i*8), uint64(i)+1)
+	}
+	return m.Snapshot()
+}
+
+func TestArenaHitMissAndStats(t *testing.T) {
+	a := New()
+	img := capturedImage(t, 4)
+	calls := 0
+	gen := func() Entry { calls++; return Entry{Img: img, Host: "h"} }
+
+	e1, hit1 := a.Load(key(1), gen)
+	if hit1 || calls != 1 {
+		t.Fatalf("first load: hit=%v calls=%d, want miss", hit1, calls)
+	}
+	e2, hit2 := a.Load(key(1), gen)
+	if !hit2 || calls != 1 {
+		t.Fatalf("second load: hit=%v calls=%d, want hit without recapture", hit2, calls)
+	}
+	if e1.Img != e2.Img || e2.Host != "h" {
+		t.Fatal("hit returned a different entry")
+	}
+	st := a.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes != img.Bytes() || st.BytesAdded != uint64(img.Bytes()) {
+		t.Fatalf("byte accounting: %+v, image bytes %d", st, img.Bytes())
+	}
+	d := a.Stats().Delta(st)
+	if d.Hits != 0 || d.Misses != 0 || d.BytesAdded != 0 || d.Size != 1 {
+		t.Fatalf("delta of identical readings = %+v", d)
+	}
+}
+
+func TestArenaCapEvictsLRU(t *testing.T) {
+	a := NewCapped(2)
+	img := capturedImage(t, 4)
+	for i := 0; i < 3; i++ {
+		a.Load(key(i), func() Entry { return Entry{Img: img} })
+	}
+	st := a.Stats()
+	if st.Size != 2 || st.Evictions != 1 {
+		t.Fatalf("capped arena: %+v, want size 2 with 1 eviction", st)
+	}
+	if st.Bytes != 2*img.Bytes() {
+		t.Fatalf("resident bytes %d, want %d", st.Bytes, 2*img.Bytes())
+	}
+	// key(0) was least recently used and must be gone: loading it again is
+	// a miss.
+	if _, hit := a.Load(key(0), func() Entry { return Entry{Img: img} }); hit {
+		t.Fatal("evicted key still hit")
+	}
+	// key(2) must still be cached.
+	if _, hit := a.Load(key(2), func() Entry { return Entry{Img: img} }); !hit {
+		t.Fatal("recently used key was evicted")
+	}
+}
+
+func TestArenaSingleFlight(t *testing.T) {
+	a := New()
+	img := capturedImage(t, 2)
+	var captures atomic.Int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.Load(key(1), func() Entry {
+				captures.Add(1)
+				<-release
+				return Entry{Img: img}
+			})
+		}()
+	}
+	// Let the owner start capturing, then release it; every waiter must get
+	// the same entry without capturing.
+	for a.Stats().Misses == 0 {
+	}
+	close(release)
+	wg.Wait()
+	if n := captures.Load(); n != 1 {
+		t.Fatalf("capture ran %d times, want 1", n)
+	}
+	if st := a.Stats(); st.Misses != 1 || st.Hits != 7 {
+		t.Fatalf("stats after concurrent loads: %+v", st)
+	}
+}
+
+// TestArenaCapturePanicUnpublishes: a panicking capture must not wedge
+// later loads of the same key (the sweep engine contains the panic per
+// cell and the next cell re-attempts).
+func TestArenaCapturePanicUnpublishes(t *testing.T) {
+	a := New()
+	img := capturedImage(t, 2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("capture panic swallowed")
+			}
+		}()
+		a.Load(key(1), func() Entry { panic("setup failed") })
+	}()
+	if a.Len() != 0 {
+		t.Fatalf("abandoned entry still published: len=%d", a.Len())
+	}
+	e, hit := a.Load(key(1), func() Entry { return Entry{Img: img} })
+	if hit || e.Img != img {
+		t.Fatal("re-load after panic did not re-capture")
+	}
+}
+
+// TestNilArena: a nil arena is valid and always captures.
+func TestNilArena(t *testing.T) {
+	var a *Arena
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if _, hit := a.Load(key(1), func() Entry { calls++; return Entry{} }); hit {
+			t.Fatal("nil arena reported a hit")
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("nil arena captured %d times, want 2", calls)
+	}
+	if st := a.Stats(); st != (Stats{}) {
+		t.Fatalf("nil arena stats = %+v", st)
+	}
+	if a.Len() != 0 {
+		t.Fatal("nil arena len != 0")
+	}
+}

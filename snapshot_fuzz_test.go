@@ -1,0 +1,108 @@
+package commtm_test
+
+import (
+	"testing"
+
+	"commtm"
+	"commtm/internal/workloads/snapshots"
+)
+
+// FuzzSnapshotRestore fuzzes the machine-image snapshot contract against
+// the lifecycle: for a random configuration and target workload, capture
+// the post-Setup image, run the capturing cell, dirty the machine with a
+// random other workload (possibly dying mid-run, possibly without any
+// Reset between the corpse and the restore), then Restore + AdoptHost and
+// run the target again — Stats and MemDigest must equal a freshly built
+// machine's in every interleaving. A restoreTwice variant re-restores the
+// same image over its own result (and over an intervening Reset), proving
+// images are reusable and Restore is idempotent in effect. Any
+// counterexample means Restore missed state Setup installs (a store line,
+// the allocator break, a label, an RNG position) or a workload's host
+// state leaked run-mutable data across adoptions.
+func FuzzSnapshotRestore(f *testing.F) {
+	f.Add(uint16(200), uint8(1), uint8(1), uint64(1), uint8(0), uint8(3), uint16(100), false, false)
+	f.Add(uint16(60), uint8(3), uint8(0), uint64(42), uint8(5), uint8(1), uint16(250), true, true)
+	f.Add(uint16(300), uint8(2), uint8(2), uint64(7), uint8(2), uint8(4), uint16(30), false, true)
+
+	f.Fuzz(func(t *testing.T, ops uint16, thSel, protoSel uint8, seed uint64, wlSel, dirtyWlSel uint8, dirtyOps uint16, dirtyPanics, restoreTwice bool) {
+		cfg := commtm.Config{
+			Threads:       []int{1, 2, 4, 8}[int(thSel)%4],
+			Protocol:      commtm.Protocol(int(protoSel) % 2),
+			DisableGather: protoSel%3 == 2,
+			Seed:          seed,
+		}
+
+		fresh := commtm.New(cfg)
+		wantStats, wantDigest := runWorkload(fresh, fuzzWorkload(wlSel, ops))
+		fresh.Close()
+
+		m := commtm.New(cfg)
+		defer m.Close()
+
+		// Capture path: Setup, snapshot, then run the capturing cell itself
+		// (the sweep engine's miss path runs on the freshly installed state).
+		w1 := fuzzWorkload(wlSel, ops)
+		sn1, ok := w1.(snapshots.Snapshotter)
+		if !ok {
+			t.Fatalf("fuzz workload %d lacks the snapshot hook", wlSel%6)
+		}
+		w1.Setup(m)
+		img := m.Snapshot()
+		host := sn1.SnapshotHost()
+		m.Run(w1.Body)
+		gotStats, gotDigest := m.Stats(), m.MemDigest()
+		if gotStats != wantStats || gotDigest != wantDigest {
+			t.Errorf("capture-path run diverges from plain run (cfg=%+v wl=%d ops=%d)\n fresh:   %+v %#x\n capture: %+v %#x",
+				cfg, wlSel%6, ops, wantStats, wantDigest, gotStats, gotDigest)
+		}
+
+		// Dirty the machine: another workload on another seed, optionally
+		// dying mid-run — and in that case deliberately NOT Reset before the
+		// restore, so Restore must recover a panic-drained machine on its own.
+		m.ResetSeed(seed ^ 0x5ca1ab1e)
+		if dirtyPanics {
+			dw := fuzzWorkload(dirtyWlSel, dirtyOps)
+			dw.Setup(m)
+			func() {
+				defer func() { recover() }()
+				m.Run(func(th *commtm.Thread) {
+					if th.ID() == cfg.Threads-1 {
+						panic("fuzz: dirty run dies")
+					}
+					dw.Body(th)
+				})
+			}()
+		} else {
+			runWorkload(m, fuzzWorkload(dirtyWlSel, dirtyOps))
+		}
+
+		// Restore path: the image reinstates the post-Setup state on top of
+		// whatever the dirty run left behind.
+		restoreAndRun := func() {
+			m.Restore(img)
+			if restoreTwice {
+				// Images are immutable and reusable: restoring again — and
+				// restoring over an intervening Reset — must change nothing.
+				m.Reset()
+				m.Restore(img)
+			}
+			w2 := fuzzWorkload(wlSel, ops)
+			w2.(snapshots.Snapshotter).AdoptHost(m, host)
+			m.Run(w2.Body)
+			if err := w2.Validate(m); err != nil {
+				t.Errorf("restored run failed validation (cfg=%+v wl=%d ops=%d dirty=%d/%d panics=%v): %v",
+					cfg, wlSel%6, ops, dirtyWlSel%6, dirtyOps, dirtyPanics, err)
+				return
+			}
+			gotStats, gotDigest = m.Stats(), m.MemDigest()
+			if gotStats != wantStats || gotDigest != wantDigest {
+				t.Errorf("restored run diverges from plain run (cfg=%+v wl=%d ops=%d dirty=%d/%d panics=%v twice=%v)\n fresh:   %+v %#x\n restore: %+v %#x",
+					cfg, wlSel%6, ops, dirtyWlSel%6, dirtyOps, dirtyPanics, restoreTwice, wantStats, wantDigest, gotStats, gotDigest)
+			}
+		}
+		restoreAndRun()
+		// And once more on the now-clean machine: a second cell of the same
+		// key restores the same image again.
+		restoreAndRun()
+	})
+}

@@ -1,0 +1,238 @@
+package commtm_test
+
+import (
+	"strings"
+	"testing"
+
+	"commtm"
+	"commtm/internal/harness"
+	"commtm/internal/sweep"
+	"commtm/internal/workloads/apps"
+	"commtm/internal/workloads/micro"
+	"commtm/internal/workloads/snapshots"
+)
+
+// snapshotCycle runs w1's Setup on m, captures the snapshot pair, and
+// returns it — the machine is left holding the installed state, exactly as
+// the sweep engine's miss path leaves it.
+func snapshotCycle(t *testing.T, m *commtm.Machine, w harness.Workload) (*commtm.Image, any) {
+	t.Helper()
+	sn, ok := w.(snapshots.Snapshotter)
+	if !ok {
+		t.Fatalf("%s does not implement the snapshot hook", w.Name())
+	}
+	if _, compatible := sn.SnapshotParams(); !compatible {
+		t.Fatalf("%s opted out of snapshotting", w.Name())
+	}
+	w.Setup(m)
+	return m.Snapshot(), sn.SnapshotHost()
+}
+
+// adoptAndRun restores img onto m, adopts host state on a fresh instance,
+// runs it, validates, and returns the observables — the sweep engine's hit
+// path in miniature.
+func adoptAndRun(t *testing.T, m *commtm.Machine, w harness.Workload, img *commtm.Image, host any) (commtm.Stats, uint64) {
+	t.Helper()
+	m.Restore(img)
+	w.(snapshots.Snapshotter).AdoptHost(m, host)
+	m.Run(w.Body)
+	if err := w.Validate(m); err != nil {
+		t.Fatalf("restored %s failed validation: %v", w.Name(), err)
+	}
+	return m.Stats(), m.MemDigest()
+}
+
+// TestSnapshotRestoreReplaysSetup is the machine-image contract in
+// miniature: a cell run on a Restore+AdoptHost machine — after the machine
+// was dirtied by an unrelated workload and Reset — must produce Stats and
+// MemDigest bit-identical to the cell that ran Setup and was snapshotted.
+// (The full-matrix version is TestGoldenConformance with snapshots on.)
+func TestSnapshotRestoreReplaysSetup(t *testing.T) {
+	mks := []func() harness.Workload{
+		func() harness.Workload { return micro.NewCounter(600) },
+		func() harness.Workload { return micro.NewList(300, 0.5) },
+		func() harness.Workload { return micro.NewTopK(400, 32) },
+		func() harness.Workload { return apps.NewGenome(256, 16, 1200, 7) },
+	}
+	for _, mk := range mks {
+		cfg := commtm.Config{Threads: 4, Protocol: commtm.CommTM, Seed: 11}
+		m := commtm.New(cfg)
+
+		w1 := mk()
+		img, host := snapshotCycle(t, m, w1)
+		m.Run(w1.Body)
+		if err := w1.Validate(m); err != nil {
+			t.Fatalf("setup-path %s failed validation: %v", w1.Name(), err)
+		}
+		wantStats, wantDigest := m.Stats(), m.MemDigest()
+
+		// Dirty the machine with an unrelated workload, then restore.
+		m.Reset()
+		runWorkload(m, micro.NewOPut(200))
+		gotStats, gotDigest := adoptAndRun(t, m, mk(), img, host)
+		if gotStats != wantStats {
+			t.Errorf("%s: Stats diverge after Restore:\n setup:   %+v\n restore: %+v", w1.Name(), wantStats, gotStats)
+		}
+		if gotDigest != wantDigest {
+			t.Errorf("%s: MemDigest after Restore = %#x, setup path = %#x", w1.Name(), gotDigest, wantDigest)
+		}
+		m.Close()
+	}
+}
+
+// TestSnapshotSharesAcrossVariants pins the keying rule the sweep engine
+// relies on: an image captured under one protocol variant restores onto a
+// machine configured for another (same threads and geometry), because Setup
+// installs variant-invariant state. The restored Baseline cell must match a
+// Baseline cell that ran its own Setup.
+func TestSnapshotSharesAcrossVariants(t *testing.T) {
+	mkCfg := func(p commtm.Protocol) commtm.Config {
+		return commtm.Config{Threads: 4, Protocol: p, Seed: 5}
+	}
+	mk := func() harness.Workload { return micro.NewList(300, 0.5) }
+
+	want := commtm.New(mkCfg(commtm.Baseline))
+	wantStats, wantDigest := runWorkload(want, mk())
+	want.Close()
+
+	// Capture under CommTM, restore onto a Baseline machine.
+	donor := commtm.New(mkCfg(commtm.CommTM))
+	img, host := snapshotCycle(t, donor, mk())
+	donor.Close()
+
+	m := commtm.New(mkCfg(commtm.Baseline))
+	defer m.Close()
+	gotStats, gotDigest := adoptAndRun(t, m, mk(), img, host)
+	if gotStats != wantStats || gotDigest != wantDigest {
+		t.Errorf("cross-variant restore diverges from native Baseline run:\n native:  %+v %#x\n restore: %+v %#x",
+			wantStats, wantDigest, gotStats, gotDigest)
+	}
+}
+
+// TestImageDigestIsContentAddress pins the digest semantics the arena's
+// content-addressing claim rests on: independent captures of the same
+// (params, seed, config-modulo-variant) digest equal — across machines and
+// across protocol variants — while a different seed or different params
+// digest differently, and the digest also reflects non-memory state (a
+// label table, even when no memory was written).
+func TestImageDigestIsContentAddress(t *testing.T) {
+	capture := func(p commtm.Protocol, seed uint64, k int) *commtm.Image {
+		m := commtm.New(commtm.Config{Threads: 4, Protocol: p, Seed: seed})
+		defer m.Close()
+		w := micro.NewTopK(400, k)
+		w.Setup(m)
+		return m.Snapshot()
+	}
+	a := capture(commtm.CommTM, 3, 32)
+	b := capture(commtm.CommTM, 3, 32)
+	if a.Digest() != b.Digest() {
+		t.Errorf("independent captures of one key digest %#x vs %#x", a.Digest(), b.Digest())
+	}
+	if x := capture(commtm.Baseline, 3, 32); x.Digest() != a.Digest() {
+		t.Errorf("cross-variant captures digest %#x vs %#x; Setup state must be variant-invariant", x.Digest(), a.Digest())
+	}
+	if x := capture(commtm.CommTM, 4, 32); x.Digest() == a.Digest() {
+		t.Error("different seeds digest equal")
+	}
+	// K shapes the installed arena blocks (the allocator break moves), so
+	// different params must digest differently even with no memory written.
+	if x := capture(commtm.CommTM, 3, 64); x.Digest() == a.Digest() {
+		t.Error("different params digest equal")
+	}
+}
+
+// TestSnapshotLifecyclePanics pins the misuse guards: snapshotting a
+// machine that has Run, and restoring across geometries, both panic loudly.
+func TestSnapshotLifecyclePanics(t *testing.T) {
+	mustPanic := func(name, want string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+				t.Fatalf("%s panicked with %v, want %q", name, r, want)
+			}
+		}()
+		f()
+	}
+
+	m := commtm.New(commtm.Config{Threads: 2, Protocol: commtm.CommTM, Seed: 1})
+	defer m.Close()
+	w := micro.NewCounter(100)
+	w.Setup(m)
+	img := m.Snapshot()
+	m.Run(w.Body)
+	mustPanic("Snapshot after Run", "after Run", func() { m.Snapshot() })
+
+	other := commtm.New(commtm.Config{Threads: 2, Protocol: commtm.CommTM, Seed: 1, L1Bytes: 16 * 1024})
+	defer other.Close()
+	mustPanic("cross-geometry Restore", "Restore of image", func() { other.Restore(img) })
+}
+
+// TestEngineSnapshotsMatchFresh is the engine-level guarantee: a matrix run
+// with snapshots (the default) produces results and digests bit-identical
+// to SnapshotsOff, the arena actually hits (every variant beyond a
+// configuration's first skips Setup), and an externally owned arena carries
+// those hits across engine runs.
+func TestEngineSnapshotsMatchFresh(t *testing.T) {
+	mx := sweep.Matrix{
+		Workloads: []sweep.WorkloadSpec{
+			{Name: micro.CounterName, Mk: func() sweep.Workload { return micro.NewCounter(240) }},
+			{Name: micro.TopKName, Mk: func() sweep.Workload { return micro.NewTopK(200, 16) }},
+		},
+		Variants: []sweep.Variant{
+			{Label: "Baseline", Protocol: commtm.Baseline},
+			{Label: "CommTM", Protocol: commtm.CommTM},
+			{Label: "CommTM w/o gather", Protocol: commtm.CommTM, DisableGather: true},
+		},
+		Threads: []int{1, 2},
+		Seeds:   []uint64{1, 2},
+	}
+	run := func(eng sweep.Engine) sweep.Results {
+		rs, err := eng.Run(mx.Cells())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.FirstErr(); err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	fresh := run(sweep.Engine{Workers: 1, SnapshotMode: sweep.SnapshotsOff})
+	for _, workers := range []int{1, 0} {
+		rm := &sweep.RunMetrics{}
+		snap := run(sweep.Engine{Workers: workers, SnapshotMode: sweep.SnapshotsOn, Metrics: rm})
+		for i := range fresh {
+			if fresh[i].Stats != snap[i].Stats || fresh[i].Digest != snap[i].Digest {
+				t.Errorf("workers=%d: cell %d (%s) differs between Setup and snapshot restore",
+					workers, i, fresh[i].Workload)
+			}
+		}
+		if rm.SnapshotMisses == 0 || rm.SnapshotHits == 0 {
+			t.Errorf("workers=%d: snapshot arena never exercised: %+v", workers, rm)
+		}
+		// Three variants per configuration: with one worker the split is
+		// exactly one miss + two hits per (workload, threads, seed).
+		if workers == 1 && rm.SnapshotHits != 2*rm.SnapshotMisses {
+			t.Errorf("workers=1: hits=%d misses=%d; want two hits per miss (three variants per key)",
+				rm.SnapshotHits, rm.SnapshotMisses)
+		}
+	}
+
+	// External arena: a second engine run over the same matrix restores
+	// every snapshottable cell (no misses at all).
+	sa := snapshots.New()
+	rm1, rm2 := &sweep.RunMetrics{}, &sweep.RunMetrics{}
+	first := run(sweep.Engine{Workers: 0, Snapshots: sa, Metrics: rm1})
+	second := run(sweep.Engine{Workers: 0, Snapshots: sa, Metrics: rm2})
+	for i := range first {
+		if first[i].Stats != second[i].Stats || first[i].Digest != second[i].Digest {
+			t.Errorf("cell %d differs across runs sharing a snapshot arena", i)
+		}
+	}
+	if rm2.SnapshotMisses != 0 || rm2.SnapshotHits == 0 {
+		t.Errorf("second run over a warm external arena: %+v, want all hits", rm2)
+	}
+}
