@@ -152,6 +152,36 @@ func TestInputArenaCutsWorkloadAllocations(t *testing.T) {
 	}
 }
 
+// TestInputArenaHitPathZeroAllocs pins the warm-arena fast path to exactly
+// zero allocations per hit: a settled entry is returned through Arena.Get
+// without boxing a generator closure, so sweeps replaying a cached input pay
+// a map lookup and nothing else. Any allocation here means the fast path
+// regressed to the singleflight slow path (closure boxing, interface churn)
+// and per-hit GC pressure is back.
+func TestInputArenaHitPathZeroAllocs(t *testing.T) {
+	a := inputs.New()
+	k := inputs.Key{Kind: "alloc-gate-blob", Params: "n=4096", Seed: 1}
+	gen := func() []int { return make([]int, 4096) }
+	if v := inputs.Load(a, k, gen); len(v) != 4096 { // warm: the only miss
+		t.Fatalf("warm load returned %d elements, want 4096", len(v))
+	}
+	wrong := false
+	allocs := testing.AllocsPerRun(100, func() {
+		if len(inputs.Load(a, k, gen)) != 4096 {
+			wrong = true
+		}
+	})
+	if wrong {
+		t.Errorf("hit path returned a wrong-shaped value")
+	}
+	if allocs != 0 {
+		t.Errorf("input-arena hit path allocates %.1f objects per load, want 0", allocs)
+	}
+	if st := a.Stats(); st.Misses != 1 || st.Hits == 0 {
+		t.Errorf("hit-path measurement did not run warm: %+v", st)
+	}
+}
+
 // TestSnapshotRestoreCutsSetupCost asserts the machine-image snapshot win:
 // for a repeated cell, the restore path (Machine.Restore + construct +
 // AdoptHost) must allocate at least 5x fewer bytes than a replayed Setup

@@ -27,6 +27,11 @@
 // snapshot arenas are process-lifetime: one invocation running several
 // experiments (-exp all) shares them across every figure sweep, so
 // reference cells and repeated configurations hit across experiments.
+// -machine-pool (default true, requires -reuse) makes the machine pool
+// process-lifetime too: pooled machines survive between experiments and
+// repeated configurations reuse them with a Reset instead of rebuilding,
+// with the same bit-identical-results guarantee; -machine-pool=false
+// reverts to a pool per sweep.
 // -machine-cap / -input-cap / -snapshot-cap bound the pools with LRU
 // eviction for long-lived processes (0, the default, is unbounded).
 // -oracle runs the differential conformance + determinism oracle over the
@@ -83,6 +88,7 @@ type hostMetrics struct {
 	// corresponding arena is disabled.
 	InputsArena    *inputs.Stats    `json:"inputs_arena,omitempty"`
 	SnapshotsArena *snapshots.Stats `json:"snapshots_arena,omitempty"`
+	MachinePool    *sweep.PoolStats `json:"machine_pool,omitempty"`
 }
 
 func readMemStats() runtime.MemStats {
@@ -112,6 +118,7 @@ func main() {
 		threads  = flag.String("threads", "", "comma-separated thread counts (default 1,2,4,8,16,32,64,128)")
 		parallel = flag.Int("parallel", 1, "host worker pool size per sweep (0 = all cores, 1 = sequential)")
 		reuse    = flag.Bool("reuse", true, "reuse machines across cells via per-worker arenas (false = fresh machine per cell)")
+		mPool    = flag.Bool("machine-pool", true, "keep pooled machines alive across experiments of this invocation (requires -reuse; false = pool per sweep)")
 		inArena  = flag.Bool("input-arena", true, "cache generated workload inputs across cells (false = regenerate per cell)")
 		snaps    = flag.Bool("snapshots", true, "cache post-Setup machine images and restore them on repeated cells (false = run Setup per cell)")
 		mCap     = flag.Int("machine-cap", 0, "global cap on pooled machines, LRU-evicted beyond it (0 = unbounded)")
@@ -211,16 +218,21 @@ func main() {
 	opts.MachineCap = *mCap
 	opts.InputCap = *iCap
 	opts.SnapshotCap = *sCap
-	// Process-lifetime arenas: one input arena and one snapshot arena are
-	// owned here and handed to every sweep of the invocation, so inputs and
-	// machine images cache across experiments (the reference cell of each
-	// figure, repeated configurations between figures). The caps ride on the
-	// arenas themselves.
+	// Process-lifetime arenas: one input arena, one snapshot arena, and one
+	// machine pool are owned here and handed to every sweep of the
+	// invocation, so inputs, machine images, and pooled machines cache
+	// across experiments (the reference cell of each figure, repeated
+	// configurations between figures). The caps ride on the arenas/pool
+	// themselves.
 	if *inArena {
 		opts.InputArena = inputs.NewCapped(*iCap)
 	}
 	if *snaps {
 		opts.SnapshotArena = snapshots.NewCapped(*sCap)
+	}
+	if *reuse && *mPool {
+		opts.MachinePool = sweep.NewMachinePool(*mCap)
+		defer opts.MachinePool.Close()
 	}
 	opts.DetSample = *detSmp
 	opts.DetSampleSeed = *detSeed
@@ -273,19 +285,26 @@ func main() {
 			st := opts.SnapshotArena.Stats()
 			hm.SnapshotsArena = &st
 		}
+		if opts.MachinePool != nil {
+			st := opts.MachinePool.Stats()
+			hm.MachinePool = &st
+		}
 		fmt.Printf("host: allocs=%d alloc_bytes=%d gc_cycles=%d heap_sys_bytes=%d\n",
 			hm.Allocs, hm.AllocBytes, hm.GCCycles, hm.HeapSysBytes)
 		lc := hm.Lifecycle
 		fmt.Printf("lifecycle: machines_built=%d machine_reuses=%d machines_evicted=%d input_hits=%d input_misses=%d input_evictions=%d snapshot_hits=%d snapshot_misses=%d snapshot_evictions=%d snapshot_bytes=%d\n",
 			lc.MachinesBuilt, lc.MachineReuses, lc.MachinesEvicted, lc.InputHits, lc.InputMisses, lc.InputEvictions,
 			lc.SnapshotHits, lc.SnapshotMisses, lc.SnapshotEvictions, lc.SnapshotBytes)
-		if hm.InputsArena != nil || hm.SnapshotsArena != nil {
+		if hm.InputsArena != nil || hm.SnapshotsArena != nil || hm.MachinePool != nil {
 			fmt.Printf("arenas:")
 			if st := hm.InputsArena; st != nil {
 				fmt.Printf(" inputs{size=%d hits=%d misses=%d evictions=%d}", st.Size, st.Hits, st.Misses, st.Evictions)
 			}
 			if st := hm.SnapshotsArena; st != nil {
 				fmt.Printf(" snapshots{size=%d bytes=%d hits=%d misses=%d evictions=%d}", st.Size, st.Bytes, st.Hits, st.Misses, st.Evictions)
+			}
+			if st := hm.MachinePool; st != nil {
+				fmt.Printf(" machines{size=%d hits=%d misses=%d evictions=%d}", st.Size, st.Hits, st.Misses, st.Evictions)
 			}
 			fmt.Println(" (cumulative over this invocation)")
 		}

@@ -123,6 +123,7 @@ type Machine struct {
 	ran   bool
 
 	cycles uint64 // parallel-region length after Run
+	resets uint64 // lifetime ResetSeed count (Reset/Restore included)
 }
 
 // New builds a machine. It panics on invalid configuration — construction
@@ -175,6 +176,7 @@ func (m *Machine) Reset() { m.ResetSeed(m.cfg.Seed) }
 // indistinguishable from New with Config.Seed = seed. Sweep arenas use it
 // to reuse one machine across cells that differ only in seed.
 func (m *Machine) ResetSeed(seed uint64) {
+	m.resets++
 	m.cfg.Seed = seed
 	m.k.Reset(seed)
 	m.rt.Reset()
@@ -184,6 +186,13 @@ func (m *Machine) ResetSeed(seed uint64) {
 	m.ran = false
 	m.cycles = 0
 }
+
+// ResetCount returns how many times the machine has been ResetSeed over its
+// lifetime (Reset and Restore both reset). It is host-side lifecycle
+// telemetry — never zeroed by Reset itself — and exists so tests can pin
+// the reset cost of a lifecycle path: a snapshot-arena hit must reset
+// exactly once (inside Restore), not once at acquire and again at Restore.
+func (m *Machine) ResetCount() uint64 { return m.resets }
 
 // Image is an immutable, content-addressed snapshot of a machine's complete
 // post-Setup architectural state: the backing-store pages, the allocator

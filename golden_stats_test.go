@@ -70,7 +70,11 @@ func goldenCells() []sweep.Cell {
 
 func runGoldenMatrix(t *testing.T, reuse sweep.Reuse, in sweep.InputMode, sn sweep.SnapshotMode) sweep.Results {
 	t.Helper()
-	eng := sweep.Engine{Workers: 0, Reuse: reuse, InputMode: in, SnapshotMode: sn}
+	return runGoldenEngine(t, sweep.Engine{Workers: 0, Reuse: reuse, InputMode: in, SnapshotMode: sn})
+}
+
+func runGoldenEngine(t *testing.T, eng sweep.Engine) sweep.Results {
+	t.Helper()
 	rs, err := eng.Run(goldenCells())
 	if err != nil {
 		t.Fatalf("golden matrix run failed: %v", err)
@@ -162,6 +166,21 @@ func TestGoldenConformance(t *testing.T) {
 	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOn, sweep.InputsOn, sweep.SnapshotsOff), want, "reuse=on,inputs=on,snapshots=off")
 	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOn, sweep.InputsOn, sweep.SnapshotsOn), want, "reuse=on,inputs=on,snapshots=on")
 	checkAgainstGolden(t, runGoldenMatrix(t, sweep.ReuseOff, sweep.InputsOff, sweep.SnapshotsOn), want, "reuse=off,inputs=off,snapshots=on")
+
+	// Cross-sweep machine pool: two consecutive runs share one externally
+	// owned pool, so the second run executes almost entirely on machines
+	// built (and mutated) by the first and reset at acquire. Both runs must
+	// still reproduce the committed goldens bit-identically — a machine that
+	// leaked any state across *sweeps* (not just across cells) diverges in
+	// run 2. The goldens are NOT re-baselined for this mode.
+	pool := sweep.NewMachinePool(0)
+	defer pool.Close()
+	poolEng := sweep.Engine{Workers: 0, Reuse: sweep.ReuseOn, InputMode: sweep.InputsOn, SnapshotMode: sweep.SnapshotsOn, Machines: pool}
+	checkAgainstGolden(t, runGoldenEngine(t, poolEng), want, "pool=on,run=1")
+	checkAgainstGolden(t, runGoldenEngine(t, poolEng), want, "pool=on,run=2")
+	if pool.Len() == 0 {
+		t.Errorf("cross-sweep pool is empty after two runs; machines were not persisted")
+	}
 }
 
 func checkAgainstGolden(t *testing.T, rs sweep.Results, want map[string]goldenCell, mode string) {

@@ -1,0 +1,459 @@
+package arena
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLoadCachesAndCounts(t *testing.T) {
+	var a Arena[int, int]
+	gens := 0
+	gen := func() int { gens++; return 42 }
+	if v, hit := a.Load(1, gen); v != 42 || hit {
+		t.Fatalf("first load = %d hit=%v, want 42 miss", v, hit)
+	}
+	if v, hit := a.Load(1, gen); v != 42 || !hit {
+		t.Fatalf("second load = %d hit=%v, want 42 hit", v, hit)
+	}
+	if gens != 1 {
+		t.Fatalf("generator ran %d times, want 1", gens)
+	}
+	a.Load(2, gen)
+	st := a.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Size != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses / size 2", st)
+	}
+	d := a.Stats().Delta(st)
+	if d.Hits != 0 || d.Misses != 0 || d.Size != 2 {
+		t.Fatalf("delta of identical readings = %+v", d)
+	}
+}
+
+func TestNilArena(t *testing.T) {
+	var a *Arena[int, int]
+	gens := 0
+	for i := 0; i < 2; i++ {
+		if v, hit := a.Load(1, func() int { gens++; return 7 }); v != 7 || hit {
+			t.Fatal("nil arena did not generate fresh")
+		}
+	}
+	if _, hit := a.Acquire(1, func() int { gens++; return 7 }); hit {
+		t.Fatal("nil arena reported an acquire hit")
+	}
+	if gens != 3 {
+		t.Fatalf("nil arena generated %d times, want 3", gens)
+	}
+	if _, ok := a.Get(1); ok {
+		t.Fatal("nil arena Get reported ok")
+	}
+	a.Release(1)
+	if a.Remove(1) {
+		t.Fatal("nil arena removed something")
+	}
+	a.RemoveAll()
+	if a.Len() != 0 || a.Stats() != (Stats{}) || a.Contains(1) {
+		t.Fatal("nil arena reported state")
+	}
+}
+
+// TestConcurrentMissSingleflight: one generation per key regardless of
+// racers, every racer observes the owner's value, and the stats record one
+// miss plus one hit per racer — exactly one outcome per Load.
+func TestConcurrentMissSingleflight(t *testing.T) {
+	var a Arena[int, int]
+	var gens atomic.Int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _ := a.Load(1, func() int {
+				gens.Add(1)
+				<-release
+				return 42
+			})
+			if v != 42 {
+				t.Errorf("racer observed %d, want 42", v)
+			}
+		}()
+	}
+	for a.Stats().Misses == 0 {
+	}
+	close(release)
+	wg.Wait()
+	if n := gens.Load(); n != 1 {
+		t.Fatalf("generator ran %d times, want 1", n)
+	}
+	if st := a.Stats(); st.Misses != 1 || st.Hits != 7 {
+		t.Fatalf("stats = %+v, want 1 miss / 7 hits", st)
+	}
+}
+
+// TestExactlyOneOutcomeOnOwnerPanic drives the owner-panic → waiter
+// re-claim path and pins the accounting bug this core fixes: the old
+// hand-rolled arenas counted a waiter's hit at claim time, so a waiter
+// woken by a panicked owner re-claimed and counted a miss too — one Load
+// incrementing both counters. Here the two Loads must count exactly two
+// misses and zero hits: the panicked owner's miss, and the waiter's own
+// miss when it re-claims and generates.
+func TestExactlyOneOutcomeOnOwnerPanic(t *testing.T) {
+	var a Arena[int, int]
+	entered := make(chan struct{})
+	proceed := make(chan struct{})
+	go func() {
+		defer func() { recover() }() // the owner's panic dies with its cell
+		a.Load(1, func() int {
+			close(entered)
+			<-proceed
+			panic("owner dies")
+		})
+	}()
+	<-entered
+	done := make(chan int, 1)
+	go func() {
+		v, _ := a.Load(1, func() int { return 7 })
+		done <- v
+	}()
+	time.Sleep(5 * time.Millisecond) // let the second Load reach the wait
+	close(proceed)
+	select {
+	case v := <-done:
+		if v != 7 {
+			t.Fatalf("waiter regenerated %d, want 7", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter hung on the panicked owner's entry")
+	}
+	st := a.Stats()
+	if st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want exactly 2 misses / 0 hits (one outcome per Load)", st)
+	}
+	if st.Size != 1 {
+		t.Fatalf("size = %d, want 1 (the waiter's regenerated entry)", st.Size)
+	}
+}
+
+// TestPanicUnpublishes: a generator panic propagates but leaves the arena
+// usable — the pending entry is unpublished so later Loads regenerate
+// instead of hanging on the dead owner's ready channel.
+func TestPanicUnpublishes(t *testing.T) {
+	var a Arena[int, int]
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("generator panic swallowed")
+			}
+		}()
+		a.Load(1, func() int { panic("generation failed") })
+	}()
+	if a.Len() != 0 {
+		t.Fatalf("abandoned entry still published: len=%d", a.Len())
+	}
+	if v, hit := a.Load(1, func() int { return 9 }); v != 9 || hit {
+		t.Fatal("re-load after panic did not regenerate")
+	}
+}
+
+func TestCapEvictsLRU(t *testing.T) {
+	var a Arena[int, int]
+	a.Cap = 2
+	var evicted []int
+	a.OnRelease = func(k, _ int) { evicted = append(evicted, k) }
+	a.Load(1, func() int { return 1 })
+	a.Load(2, func() int { return 2 })
+	a.Load(1, func() int { return 1 }) // touch 1: now 2 is LRU
+	a.Load(3, func() int { return 3 }) // evicts 2
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted %v, want [2]", evicted)
+	}
+	if _, hit := a.Load(1, func() int { return 1 }); !hit {
+		t.Fatal("survivor 1 was evicted")
+	}
+	if _, hit := a.Load(3, func() int { return 3 }); !hit {
+		t.Fatal("survivor 3 was evicted")
+	}
+	if st := a.Stats(); st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction / size 2", st)
+	}
+}
+
+// TestDoneOnlyEvictionWithSettleRetry: an in-flight entry is never evicted
+// even when it is over cap — a settled sibling is taken instead, and the
+// overflow resolves when the pending entry settles.
+func TestDoneOnlyEvictionWithSettleRetry(t *testing.T) {
+	var a Arena[int, int]
+	a.Cap = 1
+	var evicted []int
+	a.OnRelease = func(k, _ int) { evicted = append(evicted, k) }
+	entered := make(chan struct{})
+	proceed := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		a.Load(1, func() int { close(entered); <-proceed; return 1 })
+	}()
+	<-entered
+	// Over cap while 1 is pending: only the just-settled 2 is evictable.
+	a.Load(2, func() int { return 2 })
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted %v, want [2] (pending entry must be skipped)", evicted)
+	}
+	close(proceed)
+	<-finished
+	if a.Len() != 1 || !a.Contains(1) {
+		t.Fatalf("after settle: len=%d contains(1)=%v, want the settled 1 only", a.Len(), a.Contains(1))
+	}
+}
+
+// TestPinBlocksEviction: an Acquired entry survives cap pressure until
+// Release, at which point the deferred eviction fires.
+func TestPinBlocksEviction(t *testing.T) {
+	var a Arena[int, int]
+	a.Cap = 1
+	var evicted []int
+	a.OnRelease = func(k, _ int) { evicted = append(evicted, k) }
+	a.Acquire(1, func() int { return 1 })
+	a.Load(2, func() int { return 2 }) // 2 settles over cap; 1 is pinned, so 2 self-evicts
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted %v, want [2] (pinned 1 must survive)", evicted)
+	}
+	if !a.Contains(1) {
+		t.Fatal("pinned entry evicted")
+	}
+	// A second pinned entry pushes the pool transiently over cap.
+	a.Acquire(3, func() int { return 3 })
+	if a.Len() != 2 {
+		t.Fatalf("len = %d, want 2 pinned over cap", a.Len())
+	}
+	a.Release(1) // 1 unpinned: the overflow eviction fires on it
+	if len(evicted) != 2 || evicted[1] != 1 {
+		t.Fatalf("evicted %v, want [2 1]", evicted)
+	}
+	a.Release(3)
+	if a.Len() != 1 || !a.Contains(3) {
+		t.Fatal("released 3 should remain as the single cached entry")
+	}
+}
+
+// TestReleaseHookOutsideLock: a hook that re-enters the arena must not
+// deadlock (the old input arena closed values while holding its mutex).
+func TestReleaseHookOutsideLock(t *testing.T) {
+	var a Arena[int, int]
+	a.Cap = 1
+	var reentered atomic.Bool
+	a.OnRelease = func(k, _ int) {
+		if _, ok := a.Get(k); ok { // re-enters the arena mutex
+			t.Errorf("evicted key %d still present", k)
+		}
+		_ = a.Stats()
+		reentered.Store(true)
+	}
+	a.Load(1, func() int { return 1 })
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a.Load(2, func() int { return 2 }) // evicts 1, hook re-enters
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("release hook deadlocked against the arena lock")
+	}
+	if !reentered.Load() {
+		t.Fatal("release hook did not run")
+	}
+}
+
+// TestRemoveSemantics: Remove takes settled (even pinned) entries, runs the
+// hook, and is not an eviction; pending entries are not removable.
+func TestRemoveSemantics(t *testing.T) {
+	var a Arena[int, int]
+	removed := 0
+	a.OnRelease = func(int, int) { removed++ }
+	if a.Remove(1) {
+		t.Fatal("removed an absent key")
+	}
+	a.Acquire(1, func() int { return 1 })
+	if !a.Remove(1) {
+		t.Fatal("pinned settled entry not removable")
+	}
+	if removed != 1 || a.Contains(1) {
+		t.Fatalf("after remove: hooks=%d contains=%v", removed, a.Contains(1))
+	}
+	entered := make(chan struct{})
+	proceed := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		a.Load(2, func() int { close(entered); <-proceed; return 2 })
+	}()
+	<-entered
+	if a.Remove(2) {
+		t.Fatal("pending entry removed from under its owner")
+	}
+	close(proceed)
+	<-finished
+	a.Load(3, func() int { return 3 })
+	a.RemoveAll()
+	if a.Len() != 0 || removed != 3 {
+		t.Fatalf("after RemoveAll: len=%d hooks=%d, want 0 and 3", a.Len(), removed)
+	}
+	if st := a.Stats(); st.Evictions != 0 {
+		t.Fatalf("Remove/RemoveAll counted %d evictions, want 0", st.Evictions)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	var a Arena[int, []byte]
+	a.Cap = 2
+	a.SizeOf = func(v []byte) int { return len(v) }
+	a.Load(1, func() []byte { return make([]byte, 10) })
+	a.Load(2, func() []byte { return make([]byte, 20) })
+	st := a.Stats()
+	if st.Bytes != 30 || st.BytesAdded != 30 {
+		t.Fatalf("stats = %+v, want 30 resident / 30 added", st)
+	}
+	a.Load(3, func() []byte { return make([]byte, 5) }) // evicts 1
+	st = a.Stats()
+	if st.Bytes != 25 || st.BytesAdded != 35 {
+		t.Fatalf("after eviction: %+v, want 25 resident / 35 added", st)
+	}
+	a.Remove(2)
+	if st := a.Stats(); st.Bytes != 5 {
+		t.Fatalf("after remove: %d resident bytes, want 5", st.Bytes)
+	}
+	a.RemoveAll()
+	if st := a.Stats(); st.Bytes != 0 {
+		t.Fatalf("after RemoveAll: %d resident bytes, want 0", st.Bytes)
+	}
+}
+
+// TestGetFastPath: Get returns settled values (counting a hit) and reports
+// ok=false for absent or in-flight entries (counting nothing).
+func TestGetFastPath(t *testing.T) {
+	var a Arena[int, int]
+	if _, ok := a.Get(1); ok {
+		t.Fatal("Get hit an absent key")
+	}
+	if st := a.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Get on absent key counted: %+v", st)
+	}
+	a.Load(1, func() int { return 42 })
+	v, ok := a.Get(1)
+	if !ok || v != 42 {
+		t.Fatalf("Get = %d ok=%v, want 42 true", v, ok)
+	}
+	if st := a.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	entered := make(chan struct{})
+	proceed := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		a.Load(2, func() int { close(entered); <-proceed; return 2 })
+	}()
+	<-entered
+	if _, ok := a.Get(2); ok {
+		t.Fatal("Get returned an in-flight entry")
+	}
+	close(proceed)
+	<-finished
+}
+
+// FuzzArena churns a small arena from several goroutines with every public
+// operation — Load (some generations panic), Acquire/Release, Remove, Get —
+// under fuzzed cap and key-range parameters, then checks the structural
+// invariants: the cap holds once churn settles, gauges match, and every
+// value that ever settled is released by exactly one hook call (no leak, no
+// double-close). Wired into the CI fuzz smoke.
+func FuzzArena(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(8))
+	f.Add(uint64(42), uint8(0), uint8(3))
+	f.Add(uint64(7), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, capB, keysB uint8) {
+		capN := int(capB % 8)     // 0 = unbounded
+		keys := int(keysB%16) + 1 // 1..16
+		var a Arena[int, int]
+		a.Cap = capN
+		a.SizeOf = func(int) int { return 1 }
+		var released, settled atomic.Int64
+		a.OnRelease = func(_, _ int) { released.Add(1) }
+		const workers = 4
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := seed*0x9e3779b97f4a7c15 + uint64(w) + 1
+				next := func() uint64 {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					return rng
+				}
+				for i := 0; i < 200; i++ {
+					k := int(next() % uint64(keys))
+					switch next() % 8 {
+					case 0: // generation that may panic
+						boom := next()%2 == 0
+						func() {
+							defer func() { recover() }()
+							a.Load(k, func() int {
+								if boom {
+									panic("generation failed")
+								}
+								settled.Add(1)
+								return k
+							})
+						}()
+					case 1, 2:
+						v, _ := a.Acquire(k, func() int { settled.Add(1); return k })
+						if v != k {
+							t.Errorf("Acquire(%d) = %d", k, v)
+						}
+						a.Release(k)
+					case 3:
+						a.Remove(k)
+					case 4:
+						if v, ok := a.Get(k); ok && v != k {
+							t.Errorf("Get(%d) = %d", k, v)
+						}
+					default:
+						v, _ := a.Load(k, func() int { settled.Add(1); return k })
+						if v != k {
+							t.Errorf("Load(%d) = %d", k, v)
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		a.Release(0) // flush any eviction deferred past the last settle
+		if capN > 0 && a.Len() > capN {
+			t.Errorf("settled arena holds %d entries over cap %d", a.Len(), capN)
+		}
+		st := a.Stats()
+		if st.Size != a.Len() {
+			t.Errorf("Size gauge %d != Len %d", st.Size, a.Len())
+		}
+		if st.Bytes != st.Size {
+			t.Errorf("Bytes gauge %d != Size %d with SizeOf=1", st.Bytes, st.Size)
+		}
+		a.RemoveAll()
+		if a.Len() != 0 {
+			t.Errorf("RemoveAll left %d entries", a.Len())
+		}
+		if st := a.Stats(); st.Bytes != 0 {
+			t.Errorf("Bytes gauge %d after RemoveAll, want 0", st.Bytes)
+		}
+		// Exactly-once release: every settled value left through exactly one
+		// hook call (eviction, Remove, or the RemoveAll above).
+		if released.Load() != settled.Load() {
+			t.Errorf("released %d values, settled %d — leak or double-release", released.Load(), settled.Load())
+		}
+	})
+}

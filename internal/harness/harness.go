@@ -353,8 +353,15 @@ type Options struct {
 	// cache process-wide.
 	InputArena    *inputs.Arena
 	SnapshotArena *snapshots.Arena
-	// MachineCap / InputCap / SnapshotCap bound the machine pool and the
-	// engine-built arenas with LRU eviction; 0 (default) is unbounded.
+	// MachinePool, when non-nil, is the machine-pool counterpart of
+	// InputArena/SnapshotArena: an externally owned cross-sweep pool
+	// (sweep.Engine.Machines semantics) so one commtm-bench invocation
+	// builds each (worker, configuration) machine once across all its
+	// figure sweeps. Only meaningful under ReuseOn.
+	MachinePool *sweep.MachinePool
+	// MachineCap / InputCap / SnapshotCap bound the engine-built machine
+	// pool and arenas with LRU eviction; 0 (default) is unbounded. External
+	// pools/arenas carry their own caps.
 	MachineCap, InputCap, SnapshotCap int
 	// DetSample/DetSampleSeed select the determinism oracle's sampled mode
 	// for the conformance experiment; zero DetSample re-runs every cell.
@@ -380,7 +387,7 @@ func (o Options) engine() *sweep.Engine {
 	return &sweep.Engine{
 		Workers: o.Workers, Sinks: o.Sinks, FailFast: true,
 		Reuse: o.Reuse, InputMode: o.Inputs, SnapshotMode: o.Snapshots,
-		Inputs: o.InputArena, Snapshots: o.SnapshotArena,
+		Inputs: o.InputArena, Snapshots: o.SnapshotArena, Machines: o.MachinePool,
 		MachineCap: o.MachineCap, InputCap: o.InputCap, SnapshotCap: o.SnapshotCap,
 		Metrics: o.Metrics,
 	}
@@ -395,6 +402,7 @@ func (o Options) Oracle() sweep.OracleOptions {
 		Snapshots:     o.Snapshots,
 		InputArena:    o.InputArena,
 		SnapshotArena: o.SnapshotArena,
+		MachinePool:   o.MachinePool,
 		MachineCap:    o.MachineCap,
 		InputCap:      o.InputCap,
 		SnapshotCap:   o.SnapshotCap,

@@ -203,6 +203,11 @@ type OracleOptions struct {
 	// both runs share (Engine.Inputs / Engine.Snapshots semantics).
 	InputArena    *inputs.Arena
 	SnapshotArena *snapshots.Arena
+	// MachinePool, when non-nil, is an externally owned cross-sweep machine
+	// pool the FIRST run uses (Engine.Machines semantics). The determinism
+	// re-run never inherits it — like the arenas, the re-run builds its own
+	// machines so a machine-lifecycle bug gets a chance to diverge.
+	MachinePool *MachinePool
 	// MachineCap / InputCap / SnapshotCap bound both runs' machine pools
 	// and arenas (Engine semantics); 0 is unbounded.
 	MachineCap, InputCap, SnapshotCap int
@@ -233,7 +238,7 @@ func Conformance(mx Matrix, workers int, sinks ...Sink) (Results, error) {
 func ConformanceOpts(mx Matrix, o OracleOptions) (Results, error) {
 	eng := Engine{
 		Workers: o.Workers, Sinks: o.Sinks, Reuse: o.Reuse, InputMode: o.InputMode, SnapshotMode: o.Snapshots,
-		Inputs: o.InputArena, Snapshots: o.SnapshotArena,
+		Inputs: o.InputArena, Snapshots: o.SnapshotArena, Machines: o.MachinePool,
 		MachineCap: o.MachineCap, InputCap: o.InputCap, SnapshotCap: o.SnapshotCap,
 		Metrics: o.Metrics,
 	}
@@ -249,8 +254,9 @@ func ConformanceOpts(mx Matrix, o OracleOptions) (Results, error) {
 		return rs, fmt.Errorf("differential oracle:\n%w", err)
 	}
 	// The determinism re-run deliberately does NOT inherit the external
-	// arenas the first run may share with the process: it must re-execute
-	// generation and Setup independently (see DeterminismOptions.InputMode).
+	// arenas or machine pool the first run may share with the process: it
+	// must re-execute generation, Setup, and the machine lifecycle
+	// independently (see DeterminismOptions.InputMode).
 	det := DeterminismOptions{
 		Workers: o.Workers, Reuse: o.Reuse, InputMode: o.InputMode, Snapshots: o.Snapshots,
 		MachineCap: o.MachineCap, InputCap: o.InputCap, SnapshotCap: o.SnapshotCap,

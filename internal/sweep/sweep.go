@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"commtm"
+	"commtm/internal/arena"
 	"commtm/internal/workloads/inputs"
 	"commtm/internal/workloads/snapshots"
 )
@@ -233,6 +234,17 @@ func (rm *RunMetrics) add(built, reuses, evicted int64) {
 	atomic.AddInt64(&rm.MachinesEvicted, evicted)
 }
 
+// addMachines folds a machine pool's per-run stat deltas into rm: misses
+// are machine builds, hits are Reset-reuses, evictions are cap evictions.
+func (rm *RunMetrics) addMachines(s PoolStats) {
+	if rm == nil {
+		return
+	}
+	atomic.AddInt64(&rm.MachinesBuilt, int64(s.Misses))
+	atomic.AddInt64(&rm.MachineReuses, int64(s.Hits))
+	atomic.AddInt64(&rm.MachinesEvicted, int64(s.Evictions))
+}
+
 // addInputs folds an input arena's per-run stat deltas into rm.
 func (rm *RunMetrics) addInputs(s inputs.Stats) {
 	if rm == nil {
@@ -279,184 +291,145 @@ func snapshotKey(c Cell) commtm.Config {
 	return cfg
 }
 
-// poolSlot is one pooled machine: owned by a single worker's arena, but
-// tracked in the engine-wide limiter's LRU when a machine cap is set.
-type poolSlot struct {
-	owner *arena
-	key   commtm.Config
-	m     *commtm.Machine
-	inUse bool // running a cell; the limiter must not evict it
+// poolKey identifies one pooled machine: the owning worker's index plus the
+// machine configuration modulo seed. Machines are mutable (a cell runs on
+// one in place), so unlike the input and snapshot arenas the pool must
+// never hand one value to two concurrent cells — the worker index
+// partitions the key space so that cannot happen, and the generic core's
+// per-key singleflight never sees a second claimant. The partition also
+// makes cross-run reuse work: worker indexes are stable (0..Workers-1), so
+// worker w of a later run finds the machines worker w of an earlier run
+// pooled under the same keys.
+type poolKey struct {
+	Worker int
+	Cfg    commtm.Config
 }
 
-// poolLimiter globally bounds pooled machines across every arena sharing it
-// — all workers of one engine run, or all engines of a long-lived server
-// sharing metrics. With a limiter set, every arena operation takes its
-// mutex (so the limiter may evict from any worker's arena); without one
-// (the CLI default), arenas stay lock-free per worker.
-type poolLimiter struct {
-	mu  sync.Mutex
-	cap int
-	lru []*poolSlot // front = least recently used; tiny, linear ops fine
-	n   int         // pooled machines across all arenas
+// PoolStats is the machine pool's stats snapshot — the generic arena's,
+// re-exported so cmd/commtm-bench can report it without importing
+// internal/arena. Misses are machine builds, Hits are Reset-reuses,
+// Evictions are cap evictions (Close on drop or pool Close is not an
+// eviction).
+type PoolStats = arena.Stats
+
+// MachinePool is the machine arena shared by every worker of an engine run
+// — or, when handed to Engine.Machines, by every run of a process: a
+// commtm-bench invocation sweeping many figures pools machines across all
+// of them, the way Engine.Inputs and Engine.Snapshots already share their
+// arenas. It is the generic arena core's third client: the old
+// poolLimiter's global cap and in-use pinning are expressed through the
+// core's eviction machinery (done-only LRU, pins, release hooks), with
+// Close-on-evict as the release hook — machines hold coroutine pools that
+// must be released, not just dropped. A nil *MachinePool is valid and pools
+// nothing.
+type MachinePool struct {
+	c arena.Arena[poolKey, *commtm.Machine]
 }
 
-// touch moves s to the most-recently-used end. A slot not in the list
-// (already removed) is left alone. Caller holds mu.
-func (pl *poolLimiter) touch(s *poolSlot) {
-	for i, e := range pl.lru {
-		if e == s {
-			pl.lru = append(append(pl.lru[:i:i], pl.lru[i+1:]...), s)
-			return
-		}
+// NewMachinePool returns a pool holding at most cap machines across all
+// workers, closing the least recently used beyond that; cap <= 0 means
+// unbounded (a single sweep's pool is naturally bounded by workers ×
+// configurations, so the CLI default is 0).
+func NewMachinePool(cap int) *MachinePool {
+	p := &MachinePool{}
+	p.c.Cap = cap
+	p.c.OnRelease = closeMachine
+	return p
+}
+
+// closeMachine is the pool's release policy: always Close (machines park
+// coroutine-pool goroutines that dropping the reference would leak). It
+// runs outside the arena lock, so a slow Close stalls no worker.
+func closeMachine(_ poolKey, m *commtm.Machine) { m.Close() }
+
+// Stats returns a snapshot of the pool's counters. Nil-safe.
+func (p *MachinePool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
 	}
+	return p.c.Stats()
 }
 
-// remove forgets s. Caller holds mu.
-func (pl *poolLimiter) remove(s *poolSlot) {
-	for i, e := range pl.lru {
-		if e == s {
-			pl.lru = append(pl.lru[:i:i], pl.lru[i+1:]...)
-			pl.n--
-			return
-		}
+// Len returns the number of pooled machines. Nil-safe.
+func (p *MachinePool) Len() int {
+	if p == nil {
+		return 0
 	}
+	return p.c.Len()
 }
 
-// evictOver closes least-recently-used idle machines until the pool fits
-// the cap, returning how many were evicted. Caller holds mu. In-use
-// machines are skipped: a machine mid-cell cannot be closed under it, so a
-// pool whose cap is smaller than its in-flight set transiently exceeds the
-// cap and shrinks at the next release.
-func (pl *poolLimiter) evictOver() (evicted int64) {
-	for i := 0; pl.n > pl.cap && i < len(pl.lru); {
-		s := pl.lru[i]
-		if s.inUse {
-			i++
-			continue
-		}
-		pl.lru = append(pl.lru[:i:i], pl.lru[i+1:]...)
-		pl.n--
-		delete(s.owner.m, s.key)
-		s.m.Close()
-		evicted++
-	}
-	return evicted
-}
-
-// arena is one worker's pool of reusable machines, keyed by configuration
-// modulo seed. A nil *arena always builds fresh without pooling.
-type arena struct {
-	lim *poolLimiter // nil = unbounded, lock-free
-	rm  *RunMetrics  // nil = uncounted
-	m   map[commtm.Config]*poolSlot
-}
-
-func newArena(lim *poolLimiter, rm *RunMetrics) *arena {
-	return &arena{lim: lim, rm: rm, m: make(map[commtm.Config]*poolSlot)}
-}
-
-// acquire returns a pristine machine for c: a Reset arena machine when one
-// exists for the configuration, else a freshly built (and pooled) one.
-func (a *arena) acquire(c Cell) *commtm.Machine {
-	if a == nil {
-		return commtm.New(c.Config())
-	}
-	key := arenaKey(c)
-	if a.lim == nil {
-		if s := a.m[key]; s != nil {
-			a.rm.add(0, 1, 0)
-			s.m.ResetSeed(c.Seed)
-			return s.m
-		}
-		m := commtm.New(c.Config())
-		a.rm.add(1, 0, 0)
-		a.m[key] = &poolSlot{owner: a, key: key, m: m}
-		return m
-	}
-	a.lim.mu.Lock()
-	if s := a.m[key]; s != nil {
-		s.inUse = true
-		a.lim.touch(s)
-		a.lim.mu.Unlock()
-		a.rm.add(0, 1, 0)
-		s.m.ResetSeed(c.Seed)
-		return s.m
-	}
-	a.lim.mu.Unlock()
-	m := commtm.New(c.Config()) // build outside the lock: construction is heavy
-	a.rm.add(1, 0, 0)
-	a.lim.mu.Lock()
-	s := &poolSlot{owner: a, key: key, m: m, inUse: true}
-	a.m[key] = s
-	a.lim.lru = append(a.lim.lru, s)
-	a.lim.n++
-	ev := a.lim.evictOver()
-	a.lim.mu.Unlock()
-	a.rm.add(0, 0, ev)
-	return m
-}
-
-// release marks c's machine idle (evictable) after a successful cell and
-// applies any pending cap overflow.
-func (a *arena) release(c Cell) {
-	if a == nil || a.lim == nil {
+// Close releases every pooled machine's coroutine pool. The engine closes
+// the pools it builds itself when the run ends; the owner of an external
+// (cross-run) pool calls Close when the process is done sweeping. Nil-safe.
+func (p *MachinePool) Close() {
+	if p == nil {
 		return
 	}
-	a.lim.mu.Lock()
-	if s := a.m[arenaKey(c)]; s != nil {
-		s.inUse = false
-		a.lim.touch(s)
-	}
-	ev := a.lim.evictOver()
-	a.lim.mu.Unlock()
-	a.rm.add(0, 0, ev)
+	p.c.RemoveAll()
 }
 
-// drop discards the arena machine for c's configuration. Workers call it
-// when a cell fails: Reset is designed to recover even a panic-drained
-// machine, but a failed cell's machine is cheap to rebuild and dropping it
-// removes any doubt.
-func (a *arena) drop(c Cell) {
-	if a == nil {
+// workerMachines is one worker's view of the shared pool: every key it
+// touches carries its worker index, so its machines are private even though
+// the pool (and its cap) is global. A nil *workerMachines always builds
+// fresh without pooling.
+type workerMachines struct {
+	pool *MachinePool
+	w    int
+}
+
+// acquire returns a machine for c — a pooled machine of the right
+// configuration when the worker has one, else a freshly built (and pooled)
+// one — pinned against cap eviction until release or drop. reused reports
+// whether the machine carries a previous cell's state: the CALLER resets it
+// (or restores a snapshot over it, which resets internally — resetting here
+// too was the double-reset bug this split fixes).
+func (wm *workerMachines) acquire(c Cell) (m *commtm.Machine, reused bool) {
+	if wm == nil {
+		return commtm.New(c.Config()), false
+	}
+	return wm.pool.c.Acquire(poolKey{wm.w, arenaKey(c)}, func() *commtm.Machine {
+		return commtm.New(c.Config()) // outside the arena lock: construction is heavy
+	})
+}
+
+// release unpins c's machine (making it cap-evictable) after a successful
+// cell and applies any pending cap overflow.
+func (wm *workerMachines) release(c Cell) {
+	if wm == nil {
 		return
 	}
-	key := arenaKey(c)
-	if a.lim != nil {
-		a.lim.mu.Lock()
-		defer a.lim.mu.Unlock()
-	}
-	if s := a.m[key]; s != nil {
-		if a.lim != nil {
-			a.lim.remove(s)
-		}
-		s.m.Close()
-		delete(a.m, key)
-	}
+	wm.pool.c.Release(poolKey{wm.w, arenaKey(c)})
 }
 
-// close releases every pooled machine's coroutine pool. Workers close their
-// arena on exit so engine runs do not accumulate parked goroutines.
-func (a *arena) close() {
-	if a.lim != nil {
-		a.lim.mu.Lock()
-		defer a.lim.mu.Unlock()
+// drop discards (and Closes) the worker's machine for c's configuration.
+// Workers call it when a cell fails: Reset is designed to recover even a
+// panic-drained machine, but a failed cell's machine is cheap to rebuild
+// and dropping it removes any doubt. Remove takes even pinned entries, so
+// the still-held acquire pin does not keep the suspect machine alive.
+func (wm *workerMachines) drop(c Cell) {
+	if wm == nil {
+		return
 	}
-	for key, s := range a.m {
-		if a.lim != nil {
-			a.lim.remove(s)
-		}
-		s.m.Close()
-		delete(a.m, key)
-	}
+	wm.pool.c.Remove(poolKey{wm.w, arenaKey(c)})
 }
 
-// runCell executes one cell on a machine from the arena (nil = always
-// fresh), handing the input arena (nil = generate fresh) to workloads that
-// can replay cached inputs and the snapshot arena (nil = always Setup) to
-// workloads that can skip Setup via machine-image restore. Machine
-// acquisition happens inside the recover window so construction-time panics
-// (invalid configurations) are captured like any other cell failure.
-func runCell(c Cell, a *arena, ia *inputs.Arena, sa *snapshots.Arena, rm *RunMetrics) (res Result) {
+// has reports whether the worker holds a pooled machine for configuration
+// k, feeding affinity-aware steal selection. It is called with the
+// scheduler lock held; the pool lock nests strictly inside it (the pool
+// never calls into the scheduler, and release hooks run outside the pool
+// lock), so the order is safe.
+func (wm *workerMachines) has(k commtm.Config) bool {
+	return wm != nil && wm.pool.c.Contains(poolKey{wm.w, k})
+}
+
+// runCell executes one cell on a machine from the worker's pool view (nil =
+// always fresh), handing the input arena (nil = generate fresh) to
+// workloads that can replay cached inputs and the snapshot arena (nil =
+// always Setup) to workloads that can skip Setup via machine-image restore.
+// Machine acquisition happens inside the recover window so
+// construction-time panics (invalid configurations) are captured like any
+// other cell failure.
+func runCell(c Cell, wm *workerMachines, ia *inputs.Arena, sa *snapshots.Arena, rm *RunMetrics) (res Result) {
 	start := time.Now()
 	res = Result{Cell: c}
 	var m *commtm.Machine
@@ -469,11 +442,11 @@ func runCell(c Cell, a *arena, ia *inputs.Arena, sa *snapshots.Arena, rm *RunMet
 			// Only a machine the failed cell actually ran on is suspect; a
 			// failure before acquire (workload constructor panic) must not
 			// evict the configuration's healthy pooled machine.
-			a.drop(c)
+			wm.drop(c)
 		} else if m != nil {
-			a.release(c)
+			wm.release(c)
 		}
-		if a == nil && m != nil {
+		if wm == nil && m != nil {
 			// Unpooled machine: release its coroutine pool now rather than
 			// parking goroutines until process exit.
 			m.Close()
@@ -491,9 +464,23 @@ func runCell(c Cell, a *arena, ia *inputs.Arena, sa *snapshots.Arena, rm *RunMet
 	if u, ok := w.(inputs.User); ok && ia != nil {
 		u.UseInputs(ia)
 	}
-	m = a.acquire(c)
-	if a == nil {
-		rm.add(1, 0, 0) // pooled builds are counted inside acquire
+	var reused bool
+	m, reused = wm.acquire(c)
+	if wm == nil {
+		rm.add(1, 0, 0) // pooled builds are counted from the pool's stat deltas
+	}
+	// A freshly built machine is already pristine at c's seed; a reused one
+	// still holds the previous cell's state and must be ResetSeed — but only
+	// on paths that will run Setup. On a snapshot hit, Machine.Restore does
+	// its own full ResetSeed before the page copies, so resetting at acquire
+	// (as the old arena did unconditionally) reset the machine twice per
+	// hit; the reset is deferred to the paths that need it instead.
+	pristine := !reused
+	ensurePristine := func() {
+		if !pristine {
+			m.ResetSeed(c.Seed)
+			pristine = true
+		}
 	}
 	installed := false
 	if sa != nil {
@@ -504,11 +491,13 @@ func runCell(c Cell, a *arena, ia *inputs.Arena, sa *snapshots.Arena, rm *RunMet
 				// with equal keys produce bit-identical post-Setup state, so
 				// one captured image serves every variant of a configuration.
 				key := snapshots.Key{Workload: w.Name(), Params: params, Seed: c.Seed, Config: snapshotKey(c)}
-				// On a miss this caller's Setup runs (on its own machine, just
-				// acquired pristine) and the captured image is published; on a
-				// hit the cached image is copied over the pristine machine and
-				// the host state adopted — Setup is skipped entirely.
+				// On a miss this caller's Setup runs (on its own machine,
+				// reset first if reused) and the captured image is published;
+				// on a hit the cached image is copied over the machine by
+				// Restore — whose internal ResetSeed is the hit path's one and
+				// only reset — and the host state adopted, skipping Setup.
 				ent, hit := sa.Load(key, func() snapshots.Entry {
+					ensurePristine()
 					w.Setup(m)
 					return snapshots.Entry{Img: m.Snapshot(), Host: sn.SnapshotHost()}
 				})
@@ -521,6 +510,7 @@ func runCell(c Cell, a *arena, ia *inputs.Arena, sa *snapshots.Arena, rm *RunMet
 		}
 	}
 	if !installed {
+		ensurePristine()
 		w.Setup(m)
 	}
 	m.Run(w.Body)
@@ -622,12 +612,24 @@ type Engine struct {
 	// Snapshots is the snapshot-arena counterpart of Inputs: an externally
 	// owned machine-image arena shared across runs.
 	Snapshots *snapshots.Arena
-	// MachineCap, when > 0, globally bounds pooled machines across all
-	// workers' arenas, evicting (and Closing) the least recently used
-	// beyond it. 0 — the CLI-sweep default — leaves pools unbounded (a
-	// sweep's pool is naturally bounded by workers × configurations);
-	// long-lived processes running many matrices set it to bound machine
-	// memory.
+	// Machines is the machine-pool counterpart of Inputs/Snapshots: an
+	// externally owned cross-sweep pool shared across runs, so a process
+	// running many figure sweeps builds each (worker, configuration)
+	// machine once instead of once per run. The engine never closes an
+	// external pool; per-run build/reuse/evict deltas still land in
+	// Metrics. Only meaningful under ReuseOn (ReuseOff never pools), and
+	// the pool's own cap applies (Engine.MachineCap covers engine-built
+	// pools only). Engine runs sharing one pool must not execute
+	// concurrently with each other — worker indexes would collide on the
+	// same mutable machines.
+	Machines *MachinePool
+	// MachineCap, when > 0, globally bounds the engine-built pool's
+	// machines across all workers, evicting (and Closing) the least
+	// recently used beyond it. 0 — the CLI-sweep default — leaves pools
+	// unbounded (a sweep's pool is naturally bounded by workers ×
+	// configurations); long-lived processes running many matrices set it to
+	// bound machine memory. Ignored when Machines supplies an external
+	// pool (which carries its own cap).
 	MachineCap int
 	// InputCap, when > 0, bounds the engine-built input arena's entries
 	// with the same LRU policy. 0 (default) is unbounded. External arenas
@@ -789,30 +791,31 @@ func (e *Engine) Run(cells []Cell) (Results, error) {
 	if sa == nil && e.SnapshotMode == SnapshotsOn {
 		sa = snapshots.NewCapped(e.SnapshotCap)
 	}
-	iaBefore, saBefore := ia.Stats(), sa.Stats()
-	var lim *poolLimiter
-	if reuse && e.MachineCap > 0 {
-		lim = &poolLimiter{cap: e.MachineCap}
+	// The machine pool is shared by every worker the same way (keys are
+	// partitioned by worker index, so sharing the structure costs one short
+	// critical section per acquire/release while the cap stays global).
+	// Externally owned pools (Engine.Machines) extend machine reuse across
+	// runs; engine-built pools are closed when the run ends.
+	var pool *MachinePool
+	if reuse {
+		pool = e.Machines
+		if pool == nil {
+			pool = NewMachinePool(e.MachineCap)
+		}
 	}
+	iaBefore, saBefore, mpBefore := ia.Stats(), sa.Stats(), pool.Stats()
 
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			var a *arena
-			var pooled map[commtm.Config]bool
+			var wm *workerMachines
 			var have func(commtm.Config) bool
 			if reuse {
-				a = newArena(lim, e.Metrics)
-				defer a.close()
-				// Worker-local record of configurations this worker has built
-				// machines for, feeding affinity-aware steal selection. It may
-				// go stale against cap evictions — affinity is a heuristic, and
-				// a stale preference only costs what stealing always cost.
-				pooled = make(map[commtm.Config]bool)
-				have = func(k commtm.Config) bool { return pooled[k] }
+				wm = &workerMachines{pool: pool, w: w}
+				have = wm.has
 			}
 			var cur *schedGroup
 			for {
@@ -821,24 +824,25 @@ func (e *Engine) Run(cells []Cell) (Results, error) {
 					return
 				}
 				cur = g
-				if pooled != nil {
-					pooled[arenaKey(cells[i])] = true
-				}
 				if e.FailFast && failed.Load() {
 					em.put(i, Result{Cell: cells[i], Err: "skipped: earlier cell failed"})
 					continue
 				}
-				r := runCell(cells[i], a, ia, sa, e.Metrics)
+				r := runCell(cells[i], wm, ia, sa, e.Metrics)
 				if r.Err != "" {
 					failed.Store(true)
 				}
 				em.put(i, r)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	e.Metrics.addMachines(pool.Stats().Delta(mpBefore))
 	e.Metrics.addInputs(ia.Stats().Delta(iaBefore))
 	e.Metrics.addSnapshots(sa.Stats().Delta(saBefore))
+	if pool != nil && pool != e.Machines {
+		pool.Close()
+	}
 	return results, em.err
 }
 

@@ -13,6 +13,7 @@ import (
 	"commtm"
 	"commtm/internal/workloads/inputs"
 	"commtm/internal/workloads/micro"
+	"commtm/internal/workloads/snapshots"
 )
 
 // addWorkload is a minimal counter workload for engine plumbing tests.
@@ -173,49 +174,60 @@ func TestSchedulerAffinityAndStealing(t *testing.T) {
 	}
 }
 
-// TestArenaReusesAndDrops covers the worker arena: same configuration →
-// same machine (Reset), different seed → same machine, failed cell → the
-// machine is dropped and rebuilt.
+// TestArenaReusesAndDrops covers the worker's pool view: same configuration
+// → same machine (Reset by the cell), different seed → same machine, failed
+// cell → the machine is dropped and rebuilt.
 func TestArenaReusesAndDrops(t *testing.T) {
-	a := newArena(nil, nil)
+	pool := NewMachinePool(0)
+	defer pool.Close()
+	wm := &workerMachines{pool: pool, w: 0}
 	c1 := Cell{Workload: "add", Threads: 2, Seed: 1, Mk: func() Workload { return &addWorkload{ops: 8} }}
 	c2 := c1
 	c2.Seed = 99
-	m1 := a.acquire(c1)
-	r := runCell(c2, a, nil, nil, nil)
+	m1, reused := wm.acquire(c1)
+	if reused {
+		t.Fatal("first acquire of a configuration reported reuse")
+	}
+	wm.release(c1)
+	r := runCell(c2, wm, nil, nil, nil)
 	if r.Err != "" {
 		t.Fatalf("reused-machine cell failed: %s", r.Err)
 	}
-	if s := a.m[arenaKey(c2)]; s == nil || s.m != m1 {
-		t.Fatal("cell with different seed did not reuse the arena machine")
+	m2, reused := wm.acquire(c2)
+	if !reused || m2 != m1 {
+		t.Fatal("cell with different seed did not reuse the pooled machine")
 	}
-	// A panicking cell must evict its machine from the arena.
+	wm.release(c2)
+	// A panicking cell must evict its machine from the pool.
 	boom := c1
 	boom.Mk = func() Workload { return &panicWorkload{addWorkload{ops: 1}} }
-	if r := runCell(boom, a, nil, nil, nil); !strings.Contains(r.Err, "boom") {
+	if r := runCell(boom, wm, nil, nil, nil); !strings.Contains(r.Err, "boom") {
 		t.Fatalf("panic not captured: %q", r.Err)
 	}
-	if a.m[arenaKey(boom)] != nil {
+	if wm.has(arenaKey(boom)) {
 		t.Fatal("failed cell's machine still pooled")
 	}
 	// And the next cell of that configuration runs on a fresh machine.
-	if r := runCell(c1, a, nil, nil, nil); r.Err != "" {
+	if r := runCell(c1, wm, nil, nil, nil); r.Err != "" {
 		t.Fatalf("cell after dropped machine failed: %s", r.Err)
 	}
 	// A failure before the machine is acquired (workload constructor panic)
 	// must NOT evict the configuration's healthy pooled machine.
-	kept := a.m[arenaKey(c1)]
-	if kept == nil {
+	kept, reused := wm.acquire(c1)
+	if !reused {
 		t.Fatal("no pooled machine to protect")
 	}
+	wm.release(c1)
 	mkBoom := c1
 	mkBoom.Mk = func() Workload { panic("constructor boom") }
-	if r := runCell(mkBoom, a, nil, nil, nil); !strings.Contains(r.Err, "constructor boom") {
+	if r := runCell(mkBoom, wm, nil, nil, nil); !strings.Contains(r.Err, "constructor boom") {
 		t.Fatalf("constructor panic not captured: %q", r.Err)
 	}
-	if a.m[arenaKey(c1)] != kept {
+	m4, reused := wm.acquire(c1)
+	if !reused || m4 != kept {
 		t.Fatal("pre-acquire failure evicted the pooled machine")
 	}
+	wm.release(c1)
 }
 
 // stealingMatrix builds the migration-prone tail-stealing shape: few
@@ -539,45 +551,46 @@ func TestMachineCapEvictsLRU(t *testing.T) {
 }
 
 // TestPoolLimiterSkipsInUse pins the cap's safety property: a machine
-// running a cell must never be evicted from under its worker, even when the
-// in-flight set alone exceeds the cap; the pool shrinks at release instead.
+// running a cell (pinned by acquire) must never be evicted from under its
+// worker, even when the in-flight set alone exceeds the cap; the pool
+// shrinks at release instead.
 func TestPoolLimiterSkipsInUse(t *testing.T) {
-	lim := &poolLimiter{cap: 1}
-	rm := &RunMetrics{}
-	a1, a2 := newArena(lim, rm), newArena(lim, rm)
+	pool := NewMachinePool(1)
+	wm1 := &workerMachines{pool: pool, w: 1}
+	wm2 := &workerMachines{pool: pool, w: 2}
 	c1 := Cell{Workload: "add", Threads: 1, Seed: 1, Mk: func() Workload { return &addWorkload{ops: 8} }}
 	c2 := c1
 	c2.Threads = 2
-	m1 := a1.acquire(c1) // in use by worker 1
-	_ = a2.acquire(c2)   // in use by worker 2: over cap, nothing evictable
-	if lim.n != 2 {
-		t.Fatalf("pool has %d machines, want 2 in flight", lim.n)
+	m1, _ := wm1.acquire(c1) // in use by worker 1
+	_, _ = wm2.acquire(c2)   // in use by worker 2: over cap, nothing evictable
+	if n := pool.Len(); n != 2 {
+		t.Fatalf("pool has %d machines, want 2 in flight", n)
 	}
-	if rm.MachinesEvicted != 0 {
+	if ev := pool.Stats().Evictions; ev != 0 {
 		t.Fatal("in-use machine evicted")
 	}
-	if a1.m[arenaKey(c1)].m != m1 {
-		t.Fatal("in-use machine vanished from its arena")
+	if !wm1.has(arenaKey(c1)) {
+		t.Fatal("in-use machine vanished from the pool")
 	}
-	a1.release(c1) // now idle: the overflow eviction fires
-	if lim.n != 1 {
-		t.Fatalf("pool has %d machines after release, want cap 1", lim.n)
+	wm1.release(c1) // now idle: the overflow eviction fires
+	if n := pool.Len(); n != 1 {
+		t.Fatalf("pool has %d machines after release, want cap 1", n)
 	}
-	if rm.MachinesEvicted != 1 {
-		t.Fatalf("evictions = %d, want 1", rm.MachinesEvicted)
+	if ev := pool.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
 	}
-	if a1.m[arenaKey(c1)] != nil {
+	if wm1.has(arenaKey(c1)) {
 		t.Fatal("LRU machine (worker 1's idle one) still pooled")
 	}
-	a2.release(c2)
-	if lim.n != 1 {
-		t.Fatalf("pool has %d machines, want 1", lim.n)
+	wm2.release(c2)
+	if n := pool.Len(); n != 1 {
+		t.Fatalf("pool has %d machines, want 1", n)
 	}
-	a1.close()
-	a2.close()
-	if lim.n != 0 {
-		t.Fatalf("pool has %d machines after close, want 0", lim.n)
+	pool.Close()
+	if n := pool.Len(); n != 0 {
+		t.Fatalf("pool has %d machines after close, want 0", n)
 	}
+	_ = m1
 }
 
 // TestParallelMatchesSequential is the engine's core guarantee: worker
@@ -874,5 +887,145 @@ func TestEngineSurfacesSinkError(t *testing.T) {
 	_, err := eng.Run(testMatrix().Cells())
 	if err == nil {
 		t.Fatal("Run did not surface the sink write error")
+	}
+}
+
+// snapWorkload is addWorkload plus the Snapshotter hooks, for lifecycle
+// tests that need a snapshot-capable workload inside this package.
+type snapWorkload struct {
+	addWorkload
+}
+
+type snapHost struct {
+	ctr commtm.Addr
+	add commtm.LabelID
+}
+
+func (w *snapWorkload) SnapshotParams() (string, bool) { return fmt.Sprintf("ops=%d", w.ops), true }
+func (w *snapWorkload) SnapshotHost() any              { return snapHost{ctr: w.ctr, add: w.add} }
+func (w *snapWorkload) AdoptHost(m *commtm.Machine, host any) {
+	h := host.(snapHost)
+	w.threads = m.Config().Threads
+	w.ctr, w.add = h.ctr, h.add
+}
+
+// TestSnapshotHitResetsOnce pins the double-reset fix: a snapshot-arena hit
+// on a reused machine must reset exactly once (inside Machine.Restore),
+// not once at acquire and again at Restore. The controls pin the other
+// paths: a snapshot miss or a no-snapshot cell on a reused machine resets
+// once (at ensurePristine), and a fresh-machine cell resets zero times.
+func TestSnapshotHitResetsOnce(t *testing.T) {
+	pool := NewMachinePool(0)
+	defer pool.Close()
+	wm := &workerMachines{pool: pool, w: 0}
+	sa := snapshots.New()
+	c := Cell{Workload: "add", Threads: 2, Seed: 1, Mk: func() Workload { return &snapWorkload{addWorkload{ops: 8}} }}
+
+	// resetsDuring runs c and returns how many ResetSeeds the cell's pooled
+	// machine performed, peeking at the machine via an acquire/release pair
+	// around the cell.
+	resetsDuring := func(c Cell, sa *snapshots.Arena) (uint64, Result) {
+		m, _ := wm.acquire(c)
+		before := m.ResetCount()
+		wm.release(c)
+		r := runCell(c, wm, nil, sa, nil)
+		if r.Err != "" {
+			t.Fatalf("cell failed: %s", r.Err)
+		}
+		m2, reused := wm.acquire(c)
+		if !reused || m2 != m {
+			t.Fatal("machine changed identity mid-test")
+		}
+		after := m2.ResetCount()
+		wm.release(c)
+		return after - before, r
+	}
+
+	// First run of the cell: the peek above pre-built the machine, so the
+	// cell sees a reused machine and a snapshot miss — one reset before
+	// Setup, then capture.
+	missResets, r1 := resetsDuring(c, sa)
+	if missResets != 1 {
+		t.Fatalf("snapshot-miss cell on reused machine reset %d times, want 1", missResets)
+	}
+	if st := sa.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("first cell arena stats = %+v, want 1 miss", st)
+	}
+
+	// Same cell again: machine-pool hit AND snapshot hit. Exactly one reset
+	// — the one inside Restore. Before the fix this path reset twice (once
+	// at acquire, once in Restore).
+	hitResets, r2 := resetsDuring(c, sa)
+	if hitResets != 1 {
+		t.Fatalf("snapshot-hit cell reset %d times, want exactly 1 (inside Restore)", hitResets)
+	}
+	if st := sa.Stats(); st.Hits != 1 {
+		t.Fatalf("second cell arena stats = %+v, want 1 hit", st)
+	}
+	if r1.Stats != r2.Stats || r1.Digest != r2.Digest {
+		t.Fatal("snapshot-hit cell produced different results than the miss cell")
+	}
+
+	// Control: the no-snapshot path on a reused machine resets once too.
+	noSnapResets, r3 := resetsDuring(c, nil)
+	if noSnapResets != 1 {
+		t.Fatalf("no-snapshot cell on reused machine reset %d times, want 1", noSnapResets)
+	}
+	if r3.Stats != r1.Stats || r3.Digest != r1.Digest {
+		t.Fatal("no-snapshot cell produced different results")
+	}
+
+	// Control: a cell on a freshly built machine needs no reset at all.
+	fresh := NewMachinePool(0)
+	defer fresh.Close()
+	wmf := &workerMachines{pool: fresh, w: 0}
+	if r := runCell(c, wmf, nil, nil, nil); r.Err != "" {
+		t.Fatalf("fresh-machine cell failed: %s", r.Err)
+	}
+	m, _ := wmf.acquire(c)
+	if got := m.ResetCount(); got != 0 {
+		t.Fatalf("fresh-machine cell reset %d times, want 0", got)
+	}
+	wmf.release(c)
+}
+
+// TestMachinePoolSharedAcrossRuns is the cross-sweep pooling guarantee: two
+// engine runs handed the same external MachinePool build machines only in
+// the first — the second run's cells all land on Reset-reused machines and
+// produce identical results.
+func TestMachinePoolSharedAcrossRuns(t *testing.T) {
+	cells := testMatrix().Cells()
+	pool := NewMachinePool(0)
+	defer pool.Close()
+	run := func() (Results, *RunMetrics) {
+		rm := &RunMetrics{}
+		eng := Engine{Workers: 1, Machines: pool, Metrics: rm}
+		rs, err := eng.Run(cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.FirstErr(); err != nil {
+			t.Fatal(err)
+		}
+		return rs, rm
+	}
+	r1, m1 := run()
+	if m1.MachinesBuilt == 0 {
+		t.Fatal("first run built no machines")
+	}
+	if pool.Len() == 0 {
+		t.Fatal("pool did not survive the first run")
+	}
+	r2, m2 := run()
+	if m2.MachinesBuilt != 0 {
+		t.Fatalf("second run built %d machines, want 0 (cross-run pool hit)", m2.MachinesBuilt)
+	}
+	if m2.MachineReuses != int64(len(cells)) {
+		t.Fatalf("second run reused %d machines, want %d", m2.MachineReuses, len(cells))
+	}
+	for i := range r1 {
+		if r1[i].Stats != r2[i].Stats || r1[i].Digest != r2[i].Digest {
+			t.Errorf("cell %d differs between pool-cold and pool-warm runs", i)
+		}
 	}
 }

@@ -16,9 +16,17 @@
 // must be rebuilt per Setup. Replay is proven invisible by the golden
 // conformance gate, which runs the golden matrix with arenas on and off
 // against the same committed goldens.
+//
+// The arena is a thin typed wrapper over the generic keyed-singleflight-LRU
+// core in internal/arena; the caching machinery itself (singleflight, panic
+// unpublish, done-only LRU eviction, exactly-one-outcome stats) lives
+// there, shared with the snapshot arena and the sweep machine pool. This
+// package contributes only the key/value types and the eviction-close
+// policy: an evicted value that implements Close() or Close() error is
+// closed (outside the arena lock).
 package inputs
 
-import "sync"
+import "commtm/internal/arena"
 
 // Key identifies one generated input. Two keys are equal exactly when the
 // generated input would be byte-identical: Kind names the workload family,
@@ -57,32 +65,13 @@ func (s Stats) Delta(prev Stats) Stats {
 	return s
 }
 
-// entry is one cached input, linked into the arena's LRU list
-// (front = most recently used). An entry is published to the map before
-// its value exists (per-key singleflight): the claiming caller generates,
-// then closes ready; racers wait on it instead of regenerating.
-type entry struct {
-	key        Key
-	val        any
-	ready      chan struct{}
-	done       bool // val is set; only done entries are evictable
-	prev, next *entry
-}
-
 // Arena is a content-addressed, optionally capped input cache. It is safe
 // for concurrent use: the sweep engine shares one arena across all workers
 // of a run (inputs are immutable, so sharing is free and gives cross-worker
 // hits that mutable machine arenas cannot have). A nil *Arena is valid and
 // always generates fresh.
 type Arena struct {
-	mu        sync.Mutex
-	cap       int // max entries; <= 0 = unbounded
-	entries   map[Key]*entry
-	front     *entry // most recently used
-	back      *entry // least recently used
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	c arena.Arena[Key, any]
 }
 
 // New returns an unbounded arena.
@@ -91,145 +80,18 @@ func New() *Arena { return NewCapped(0) }
 // NewCapped returns an arena holding at most cap entries, evicting the
 // least recently used beyond that; cap <= 0 means unbounded. If an evicted
 // value implements io.Closer's shape (Close() or Close() error), it is
-// closed.
+// closed — outside the arena lock, so a Close that re-enters the arena or
+// takes long cannot deadlock or stall other workers.
 func NewCapped(cap int) *Arena {
-	return &Arena{cap: cap, entries: make(map[Key]*entry)}
+	a := &Arena{}
+	a.c.Cap = cap
+	a.c.OnRelease = closeValue
+	return a
 }
 
-// Load returns the cached input for k, generating and caching it on a
-// miss. gen must be a pure function of k (same key, same bytes). Misses
-// are single-flighted per key: one concurrent caller generates while the
-// others wait for its result, so the expensive generation never runs twice
-// for one key (and no generated value is ever silently discarded, which
-// matters for closeable values). A nil arena calls gen directly.
-func Load[T any](a *Arena, k Key, gen func() T) T {
-	if a == nil {
-		return gen()
-	}
-	for {
-		e, owner := a.claim(k)
-		if owner {
-			return generate(a, e, gen)
-		}
-		<-e.ready
-		if e.done {
-			return e.val.(T)
-		}
-		// The owner's generator panicked and the entry was unpublished;
-		// claim again (this caller may become the new owner and hit the
-		// same panic in its own cell, which is the correct failure shape:
-		// the sweep engine contains generation panics per cell).
-	}
-}
-
-// generate runs gen as e's owner. If gen panics, the pending entry is
-// unpublished and its waiters woken before the panic propagates — leaving
-// it would hang every later Load for the key on a never-closed ready
-// channel, wedging the sweep engine's panic containment.
-func generate[T any](a *Arena, e *entry, gen func() T) T {
-	defer func() {
-		if !e.done {
-			a.abandon(e)
-		}
-		close(e.ready)
-	}()
-	e.val = gen() // outside the lock: generation is the expensive part
-	a.settle(e)
-	return e.val.(T)
-}
-
-// abandon unpublishes a pending entry whose generation failed.
-func (a *Arena) abandon(e *entry) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.unlink(e)
-	delete(a.entries, e.key)
-}
-
-// claim returns k's entry and whether the caller owns generation: a miss
-// publishes a not-yet-done entry (racers wait on its ready channel), a hit
-// marks the entry most recently used.
-func (a *Arena) claim(k Key) (*entry, bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if e := a.entries[k]; e != nil {
-		a.hits++
-		a.touch(e)
-		return e, false
-	}
-	a.misses++
-	e := &entry{key: k, ready: make(chan struct{})}
-	a.entries[k] = e
-	a.pushFront(e)
-	return e, true
-}
-
-// settle marks e's value generated (making it evictable) and applies any
-// over-cap eviction. Eviction is deferred to here because an in-flight
-// entry cannot be closed and its waiters expect the value to arrive.
-func (a *Arena) settle(e *entry) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	e.done = true
-	if a.cap <= 0 {
-		return
-	}
-	for n := len(a.entries); n > a.cap; {
-		evicted := false
-		for v := a.back; v != nil; v = v.prev {
-			if v.done {
-				a.evict(v)
-				evicted = true
-				break
-			}
-		}
-		if !evicted {
-			return // everything over cap is still generating; retry at next settle
-		}
-		n = len(a.entries)
-	}
-}
-
-// touch moves e to the front of the LRU list.
-func (a *Arena) touch(e *entry) {
-	if a.front == e {
-		return
-	}
-	a.unlink(e)
-	a.pushFront(e)
-}
-
-func (a *Arena) pushFront(e *entry) {
-	e.prev, e.next = nil, a.front
-	if a.front != nil {
-		a.front.prev = e
-	}
-	a.front = e
-	if a.back == nil {
-		a.back = e
-	}
-}
-
-func (a *Arena) unlink(e *entry) {
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else {
-		a.front = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		a.back = e.prev
-	}
-	e.prev, e.next = nil, nil
-}
-
-// evict removes e, closing its value if it is closeable.
-func (a *Arena) evict(e *entry) {
-	a.unlink(e)
-	delete(a.entries, e.key)
-	a.evictions++
-	switch c := e.val.(type) {
+// closeValue is the input arena's eviction policy: close-if-closeable.
+func closeValue(_ Key, v any) {
+	switch c := v.(type) {
 	case interface{ Close() }:
 		c.Close()
 	case interface{ Close() error }:
@@ -237,14 +99,34 @@ func (a *Arena) evict(e *entry) {
 	}
 }
 
+// Load returns the cached input for k, generating and caching it on a
+// miss. gen must be a pure function of k (same key, same bytes). Misses
+// are single-flighted per key: one concurrent caller generates while the
+// others wait for its result, so the expensive generation never runs twice
+// for one key (and no generated value is ever silently discarded, which
+// matters for closeable values). A generator panic unpublishes the pending
+// entry and wakes its waiters before propagating; a woken waiter re-claims.
+// A nil arena calls gen directly.
+func Load[T any](a *Arena, k Key, gen func() T) T {
+	if a == nil {
+		return gen()
+	}
+	// Hit fast path: Get needs no generator, so a warm Load avoids
+	// allocating the boxing closure below (pinned by the allocation gate).
+	if v, ok := a.c.Get(k); ok {
+		return v.(T)
+	}
+	v, _ := a.c.Load(k, func() any { return gen() })
+	return v.(T)
+}
+
 // Stats returns a snapshot of the arena's counters. Nil-safe.
 func (a *Arena) Stats() Stats {
 	if a == nil {
 		return Stats{}
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return Stats{Hits: a.hits, Misses: a.misses, Evictions: a.evictions, Size: len(a.entries)}
+	s := a.c.Stats()
+	return Stats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Size: s.Size}
 }
 
 // Len returns the number of cached inputs. Nil-safe.
@@ -252,7 +134,5 @@ func (a *Arena) Len() int {
 	if a == nil {
 		return 0
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return len(a.entries)
+	return a.c.Len()
 }

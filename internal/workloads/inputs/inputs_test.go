@@ -82,16 +82,22 @@ func TestCapEvictsLRU(t *testing.T) {
 	}
 }
 
+type atomicCloseable struct{ closed *atomic.Int64 }
+
+func (c atomicCloseable) Close() { c.closed.Add(1) }
+
 // TestCapHonoredUnderChurn hammers a capped arena with a rotating key set
 // (far more keys than capacity) from several goroutines and checks the size
 // stays bounded and every evicted value was closed. Mid-churn the arena may
 // legitimately hold up to one pending (mid-generation, not yet evictable)
 // singleflight entry per concurrent worker beyond the cap; once the churn
-// settles, the strict cap must hold.
+// settles, the strict cap must hold. The close counter is atomic because
+// release hooks run outside the arena lock, so concurrent evictors may
+// close concurrently.
 func TestCapHonoredUnderChurn(t *testing.T) {
 	const cap, keys, rounds, workers = 4, 64, 50, 4
 	a := NewCapped(cap)
-	closed := 0 // only written by evict, which holds the arena lock
+	var closed atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -99,7 +105,7 @@ func TestCapHonoredUnderChurn(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				k := key((r*workers + w) % keys)
-				Load(a, k, func() closeable { return closeable{&closed} })
+				Load(a, k, func() atomicCloseable { return atomicCloseable{&closed} })
 				if n := a.Len(); n > cap+workers {
 					t.Errorf("arena grew to %d entries under churn, cap %d + %d in flight", n, cap, workers)
 					return
@@ -111,8 +117,8 @@ func TestCapHonoredUnderChurn(t *testing.T) {
 	if n := a.Len(); n > cap {
 		t.Fatalf("final size %d exceeds cap %d", n, cap)
 	}
-	if st := a.Stats(); uint64(closed) != st.Evictions {
-		t.Fatalf("closed %d values, evictions %d", closed, st.Evictions)
+	if st := a.Stats(); uint64(closed.Load()) != st.Evictions {
+		t.Fatalf("closed %d values, evictions %d", closed.Load(), st.Evictions)
 	}
 }
 

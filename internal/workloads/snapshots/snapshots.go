@@ -19,12 +19,18 @@
 // instances sharing the key. Replay is proven invisible by the golden
 // conformance gate, which runs the golden matrix with snapshots on and off
 // against the same committed goldens.
+//
+// The arena is a thin typed wrapper over the generic keyed-singleflight-LRU
+// core in internal/arena, shared with the input arena and the sweep machine
+// pool. This package contributes the key/value types, the per-entry byte
+// accounting (image bytes), and the eviction policy: snapshots are never
+// closed — images are plain host memory and dropping the reference frees
+// them.
 package snapshots
 
 import (
-	"sync"
-
 	"commtm"
+	"commtm/internal/arena"
 )
 
 // Snapshotter is the optional workload hook the sweep engine looks for. A
@@ -96,33 +102,12 @@ func (s Stats) Delta(prev Stats) Stats {
 	return s
 }
 
-// entry is one cached snapshot, linked into the arena's LRU list (front =
-// most recently used). Like the input arena, an entry is published before
-// its value exists (per-key singleflight): the claiming caller runs Setup
-// and captures, then closes ready; racers wait instead of re-running Setup.
-type entry struct {
-	key        Key
-	val        Entry
-	ready      chan struct{}
-	done       bool // val is set; only done entries are evictable
-	prev, next *entry
-}
-
 // Arena is a content-addressed, optionally capped snapshot cache, safe for
 // concurrent use: the sweep engine shares one arena across all workers of a
 // run (or, via Engine.Snapshots, across every run of a process). A nil
 // *Arena is valid and never caches.
 type Arena struct {
-	mu         sync.Mutex
-	cap        int // max entries; <= 0 = unbounded
-	entries    map[Key]*entry
-	front      *entry
-	back       *entry
-	hits       uint64
-	misses     uint64
-	evictions  uint64
-	bytesAdded uint64
-	bytes      int
+	c arena.Arena[Key, Entry]
 }
 
 // New returns an unbounded arena.
@@ -131,7 +116,19 @@ func New() *Arena { return NewCapped(0) }
 // NewCapped returns an arena holding at most cap entries, evicting the
 // least recently used beyond that; cap <= 0 means unbounded.
 func NewCapped(cap int) *Arena {
-	return &Arena{cap: cap, entries: make(map[Key]*entry)}
+	a := &Arena{}
+	a.c.Cap = cap
+	a.c.SizeOf = entryBytes
+	return a
+}
+
+// entryBytes is the snapshot arena's byte accounting: the image's resident
+// size (host state is negligible — label ids and small structs).
+func entryBytes(e Entry) int {
+	if e.Img == nil {
+		return 0
+	}
+	return e.Img.Bytes()
 }
 
 // Load returns the cached snapshot for k, running capture on a miss and
@@ -149,128 +146,7 @@ func (a *Arena) Load(k Key, capture func() Entry) (e Entry, hit bool) {
 	if a == nil {
 		return capture(), false
 	}
-	for {
-		en, owner := a.claim(k)
-		if owner {
-			return a.capture(en, capture), false
-		}
-		<-en.ready
-		if en.done {
-			return en.val, true
-		}
-	}
-}
-
-// capture runs the capture function as en's owner, settling or abandoning
-// the pending entry.
-func (a *Arena) capture(en *entry, capture func() Entry) Entry {
-	defer func() {
-		if !en.done {
-			a.abandon(en)
-		}
-		close(en.ready)
-	}()
-	en.val = capture() // outside the lock: Setup is the expensive part
-	a.settle(en)
-	return en.val
-}
-
-// claim returns k's entry and whether the caller owns capture.
-func (a *Arena) claim(k Key) (*entry, bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if e := a.entries[k]; e != nil {
-		a.hits++
-		a.touch(e)
-		return e, false
-	}
-	a.misses++
-	e := &entry{key: k, ready: make(chan struct{})}
-	a.entries[k] = e
-	a.pushFront(e)
-	return e, true
-}
-
-// abandon unpublishes a pending entry whose capture panicked.
-func (a *Arena) abandon(e *entry) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.unlink(e)
-	delete(a.entries, e.key)
-}
-
-// settle marks e captured (making it evictable), accounts its bytes, and
-// applies any over-cap eviction.
-func (a *Arena) settle(e *entry) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	e.done = true
-	if e.val.Img != nil {
-		b := e.val.Img.Bytes()
-		a.bytes += b
-		a.bytesAdded += uint64(b)
-	}
-	if a.cap <= 0 {
-		return
-	}
-	for len(a.entries) > a.cap {
-		evicted := false
-		for v := a.back; v != nil; v = v.prev {
-			if v.done {
-				a.evict(v)
-				evicted = true
-				break
-			}
-		}
-		if !evicted {
-			return // everything over cap is still capturing; retry at next settle
-		}
-	}
-}
-
-// touch moves e to the front of the LRU list.
-func (a *Arena) touch(e *entry) {
-	if a.front == e {
-		return
-	}
-	a.unlink(e)
-	a.pushFront(e)
-}
-
-func (a *Arena) pushFront(e *entry) {
-	e.prev, e.next = nil, a.front
-	if a.front != nil {
-		a.front.prev = e
-	}
-	a.front = e
-	if a.back == nil {
-		a.back = e
-	}
-}
-
-func (a *Arena) unlink(e *entry) {
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else {
-		a.front = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		a.back = e.prev
-	}
-	e.prev, e.next = nil, nil
-}
-
-// evict removes e and releases its byte accounting. Images are plain host
-// memory; dropping the reference frees them.
-func (a *Arena) evict(e *entry) {
-	a.unlink(e)
-	delete(a.entries, e.key)
-	a.evictions++
-	if e.val.Img != nil {
-		a.bytes -= e.val.Img.Bytes()
-	}
+	return a.c.Load(k, capture)
 }
 
 // Stats returns a snapshot of the arena's counters. Nil-safe.
@@ -278,11 +154,10 @@ func (a *Arena) Stats() Stats {
 	if a == nil {
 		return Stats{}
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	s := a.c.Stats()
 	return Stats{
-		Hits: a.hits, Misses: a.misses, Evictions: a.evictions,
-		BytesAdded: a.bytesAdded, Size: len(a.entries), Bytes: a.bytes,
+		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		BytesAdded: s.BytesAdded, Size: s.Size, Bytes: s.Bytes,
 	}
 }
 
@@ -291,7 +166,5 @@ func (a *Arena) Len() int {
 	if a == nil {
 		return 0
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return len(a.entries)
+	return a.c.Len()
 }
