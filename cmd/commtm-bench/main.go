@@ -33,7 +33,11 @@
 // with the same bit-identical-results guarantee; -machine-pool=false
 // reverts to a pool per sweep.
 // -machine-cap / -input-cap / -snapshot-cap bound the pools with LRU
-// eviction for long-lived processes (0, the default, is unbounded).
+// eviction for long-lived processes (0, the default, is unbounded);
+// -input-budget / -snapshot-budget bound them in bytes instead (estimated
+// deep host bytes for inputs, logical image bytes for snapshots), evicting
+// the least recently used entries until back under budget. Caps and budgets
+// compose: either limit alone triggers eviction.
 // -oracle runs the differential conformance + determinism oracle over the
 // reduced matrix (plus the geometry-swept group) and exits nonzero on
 // failure; -det-sample F re-runs only a hash-selected fraction F of cells
@@ -42,11 +46,15 @@
 // Every experiment also reports per-sweep host metrics (allocations, GC
 // cycles, heap high-water from runtime.ReadMemStats, and the engine's
 // lifecycle counters: machines built/reused/evicted, input-arena and
-// snapshot-arena hits/misses) on stdout and, when -json is given, as a
-// trailing {"host_metrics": ...} JSON line; the line also carries the
-// process-lifetime arenas' cumulative stats (entries, resident bytes,
-// evictions over the whole invocation) — the observability that makes
-// lifecycle/allocation regressions visible in committed BENCH files.
+// snapshot-arena hits/misses, copy-on-write page copies, restore skips, and
+// the shared/private page census with its sharing ratio) on stdout and,
+// when -json is given, as a trailing {"host_metrics": ...} JSON line; the
+// line also carries the process-lifetime arenas' cumulative stats (entries,
+// logical and resident bytes — resident deduplicates pages shared between
+// copy-on-write images, so resident/logical is the cross-image sharing
+// ratio — and evictions over the whole invocation) — the observability
+// that makes lifecycle/allocation regressions visible in committed BENCH
+// files.
 package main
 
 import (
@@ -124,6 +132,8 @@ func main() {
 		mCap     = flag.Int("machine-cap", 0, "global cap on pooled machines, LRU-evicted beyond it (0 = unbounded)")
 		iCap     = flag.Int("input-cap", 0, "cap on cached workload inputs, LRU-evicted beyond it (0 = unbounded)")
 		sCap     = flag.Int("snapshot-cap", 0, "cap on cached machine images, LRU-evicted beyond it (0 = unbounded)")
+		iBudget  = flag.Int("input-budget", 0, "byte budget for cached workload inputs (estimated deep host bytes), LRU-evicted beyond it (0 = unbounded)")
+		sBudget  = flag.Int("snapshot-budget", 0, "byte budget for cached machine images (logical image bytes), LRU-evicted beyond it (0 = unbounded)")
 		jsonOut  = flag.String("json", "", "write per-cell results as JSON lines to this file")
 		csvOut   = flag.String("csv", "", "write per-cell results as CSV to this file")
 		oracle   = flag.Bool("oracle", false, "run the differential conformance + determinism oracle and exit")
@@ -218,17 +228,19 @@ func main() {
 	opts.MachineCap = *mCap
 	opts.InputCap = *iCap
 	opts.SnapshotCap = *sCap
+	opts.InputBudget = *iBudget
+	opts.SnapshotBudget = *sBudget
 	// Process-lifetime arenas: one input arena, one snapshot arena, and one
 	// machine pool are owned here and handed to every sweep of the
 	// invocation, so inputs, machine images, and pooled machines cache
 	// across experiments (the reference cell of each figure, repeated
-	// configurations between figures). The caps ride on the arenas/pool
-	// themselves.
+	// configurations between figures). The caps and byte budgets ride on
+	// the arenas/pool themselves.
 	if *inArena {
-		opts.InputArena = inputs.NewCapped(*iCap)
+		opts.InputArena = inputs.NewBudgeted(*iCap, *iBudget)
 	}
 	if *snaps {
-		opts.SnapshotArena = snapshots.NewCapped(*sCap)
+		opts.SnapshotArena = snapshots.NewBudgeted(*sCap, *sBudget)
 	}
 	if *reuse && *mPool {
 		opts.MachinePool = sweep.NewMachinePool(*mCap)
@@ -295,13 +307,24 @@ func main() {
 		fmt.Printf("lifecycle: machines_built=%d machine_reuses=%d machines_evicted=%d input_hits=%d input_misses=%d input_evictions=%d snapshot_hits=%d snapshot_misses=%d snapshot_evictions=%d snapshot_bytes=%d\n",
 			lc.MachinesBuilt, lc.MachineReuses, lc.MachinesEvicted, lc.InputHits, lc.InputMisses, lc.InputEvictions,
 			lc.SnapshotHits, lc.SnapshotMisses, lc.SnapshotEvictions, lc.SnapshotBytes)
+		// The copy-on-write line: page copies triggered by first writes to
+		// shared pages, restores skipped by the image-digest stamp, and the
+		// post-run page census summed over cells — sharing = shared pages /
+		// all pages, the fraction of live machine memory still aliased to
+		// snapshot images when cells finish.
+		sharing := 0.0
+		if tot := lc.SharedPages + lc.PrivatePages; tot > 0 {
+			sharing = float64(lc.SharedPages) / float64(tot)
+		}
+		fmt.Printf("cow: page_copies=%d restore_skips=%d shared_pages=%d private_pages=%d sharing=%.3f\n",
+			lc.CowPageCopies, lc.RestoreSkips, lc.SharedPages, lc.PrivatePages, sharing)
 		if hm.InputsArena != nil || hm.SnapshotsArena != nil || hm.MachinePool != nil {
 			fmt.Printf("arenas:")
 			if st := hm.InputsArena; st != nil {
-				fmt.Printf(" inputs{size=%d hits=%d misses=%d evictions=%d}", st.Size, st.Hits, st.Misses, st.Evictions)
+				fmt.Printf(" inputs{size=%d bytes=%d hits=%d misses=%d evictions=%d}", st.Size, st.Bytes, st.Hits, st.Misses, st.Evictions)
 			}
 			if st := hm.SnapshotsArena; st != nil {
-				fmt.Printf(" snapshots{size=%d bytes=%d hits=%d misses=%d evictions=%d}", st.Size, st.Bytes, st.Hits, st.Misses, st.Evictions)
+				fmt.Printf(" snapshots{size=%d bytes=%d resident_bytes=%d hits=%d misses=%d evictions=%d}", st.Size, st.Bytes, st.ResidentBytes, st.Hits, st.Misses, st.Evictions)
 			}
 			if st := hm.MachinePool; st != nil {
 				fmt.Printf(" machines{size=%d hits=%d misses=%d evictions=%d}", st.Size, st.Hits, st.Misses, st.Evictions)

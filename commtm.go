@@ -124,6 +124,15 @@ type Machine struct {
 
 	cycles uint64 // parallel-region length after Run
 	resets uint64 // lifetime ResetSeed count (Reset/Restore included)
+
+	// Image-digest stamp: when stamped, the machine's architectural state is
+	// bit-identical to the image whose digest is imgDigest (set by Restore
+	// and Snapshot, cleared by anything that mutates architectural state).
+	// Restore consults it to skip redundant restores entirely. A separate
+	// bool is required because 0 is a legal digest value.
+	imgDigest    uint64
+	imgStamped   bool
+	restoreSkips uint64 // lifetime count of stamp-matched Restore no-ops
 }
 
 // New builds a machine. It panics on invalid configuration — construction
@@ -185,6 +194,7 @@ func (m *Machine) ResetSeed(seed uint64) {
 	m.alloc.Reset()
 	m.ran = false
 	m.cycles = 0
+	m.imgStamped = false
 }
 
 // ResetCount returns how many times the machine has been ResetSeed over its
@@ -197,11 +207,14 @@ func (m *Machine) ResetCount() uint64 { return m.resets }
 // Image is an immutable, content-addressed snapshot of a machine's complete
 // post-Setup architectural state: the backing-store pages, the allocator
 // break, the label registry, and every PRNG position. Machine.Snapshot
-// captures one; Machine.Restore reinstates it with bulk page copies on top
-// of the generation-stamp Reset, so a repeated cell skips Setup entirely
-// (no per-word MemWrite64 replay). Images are shared read-only across
-// goroutines — the snapshot arena (internal/workloads/snapshots) hands one
-// image to every worker restoring the same configuration.
+// captures one by sealing the live store's 4 KiB pages and aliasing them —
+// no page payload is copied at capture; Machine.Restore adopts the same
+// page pointers back on top of the generation-stamp Reset, so a repeated
+// cell skips Setup entirely and the only page copies ever made are
+// copy-on-write copies of pages the restored machine actually dirties.
+// Images are shared read-only across goroutines — the snapshot arena
+// (internal/workloads/snapshots) hands one image to every worker restoring
+// the same configuration.
 type Image struct {
 	cfg    Config
 	store  *mem.StoreImage
@@ -223,12 +236,36 @@ func (img *Image) Config() Config { return img.cfg }
 // worker captured it.
 func (img *Image) Digest() uint64 { return img.digest }
 
-// Bytes returns the host memory the image's page payloads occupy — the unit
-// of the snapshot arena's byte telemetry.
+// Bytes returns the logical size of the image's page payloads — what a
+// whole-page-copy image would occupy, and the unit of the snapshot arena's
+// logical-bytes telemetry. The resident footprint is smaller whenever pages
+// are shared with live stores or sibling images (see Store.PageStats).
 func (img *Image) Bytes() int { return img.store.Bytes() }
+
+// Pages returns the number of 4 KiB pages the image references.
+func (img *Image) Pages() int { return img.store.Pages() }
 
 // Lines returns the number of captured simulated-memory lines.
 func (img *Image) Lines() int { return img.store.Lines() }
+
+// PageBytes is the machine's page granularity — the unit of copy-on-write
+// sharing between images and live machines, re-exported for telemetry
+// consumers converting page counts to bytes.
+const PageBytes = mem.PageBytes
+
+// ResidentImageBytes returns the host footprint of the distinct store pages
+// the given images reference — pages shared between images count once. The
+// snapshot arena reports this as resident bytes next to the logical sum of
+// per-image Bytes.
+func ResidentImageBytes(imgs []*Image) int {
+	stores := make([]*mem.StoreImage, 0, len(imgs))
+	for _, img := range imgs {
+		if img != nil {
+			stores = append(stores, img.store)
+		}
+	}
+	return mem.ResidentPageBytes(stores)
+}
 
 // Snapshot captures the machine's post-Setup state into an immutable Image.
 // It must be called after Setup-style preparation and before Run: snapshots
@@ -265,14 +302,27 @@ func (m *Machine) Snapshot() *Image {
 		h = digestWord(h, l.SplitCost)
 	}
 	img.digest = h
+	// The machine's state is, by construction, bit-identical to the image it
+	// just captured: stamp it so an immediate Restore of this image (or a
+	// content-equal one) is a no-op.
+	m.imgDigest, m.imgStamped = h, true
 	return img
 }
 
 // Restore reinstates a captured Image: a full ResetSeed to the image's seed,
-// then bulk page copies of the backing store, the allocator break, the label
-// registry, and the PRNG positions. Afterwards the machine is bit-identical
-// to the one Snapshot observed — TestGoldenConformance runs the golden
-// matrix with snapshots on and off to prove Restore replays Setup exactly.
+// then pointer adoption of the image's sealed backing-store pages (no page
+// copies — the store copies a page on its first write into it), the
+// allocator break, the label registry, and the PRNG positions. Afterwards
+// the machine is bit-identical to the one Snapshot observed —
+// TestGoldenConformance runs the golden matrix with snapshots on and off to
+// prove Restore replays Setup exactly.
+//
+// Restore is a no-op when the machine's image-digest stamp already matches
+// the requested image: a machine that was just restored from (or just
+// captured) a content-equal image and has not mutated architectural state
+// since is already in the target state, so not even the Reset runs
+// (TestRestoreSkipZeroWork pins zero resets and zero page copies on the
+// skip path).
 // The image must come from a machine with the same thread count and cache
 // geometry; Restore panics otherwise (restoring across geometries would
 // silently misconfigure the caches). The protocol variant and gather knob
@@ -288,13 +338,35 @@ func (m *Machine) Restore(img *Image) {
 	if mc != ic {
 		panic(fmt.Sprintf("commtm: Restore of image captured under %+v onto machine configured %+v", img.cfg, m.cfg))
 	}
+	if m.imgStamped && m.imgDigest == img.digest && m.cfg.Seed == img.cfg.Seed {
+		m.restoreSkips++
+		return
+	}
 	m.ResetSeed(img.cfg.Seed)
 	m.store.Restore(img.store)
 	m.alloc.Restore(img.brk)
 	m.ms.RestoreLabels(img.labels)
 	m.ms.RestoreRand(img.msRand)
 	m.k.RestoreRands(img.rands)
+	m.imgDigest, m.imgStamped = img.digest, true
 }
+
+// RestoreSkips returns how many Restore calls were satisfied by the
+// image-digest stamp alone (no Reset, no page work) over the machine's
+// lifetime. Host-side telemetry, never zeroed by Reset.
+func (m *Machine) RestoreSkips() uint64 { return m.restoreSkips }
+
+// CowCopies returns the cumulative number of sealed backing-store pages the
+// machine has copied before a write — the only whole-page copies the
+// copy-on-write snapshot scheme performs. Host-side telemetry, never zeroed
+// by Reset.
+func (m *Machine) CowCopies() uint64 { return m.store.CowCopies() }
+
+// PageStats counts the backing store's materialized pages: shared pages
+// alias a snapshot image's sealed payload, private pages are owned by this
+// machine alone. The shared fraction is the page-sharing ratio reported in
+// commtm-bench host-metrics lines.
+func (m *Machine) PageStats() (shared, private int) { return m.store.PageStats() }
 
 // Close releases the machine's coroutine pool (one parked goroutine per
 // hardware thread, kept across runs so Reset+Run is allocation-free).
@@ -318,23 +390,36 @@ func ArchRand(seed uint64, tid int) *RNG { return engine.ArchRand(seed, tid) }
 // DefineLabel registers a commutative-operation label (at most 8, the
 // architectural limit; virtualize in software beyond that, Sec. III-D).
 func (m *Machine) DefineLabel(spec LabelSpec) LabelID {
+	m.imgStamped = false
 	return m.ms.RegisterLabel(spec)
 }
 
 // Alloc reserves simulated memory: size bytes at the given power-of-two
 // alignment.
-func (m *Machine) Alloc(size, align int) Addr { return m.alloc.Alloc(size, align) }
+func (m *Machine) Alloc(size, align int) Addr {
+	m.imgStamped = false
+	return m.alloc.Alloc(size, align)
+}
 
 // AllocLines reserves n line-aligned cache lines.
-func (m *Machine) AllocLines(n int) Addr { return m.alloc.AllocLines(n) }
+func (m *Machine) AllocLines(n int) Addr {
+	m.imgStamped = false
+	return m.alloc.AllocLines(n)
+}
 
 // AllocWords reserves n word-aligned 64-bit words.
-func (m *Machine) AllocWords(n int) Addr { return m.alloc.AllocWords(n) }
+func (m *Machine) AllocWords(n int) Addr {
+	m.imgStamped = false
+	return m.alloc.AllocWords(n)
+}
 
 // MemWrite64 initializes simulated memory directly (zero simulated time).
 // Use before Run; writing lines that are already cached panics via Drain
 // invariants rather than silently diverging.
-func (m *Machine) MemWrite64(a Addr, v uint64) { m.store.Write64(a, v) }
+func (m *Machine) MemWrite64(a Addr, v uint64) {
+	m.imgStamped = false
+	m.store.Write64(a, v)
+}
 
 // MemRead64 reads architectural memory directly. After Run the machine has
 // been drained, so this observes the committed final state.
@@ -349,6 +434,7 @@ func (m *Machine) Run(body func(t *Thread)) {
 		panic("commtm: Machine.Run called twice; Reset the machine (or build a fresh one) per run")
 	}
 	m.ran = true
+	m.imgStamped = false
 	k := m.k
 	k.Run(func(p *engine.Proc) {
 		body(m.rt.NewThread(p))

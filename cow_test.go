@@ -1,0 +1,113 @@
+package commtm_test
+
+import (
+	"testing"
+
+	"commtm"
+	"commtm/internal/workloads/apps"
+	"commtm/internal/workloads/micro"
+)
+
+// TestRestoreSkipZeroWork pins the restore-skip fast path: restoring an
+// image whose digest stamp already matches the machine must be a true no-op
+// — no reset, no page adoption, no copy-on-write copies — and the skipped
+// path must stay observationally identical to a real restore (same Stats
+// and digest when the cell then runs).
+func TestRestoreSkipZeroWork(t *testing.T) {
+	cfg := commtm.Config{Threads: 4, Protocol: commtm.CommTM, Seed: 9}
+	m := commtm.New(cfg)
+	defer m.Close()
+
+	img, host := snapshotCycle(t, m, micro.NewTopK(400, 32))
+
+	// Capture-then-restore: Snapshot stamped the machine with the image
+	// digest, so an immediate Restore of that image must skip outright.
+	resets, copies := m.ResetCount(), m.CowCopies()
+	m.Restore(img)
+	if got := m.RestoreSkips(); got != 1 {
+		t.Fatalf("capture-then-restore skips = %d, want 1", got)
+	}
+	if m.ResetCount() != resets {
+		t.Errorf("skipped restore reset the machine (%d -> %d resets)", resets, m.ResetCount())
+	}
+	if m.CowCopies() != copies {
+		t.Errorf("skipped restore copied pages (%d -> %d copies)", copies, m.CowCopies())
+	}
+
+	// Running invalidates the stamp, so the next restore does real work and
+	// establishes the reference observables.
+	wantStats, wantDigest := adoptAndRun(t, m, micro.NewTopK(400, 32), img, host)
+
+	// Double restore: the first is real (Run cleared the stamp), the second
+	// must skip with zero resets and zero copies.
+	m.Restore(img)
+	resets2, skips2, copies2 := m.ResetCount(), m.RestoreSkips(), m.CowCopies()
+	m.Restore(img)
+	if got := m.RestoreSkips(); got != skips2+1 {
+		t.Fatalf("double restore skips = %d, want %d", got, skips2+1)
+	}
+	if m.ResetCount() != resets2 || m.CowCopies() != copies2 {
+		t.Errorf("skipped second restore did work: resets %d -> %d, copies %d -> %d",
+			resets2, m.ResetCount(), copies2, m.CowCopies())
+	}
+
+	// The skipped path is not a shortcut to divergence: a cell run after a
+	// skipped restore matches the real-restore run bit for bit.
+	gotStats, gotDigest := adoptAndRun(t, m, micro.NewTopK(400, 32), img, host)
+	if gotStats != wantStats || gotDigest != wantDigest {
+		t.Errorf("run after skipped restore diverges:\n real:    %+v %#x\n skipped: %+v %#x",
+			wantStats, wantDigest, gotStats, gotDigest)
+	}
+}
+
+// TestCowCutsResidentBytes pins the memory claim of the copy-on-write
+// refactor on a Setup-heavy repeated-variant shape (the kmeans pattern: a
+// large read-mostly dataset installed by Setup, a small mutable working set
+// touched by Run). A whole-page-copying implementation moves the full
+// logical image on every capture and every restore; copy-on-write moves
+// one page per first write. The gate demands at least a 4x reduction in
+// bytes materialized, and a post-run page census where shared (still
+// aliased to the image) pages dominate private (dirtied) ones 4:1.
+func TestCowCutsResidentBytes(t *testing.T) {
+	cfg := commtm.Config{Threads: 4, Protocol: commtm.CommTM, Seed: 3}
+	m := commtm.New(cfg)
+	defer m.Close()
+
+	mk := func() *apps.KMeans { return apps.NewKMeans(2000, 4, 8, 1, 7) }
+	w1 := mk()
+	img, host := snapshotCycle(t, m, w1)
+	logical := img.Bytes()
+	if img.Pages() < 8 {
+		t.Fatalf("image too small to exercise sharing: %d pages", img.Pages())
+	}
+
+	// Run the captured instance (the engine's miss path), then replay the
+	// same cell off the image several times (the repeated-variant hit path).
+	m.Run(w1.Body)
+	const restores = 4
+	copiesBefore := m.CowCopies()
+	for i := 0; i < restores; i++ {
+		adoptAndRun(t, m, mk(), img, host)
+	}
+	copied := int(m.CowCopies() - copiesBefore)
+
+	// Copying-world cost: the image copied whole once per restore (captures
+	// excluded — both worlds pay the Setup writes). CoW cost: only the
+	// pages Run actually dirtied, once each per restore.
+	copyingBytes := logical * restores
+	cowBytes := copied * commtm.PageBytes
+	if cowBytes*4 > copyingBytes {
+		t.Errorf("copy-on-write moved %d bytes over %d restores; whole-page copying would move %d — reduction under 4x",
+			cowBytes, restores, copyingBytes)
+	}
+
+	// Census after the last run: the machine's resident private pages must
+	// be a small fraction of the pages still shared with the image.
+	shared, private := m.PageStats()
+	if shared < 4*private {
+		t.Errorf("post-run page census shared=%d private=%d; want shared >= 4*private", shared, private)
+	}
+	if shared+private < img.Pages() {
+		t.Errorf("census lost pages: shared=%d private=%d, image has %d", shared, private, img.Pages())
+	}
+}

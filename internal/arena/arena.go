@@ -5,7 +5,7 @@
 // (internal/sweep). All three need the same subtle machinery — per-key
 // singleflight with publish-before-value entries, panic unpublish with
 // waiter wakeup, done-only LRU eviction with settle retry, an optional
-// entry cap, byte accounting, and release hooks — and before this package
+// entry cap and byte budget, byte accounting, and release hooks — and before this package
 // existed they were three hand-synced copies that had already drifted
 // (eviction-close policy differed, and a waiter woken by a panicked owner
 // could count both a hit and a miss for one Load). The contract every
@@ -25,8 +25,9 @@
 //     exactly one of Hits or Misses, whether it hits a settled entry,
 //     waits out an in-flight one, generates, or panics while generating.
 //   - Done-only LRU eviction: only settled, unpinned entries are
-//     evictable; when everything over cap is still generating or pinned,
-//     eviction retries at the next settle or Release.
+//     evictable; when everything over the cap or byte budget is still
+//     generating or pinned, eviction retries at the next settle or
+//     Release.
 //   - Release hooks run outside the arena lock, so a hook that re-enters
 //     the arena (or is merely slow) can neither deadlock nor stall
 //     concurrent Loads.
@@ -35,17 +36,23 @@ package arena
 import "sync"
 
 // Stats is a snapshot of an arena's behavior. Hits, Misses, Evictions, and
-// BytesAdded are cumulative counters; Size and Bytes are current gauges.
-// Evictions counts cap-driven evictions only — Remove and RemoveAll are
+// BytesAdded are cumulative counters; Size, Bytes, and ResidentBytes are
+// current gauges. Bytes is the SizeOf accounting — the logical footprint,
+// and the unit Budget evicts against; ResidentBytes is the Residency hook's
+// host-footprint estimate (values that share storage, like copy-on-write
+// snapshot images aliasing common pages, are resident-smaller than their
+// logical sum) and mirrors Bytes when no hook is set. Evictions counts
+// cap- and budget-driven evictions only — Remove and RemoveAll are
 // caller-initiated and not counted, matching the sweep engine's historical
 // accounting (a dropped failed-cell machine is not a cap eviction).
 type Stats struct {
-	Hits       uint64 `json:"hits"`
-	Misses     uint64 `json:"misses"`
-	Evictions  uint64 `json:"evictions"`
-	BytesAdded uint64 `json:"bytes_added"`
-	Size       int    `json:"size"`
-	Bytes      int    `json:"bytes"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	BytesAdded    uint64 `json:"bytes_added"`
+	Size          int    `json:"size"`
+	Bytes         int    `json:"bytes"`
+	ResidentBytes int    `json:"resident_bytes"`
 }
 
 // Delta returns the counter movement between prev and s, keeping s's
@@ -83,10 +90,27 @@ type Arena[K comparable, V any] struct {
 	// Cap bounds the entry count; beyond it the least recently used done,
 	// unpinned entry is evicted. <= 0 means unbounded.
 	Cap int
+	// Budget bounds the total SizeOf-accounted bytes (Stats.Bytes): while
+	// over budget, least recently used done, unpinned entries are evicted —
+	// the same done-only/pinned rules as Cap, and the two compose (either
+	// limit triggers eviction). <= 0 means unbounded. Budget without SizeOf
+	// is inert (every entry accounts zero bytes). A single entry larger
+	// than the whole budget is evicted at its own settle, after its value
+	// has been handed to the caller — a hard budget admits no oversized
+	// residents, it does not fail the Load.
+	Budget int
 	// SizeOf, when non-nil, is the per-value byte accounting hook: charged
 	// at settle, released at evict/remove, reported in Stats.Bytes and
-	// Stats.BytesAdded.
+	// Stats.BytesAdded, and evicted against by Budget. Report the logical
+	// size here (what the value would occupy if it shared nothing).
 	SizeOf func(V) int
+	// Residency, when non-nil, estimates the host footprint of all settled
+	// values together for Stats.ResidentBytes — the hook where a client
+	// whose values share storage (copy-on-write snapshot images aliasing
+	// common pages) deduplicates. Called under the arena lock with a
+	// snapshot of the settled values; it must not re-enter the arena. When
+	// nil, ResidentBytes mirrors Bytes.
+	Residency func(vals []V) int
 	// OnRelease, when non-nil, runs for every value leaving the arena
 	// (eviction, Remove, RemoveAll) — the client's close policy. It is
 	// always called OUTSIDE the arena lock: a hook may re-enter the arena
@@ -262,16 +286,16 @@ func (a *Arena[K, V]) settle(e *entry[K, V]) {
 }
 
 // evictOverLocked removes least-recently-used done, unpinned entries until
-// the arena fits its cap, returning the victims for the caller to run
-// hooks on after unlocking. When everything over cap is still generating
-// or pinned, it returns early — the overflow shrinks at the next settle or
-// Release. Caller holds mu.
+// the arena fits both its entry cap and its byte budget, returning the
+// victims for the caller to run hooks on after unlocking. When everything
+// over the limit is still generating or pinned, it returns early — the
+// overflow shrinks at the next settle or Release. Caller holds mu.
 func (a *Arena[K, V]) evictOverLocked() []*entry[K, V] {
-	if a.Cap <= 0 {
+	if a.Cap <= 0 && a.Budget <= 0 {
 		return nil
 	}
 	var victims []*entry[K, V]
-	for len(a.entries) > a.Cap {
+	for (a.Cap > 0 && len(a.entries) > a.Cap) || (a.Budget > 0 && a.bytes > a.Budget) {
 		var v *entry[K, V]
 		for c := a.back; c != nil; c = c.prev {
 			if c.done && c.pins == 0 {
@@ -423,10 +447,21 @@ func (a *Arena[K, V]) Stats() Stats {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Hits: a.hits, Misses: a.misses, Evictions: a.evictions,
 		BytesAdded: a.bytesAdded, Size: len(a.entries), Bytes: a.bytes,
+		ResidentBytes: a.bytes,
 	}
+	if a.Residency != nil {
+		vals := make([]V, 0, len(a.entries))
+		for _, e := range a.entries {
+			if e.done {
+				vals = append(vals, e.val)
+			}
+		}
+		st.ResidentBytes = a.Residency(vals)
+	}
+	return st
 }
 
 // Len returns the number of entries (settled and in flight). Nil-safe.

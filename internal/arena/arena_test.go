@@ -1,6 +1,7 @@
 package arena
 
 import (
+	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -456,4 +457,87 @@ func FuzzArena(f *testing.F) {
 			t.Errorf("released %d values, settled %d — leak or double-release", released.Load(), settled.Load())
 		}
 	})
+}
+
+// TestBudgetEvictsLRU: the byte budget evicts least-recently-used settled
+// entries until the accounted bytes are back under budget, independently of
+// (and composably with) the entry cap.
+func TestBudgetEvictsLRU(t *testing.T) {
+	var a Arena[int, []byte]
+	a.Budget = 30
+	a.SizeOf = func(v []byte) int { return len(v) }
+	var evicted []int
+	a.OnRelease = func(k int, _ []byte) { evicted = append(evicted, k) }
+	a.Load(1, func() []byte { return make([]byte, 10) })
+	a.Load(2, func() []byte { return make([]byte, 10) })
+	a.Load(3, func() []byte { return make([]byte, 10) }) // exactly at budget: no eviction
+	if len(evicted) != 0 {
+		t.Fatalf("evicted %v at exactly the budget, want none", evicted)
+	}
+	a.Load(1, func() []byte { return nil })              // touch 1: 2 is now LRU
+	a.Load(4, func() []byte { return make([]byte, 10) }) // 40 > 30: evicts 2
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted %v, want [2]", evicted)
+	}
+	if st := a.Stats(); st.Bytes != 30 || st.Size != 3 {
+		t.Fatalf("stats = %+v, want 30 bytes over 3 entries", st)
+	}
+	// One entry nearly the whole budget: 3, 1, and 4 all go (LRU order)
+	// before the bytes fit again, leaving the newcomer alone.
+	a.Load(5, func() []byte { return make([]byte, 25) })
+	if st := a.Stats(); st.Bytes != 25 || st.Size != 1 {
+		t.Fatalf("stats = %+v, want the 25-byte newcomer alone", st)
+	}
+	if want := []int{2, 3, 1, 4}; !slices.Equal(evicted, want) {
+		t.Fatalf("evicted %v, want %v", evicted, want)
+	}
+}
+
+// TestBudgetOversizeEntry: an entry bigger than the whole budget is still
+// generated and returned (callers get their value), then evicted at its own
+// settle — the arena never caches something it cannot afford, and never
+// blocks the load.
+func TestBudgetOversizeEntry(t *testing.T) {
+	var a Arena[int, []byte]
+	a.Budget = 10
+	a.SizeOf = func(v []byte) int { return len(v) }
+	v, hit := a.Load(1, func() []byte { return make([]byte, 100) })
+	if hit || len(v) != 100 {
+		t.Fatalf("oversize load returned len=%d hit=%v, want the generated value", len(v), hit)
+	}
+	if st := a.Stats(); st.Bytes != 0 || st.Size != 0 || st.Evictions != 1 {
+		t.Fatalf("oversize entry not self-evicted: %+v", st)
+	}
+	// Budget pressure never evicts a pinned entry, even oversize.
+	a.Acquire(2, func() []byte { return make([]byte, 50) })
+	if !a.Contains(2) {
+		t.Fatal("pinned oversize entry evicted under budget pressure")
+	}
+	a.Release(2)
+	if a.Contains(2) {
+		t.Fatal("oversize entry survived its release")
+	}
+}
+
+// TestResidencyHook: Stats.ResidentBytes mirrors Bytes by default and is
+// overridden by the Residency hook, which sees exactly the settled values.
+func TestResidencyHook(t *testing.T) {
+	var a Arena[int, []byte]
+	a.SizeOf = func(v []byte) int { return len(v) }
+	a.Load(1, func() []byte { return make([]byte, 10) })
+	if st := a.Stats(); st.ResidentBytes != st.Bytes {
+		t.Fatalf("default ResidentBytes = %d, want Bytes = %d", st.ResidentBytes, st.Bytes)
+	}
+	var saw int
+	a.Residency = func(vals [][]byte) int {
+		saw = len(vals)
+		return 7
+	}
+	a.Load(2, func() []byte { return make([]byte, 20) })
+	if st := a.Stats(); st.ResidentBytes != 7 || st.Bytes != 30 {
+		t.Fatalf("hooked stats = %+v, want ResidentBytes 7 alongside Bytes 30", st)
+	}
+	if saw != 2 {
+		t.Fatalf("residency hook saw %d values, want 2", saw)
+	}
 }

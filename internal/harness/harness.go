@@ -363,6 +363,10 @@ type Options struct {
 	// pool and arenas with LRU eviction; 0 (default) is unbounded. External
 	// pools/arenas carry their own caps.
 	MachineCap, InputCap, SnapshotCap int
+	// InputBudget / SnapshotBudget bound the engine-built arenas by bytes
+	// (estimated deep bytes for inputs, logical image bytes for snapshots);
+	// 0 (default) is unbounded. External arenas carry their own budgets.
+	InputBudget, SnapshotBudget int
 	// DetSample/DetSampleSeed select the determinism oracle's sampled mode
 	// for the conformance experiment; zero DetSample re-runs every cell.
 	DetSample     float64
@@ -389,6 +393,7 @@ func (o Options) engine() *sweep.Engine {
 		Reuse: o.Reuse, InputMode: o.Inputs, SnapshotMode: o.Snapshots,
 		Inputs: o.InputArena, Snapshots: o.SnapshotArena, Machines: o.MachinePool,
 		MachineCap: o.MachineCap, InputCap: o.InputCap, SnapshotCap: o.SnapshotCap,
+		InputBudget: o.InputBudget, SnapshotBudget: o.SnapshotBudget,
 		Metrics: o.Metrics,
 	}
 }
@@ -396,20 +401,22 @@ func (o Options) engine() *sweep.Engine {
 // Oracle translates the options into the conformance-oracle configuration.
 func (o Options) Oracle() sweep.OracleOptions {
 	return sweep.OracleOptions{
-		Workers:       o.Workers,
-		Reuse:         o.Reuse,
-		InputMode:     o.Inputs,
-		Snapshots:     o.Snapshots,
-		InputArena:    o.InputArena,
-		SnapshotArena: o.SnapshotArena,
-		MachinePool:   o.MachinePool,
-		MachineCap:    o.MachineCap,
-		InputCap:      o.InputCap,
-		SnapshotCap:   o.SnapshotCap,
-		DetSample:     o.DetSample,
-		DetSampleSeed: o.DetSampleSeed,
-		Sinks:         o.Sinks,
-		Metrics:       o.Metrics,
+		Workers:        o.Workers,
+		Reuse:          o.Reuse,
+		InputMode:      o.Inputs,
+		Snapshots:      o.Snapshots,
+		InputArena:     o.InputArena,
+		SnapshotArena:  o.SnapshotArena,
+		MachinePool:    o.MachinePool,
+		MachineCap:     o.MachineCap,
+		InputCap:       o.InputCap,
+		SnapshotCap:    o.SnapshotCap,
+		InputBudget:    o.InputBudget,
+		SnapshotBudget: o.SnapshotBudget,
+		DetSample:      o.DetSample,
+		DetSampleSeed:  o.DetSampleSeed,
+		Sinks:          o.Sinks,
+		Metrics:        o.Metrics,
 	}
 }
 

@@ -1,0 +1,151 @@
+package mem
+
+import (
+	"testing"
+)
+
+// refMem is the copying reference model for the copy-on-write fuzzer: a
+// plain word map with value-copy snapshot/restore semantics. Whatever
+// aliasing games the real Store plays with sealed pages, it must remain
+// observationally equal to this model at every read and at the end.
+type refMem map[Addr]uint64
+
+func (r refMem) clone() refMem {
+	c := make(refMem, len(r))
+	for a, v := range r {
+		c[a] = v
+	}
+	return c
+}
+
+// FuzzCowAliasing drives two stores and a shared pool of images through
+// random interleavings of writes, snapshots, cross-store restores, and
+// resets, checking the copy-on-write store against the copying reference
+// model word by word. This is the aliasing contract under attack: a write
+// to one store after a shared restore must never leak into the image or
+// the sibling store, a sealed page must never be revalidated in place, and
+// reads must never unshare anything.
+func FuzzCowAliasing(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{1, 0, 10, 1, 1, 2, 0, 0, 2, 1, 0, 0, 50, 3, 0})
+	f.Add([]byte{0, 200, 9, 1, 0, 2, 0, 0, 0, 201, 7, 2, 1, 0, 4, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const nStores = 2
+		// Three whole pages plus a tail, so writes hit page boundaries and
+		// partially used pages as well as interior lines.
+		const words = 3*(pageBytes/8) + 40
+		var stores [nStores]*Store
+		var models [nStores]refMem
+		for i := range stores {
+			stores[i] = NewStore()
+			models[i] = refMem{}
+		}
+		type shot struct {
+			img *StoreImage
+			ref refMem
+		}
+		var images []shot
+
+		pos := 0
+		next := func() int {
+			if pos >= len(ops) {
+				return -1
+			}
+			b := int(ops[pos])
+			pos++
+			return b
+		}
+		for {
+			op := next()
+			if op < 0 {
+				break
+			}
+			si := op % nStores
+			s, mdl := stores[si], models[si]
+			switch (op / nStores) % 5 {
+			case 0: // write a fuzz-chosen word
+				aw, vb := next(), next()
+				if aw < 0 || vb < 0 {
+					break
+				}
+				a := Addr((aw * 131) % words * 8)
+				v := uint64(vb) * 0x9e3779b97f4a7c15
+				s.Write64(a, v)
+				if v == 0 {
+					delete(mdl, a)
+				} else {
+					mdl[a] = v
+				}
+			case 1: // snapshot into the shared image pool
+				images = append(images, shot{s.Snapshot(), mdl.clone()})
+			case 2: // restore from any pooled image (possibly another store's)
+				ib := next()
+				if ib < 0 || len(images) == 0 {
+					break
+				}
+				sh := images[ib%len(images)]
+				s.Restore(sh.img)
+				models[si] = sh.ref.clone()
+			case 3: // reset to empty
+				s.Reset()
+				models[si] = refMem{}
+			case 4: // read a word — must match the model and must not unshare
+				aw := next()
+				if aw < 0 {
+					break
+				}
+				a := Addr((aw * 131) % words * 8)
+				copies := s.CowCopies()
+				if got, want := s.Read64(a), mdl[a]; got != want {
+					t.Fatalf("store %d: Read64(%#x) = %#x, model has %#x", si, a, got, want)
+				}
+				if s.CowCopies() != copies {
+					t.Fatalf("store %d: read of %#x triggered a copy-on-write copy", si, a)
+				}
+			}
+		}
+
+		// Final audit: every model word reads back, and the store holds no
+		// nonzero word the model lacks (ForEach walks materialized lines).
+		for si, s := range stores {
+			mdl := models[si]
+			for a, want := range mdl {
+				if got := s.Read64(a); got != want {
+					t.Fatalf("store %d final state: %#x = %#x, want %#x", si, a, got, want)
+				}
+			}
+			s.ForEach(func(la Addr, l *Line) {
+				for wi, v := range l {
+					if v != 0 {
+						a := la + Addr(wi*8)
+						if mdl[a] != v {
+							t.Fatalf("store %d holds %#x=%#x the model does not", si, a, v)
+						}
+					}
+				}
+			})
+		}
+		// Image immutability: every snapshot still matches the reference
+		// taken at capture time, regardless of what the stores did since.
+		probe := NewStore()
+		for i, sh := range images {
+			probe.Restore(sh.img)
+			for a, want := range sh.ref {
+				if got := probe.Read64(a); got != want {
+					t.Fatalf("image %d mutated: %#x = %#x, want %#x", i, a, got, want)
+				}
+			}
+			nonzero := 0
+			probe.ForEach(func(_ Addr, l *Line) {
+				for _, v := range l {
+					if v != 0 {
+						nonzero++
+					}
+				}
+			})
+			if nonzero != len(sh.ref) {
+				t.Fatalf("image %d restores %d nonzero words, reference has %d", i, nonzero, len(sh.ref))
+			}
+		}
+	})
+}

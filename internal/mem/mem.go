@@ -47,37 +47,56 @@ const (
 	lineInPageMsk = linesPerPage - 1
 )
 
-// storePage is one 4 KiB page of backing memory plus a bitmap of which of
-// its lines have been materialized (line granularity is preserved: Peek and
-// Len observe exactly the lines that Line has touched). epoch stamps the
-// store generation the page contents belong to; a page whose epoch trails
-// the store's is logically empty (Reset happened since) and its stale lines
-// are zeroed lazily on next touch.
-type storePage struct {
-	used  uint64
-	epoch uint64
-	lines [linesPerPage]Line
+// PageBytes is the store's page granularity — the unit of copy-on-write
+// sharing between a live store and a snapshot image.
+const PageBytes = pageBytes
+
+// pageData is the payload of one 4 KiB page: the line array plus a bitmap of
+// which lines have been materialized (line granularity is preserved: Peek and
+// Len observe exactly the lines that Line has touched). Once sealed, a
+// pageData is immutable and may be aliased by any number of StoreImages and
+// live Stores simultaneously; a store must copy it before its next write
+// (copy-on-write). Sealing is monotonic — a sealed page never becomes
+// private again; stores drop their alias and the GC reclaims the page when
+// the last image referencing it dies.
+type pageData struct {
+	used   uint64
+	sealed bool
+	lines  [linesPerPage]Line
 }
 
-// current reports whether the page's contents belong to epoch.
-func (pg *storePage) current(epoch uint64) bool { return pg.epoch == epoch }
+// pageSlot is a store's per-page view: the shared (or private) payload plus
+// the store generation the alias belongs to. A slot whose epoch trails the
+// store's is logically empty (Reset happened since); private stale pages are
+// re-zeroed lazily in place, sealed stale pages are dropped (they are
+// immutable, so revalidation must not touch them).
+type pageSlot struct {
+	epoch uint64
+	data  *pageData
+}
 
-// revalidate brings a stale page into epoch: the lines used in the previous
-// generation are zeroed (only those — fresh pages are already zero), the
-// bitmap cleared. Cost is proportional to the lines touched last generation.
-func (pg *storePage) revalidate(epoch uint64) {
+// revalidate brings a stale private page into the current generation: the
+// lines used in the previous generation are zeroed (only those — fresh pages
+// are already zero), the bitmap cleared. Cost is proportional to the lines
+// touched last generation. Must never run on a sealed page.
+func (pg *pageData) revalidate() {
 	for m := pg.used; m != 0; m &= m - 1 {
 		pg.lines[bits.TrailingZeros64(m)] = Line{}
 	}
 	pg.used = 0
-	pg.epoch = epoch
 }
+
+// zeroLine is what ReadLine returns for lines that were never materialized:
+// all reads of absent memory observe zeroes, without forcing the store to
+// materialize (or copy-on-write) a page for a pure read. Callers must treat
+// ReadLine results as read-only.
+var zeroLine Line
 
 // Store is the canonical memory backing store, line granular. Lines are
 // materialized lazily and zero-initialized, like freshly mapped pages.
 //
-// The store is a two-level page table — a slice of 4 KiB pages indexed by
-// page number — not a map: the simulator's bump allocator hands out a
+// The store is a two-level page table — a slice of 4 KiB page slots indexed
+// by page number — not a map: the simulator's bump allocator hands out a
 // dense, low address space, so page-number indexing replaces the map hash
 // that used to dominate every backing-store access, and iteration is in
 // address order for free.
@@ -86,10 +105,16 @@ func (pg *storePage) revalidate(epoch uint64) {
 // store epoch, invalidating every page in O(1); each page zeroes its stale
 // lines the next time it is touched. Reset cost is therefore independent of
 // capacity, and post-Reset reads observe zeroes exactly as a fresh store.
+//
+// Snapshot seals the store's current pages and aliases them into an
+// immutable StoreImage instead of copying; Restore adopts an image's page
+// pointers the same way. Sealed pages are copied lazily, on the store's
+// first write into them (see Line); cowCopies counts those copies.
 type Store struct {
-	pages []*storePage
-	count int    // materialized lines (current epoch)
-	epoch uint64 // current generation; pages with older stamps are empty
+	pages     []pageSlot
+	count     int    // materialized lines (current epoch)
+	epoch     uint64 // current generation; slots with older stamps are empty
+	cowCopies uint64 // sealed pages copied before a write, cumulative
 }
 
 // NewStore returns an empty backing store.
@@ -104,28 +129,57 @@ func (s *Store) Reset() {
 	s.count = 0
 }
 
-// page returns the page containing a, materializing it if needed.
-func (s *Store) page(a Addr) *storePage {
-	pi := int(a >> pageShift)
+// grow extends the page table to cover page index pi.
+func (s *Store) grow(pi int) {
 	if pi >= len(s.pages) {
-		grown := make([]*storePage, pi+pi/2+1)
+		grown := make([]pageSlot, pi+pi/2+1)
 		copy(grown, s.pages)
 		s.pages = grown
 	}
-	pg := s.pages[pi]
-	if pg == nil {
-		pg = &storePage{epoch: s.epoch}
-		s.pages[pi] = pg
-	} else if !pg.current(s.epoch) {
-		pg.revalidate(s.epoch)
+}
+
+// writablePage returns a private, current-generation page covering a,
+// materializing, revalidating, or copy-on-write copying as needed. This is
+// the only path that may dirty page contents.
+func (s *Store) writablePage(a Addr) *pageData {
+	pi := int(a >> pageShift)
+	s.grow(pi)
+	slot := &s.pages[pi]
+	pg := slot.data
+	switch {
+	case pg == nil:
+		pg = &pageData{}
+		slot.data = pg
+		slot.epoch = s.epoch
+	case slot.epoch != s.epoch:
+		if pg.sealed {
+			// Stale alias of an image page: the payload is immutable, so
+			// drop the alias and start from a fresh zero page.
+			pg = &pageData{}
+			slot.data = pg
+		} else {
+			pg.revalidate()
+		}
+		slot.epoch = s.epoch
+	case pg.sealed:
+		// Live page shared with an image: copy before dirtying. The copy is
+		// private (unsealed) and replaces the alias; the image keeps the
+		// sealed original.
+		cp := &pageData{used: pg.used, lines: pg.lines}
+		slot.data = cp
+		s.cowCopies++
+		pg = cp
 	}
 	return pg
 }
 
 // Line returns the backing line containing a, materializing it if needed.
-// The returned pointer aliases store state; callers mutate it in place.
+// The returned pointer aliases store state; callers mutate it in place —
+// this is the write accessor, and it unshares (copies) a page sealed into a
+// snapshot image before handing out the pointer. Pure readers should use
+// ReadLine, which never materializes or unshares.
 func (s *Store) Line(a Addr) *Line {
-	pg := s.page(a)
+	pg := s.writablePage(a)
 	li := int(a>>lineShift) & lineInPageMsk
 	if pg.used&(1<<li) == 0 {
 		pg.used |= 1 << li
@@ -134,15 +188,53 @@ func (s *Store) Line(a Addr) *Line {
 	return &pg.lines[li]
 }
 
+// ReadLine returns the backing line containing a for reading only. Absent
+// lines (never materialized, or stale since the last Reset) read as a shared
+// all-zero line without being materialized, so a read never sets a used bit,
+// never copies a sealed page, and never allocates. Callers must not write
+// through the returned pointer.
+func (s *Store) ReadLine(a Addr) *Line {
+	pi := int(a >> pageShift)
+	if pi >= len(s.pages) {
+		return &zeroLine
+	}
+	slot := &s.pages[pi]
+	pg := slot.data
+	if pg == nil || slot.epoch != s.epoch {
+		return &zeroLine
+	}
+	li := int(a>>lineShift) & lineInPageMsk
+	if pg.used&(1<<li) == 0 {
+		return &zeroLine
+	}
+	return &pg.lines[li]
+}
+
+// StoreLine writes a full line image to the line containing a, skipping the
+// write entirely when memory already holds those bytes. The skip is what
+// keeps copy-on-write sharing alive under cache writebacks: evicting a
+// clean (Exclusive) or unmodified line writes back bytes identical to the
+// backing store, and a plain Line() store would copy the whole sealed page
+// just to overwrite it with itself. Contents after StoreLine are always
+// exactly "v at a"; only the sharing state (and the used bit, when v is
+// all-zero and the line was absent) differs from an unconditional write.
+func (s *Store) StoreLine(a Addr, v *Line) {
+	if *s.ReadLine(a) == *v {
+		return
+	}
+	*s.Line(a) = *v
+}
+
 // Peek returns the line if present without materializing it.
 func (s *Store) Peek(a Addr) (*Line, bool) {
 	pi := int(a >> pageShift)
-	if pi >= len(s.pages) || s.pages[pi] == nil {
+	if pi >= len(s.pages) {
 		return nil, false
 	}
-	pg := s.pages[pi]
-	if !pg.current(s.epoch) {
-		return nil, false // stale page: logically empty since the last Reset
+	slot := &s.pages[pi]
+	pg := slot.data
+	if pg == nil || slot.epoch != s.epoch {
+		return nil, false // absent or stale: logically empty since the last Reset
 	}
 	li := int(a>>lineShift) & lineInPageMsk
 	if pg.used&(1<<li) == 0 {
@@ -153,9 +245,10 @@ func (s *Store) Peek(a Addr) (*Line, bool) {
 
 // Read64 reads the word containing a directly from the backing store,
 // bypassing any caches. Intended for initialization and validation only.
+// Reads of absent lines observe zero without materializing them.
 func (s *Store) Read64(a Addr) uint64 {
 	mustAligned(a)
-	return s.Line(a)[WordIdx(a)]
+	return s.ReadLine(a)[WordIdx(a)]
 }
 
 // Write64 writes the word containing a directly to the backing store,
@@ -168,11 +261,37 @@ func (s *Store) Write64(a Addr, v uint64) {
 // Len returns the number of materialized lines.
 func (s *Store) Len() int { return s.count }
 
+// CowCopies returns the cumulative number of sealed pages this store has
+// copied before a write — the only whole-page copies the copy-on-write
+// snapshot scheme ever performs.
+func (s *Store) CowCopies() uint64 { return s.cowCopies }
+
+// PageStats counts the store's current-generation materialized pages:
+// shared pages alias a snapshot image's sealed payload (a write would copy
+// first), private pages are owned by this store alone.
+func (s *Store) PageStats() (shared, private int) {
+	for i := range s.pages {
+		slot := &s.pages[i]
+		if slot.data == nil || slot.epoch != s.epoch {
+			continue
+		}
+		if slot.data.sealed {
+			shared++
+		} else {
+			private++
+		}
+	}
+	return shared, private
+}
+
 // ForEach calls fn for every materialized line in ascending address order,
-// without allocating. fn must not materialize new lines.
+// without allocating. fn must not materialize new lines and must not write
+// through the line pointer — pages may be sealed into snapshot images.
 func (s *Store) ForEach(fn func(la Addr, l *Line)) {
-	for pi, pg := range s.pages {
-		if pg == nil || !pg.current(s.epoch) {
+	for pi := range s.pages {
+		slot := &s.pages[pi]
+		pg := slot.data
+		if pg == nil || slot.epoch != s.epoch {
 			continue
 		}
 		base := Addr(pi) << pageShift
@@ -183,22 +302,24 @@ func (s *Store) ForEach(fn func(la Addr, l *Line)) {
 	}
 }
 
-// imagePage is one captured page of a StoreImage: the page number, the
-// materialized-line bitmap, and a copy of the page's 4 KiB payload. Within
-// the current epoch every line outside the bitmap is zero (lines only
-// materialize through Line, and revalidate zeroes a stale page's leftovers),
-// so copying whole pages is exact.
+// imagePage is one captured page of a StoreImage: the page number and a
+// pointer to the sealed payload the image shares with the store it was
+// captured from (and with every store later restored from the image).
+// Within the capture epoch every line outside the payload's bitmap is zero
+// (lines only materialize through Line, and revalidate zeroes a stale
+// private page's leftovers), so aliasing whole pages is exact.
 type imagePage struct {
 	index int
-	used  uint64
-	lines [linesPerPage]Line
+	data  *pageData
 }
 
-// StoreImage is an immutable copy of a store's materialized contents,
-// captured by Store.Snapshot and reinstated by Store.Restore with bulk page
-// copies. Images are shared read-only across goroutines (the snapshot arena
-// hands one image to every worker that restores from it), so nothing may
-// mutate one after Snapshot returns.
+// StoreImage is an immutable capture of a store's materialized contents.
+// Store.Snapshot seals the store's pages and aliases them here — no page
+// payload is copied at capture, and Store.Restore adopts the same pointers
+// back, so the only copies the scheme ever makes are copy-on-write copies
+// of pages a store actually dirties afterwards. Images are shared read-only
+// across goroutines (the snapshot arena hands one image to every worker
+// that restores from it); nothing may mutate one after Snapshot returns.
 type StoreImage struct {
 	pages []imagePage // ascending page index
 	lines int
@@ -207,56 +328,73 @@ type StoreImage struct {
 // Lines returns the number of materialized lines the image holds.
 func (img *StoreImage) Lines() int { return img.lines }
 
-// Bytes returns the host memory footprint of the image's page payloads —
-// the unit the snapshot arena's byte telemetry reports.
+// Bytes returns the logical size of the image's page payloads — what a
+// whole-page-copy image would occupy, and the unit the snapshot arena's
+// logical-bytes telemetry reports. The resident (host) footprint is smaller
+// whenever pages are shared with live stores or sibling images.
 func (img *StoreImage) Bytes() int { return len(img.pages) * pageBytes }
 
-// Snapshot captures the store's current contents into an immutable image.
-// Only pages with materialized lines are copied, whole-page at a time. The
-// page slice is sized up front: imagePage values are 4 KiB each, so append
-// growth would re-copy megabytes on large captures.
+// Pages returns the number of pages the image references.
+func (img *StoreImage) Pages() int { return len(img.pages) }
+
+// Snapshot captures the store's current contents into an immutable image by
+// sealing every materialized page and aliasing it — O(pages) pointer work,
+// no payload copies. The store keeps using the sealed pages for reads; its
+// first write into one copies it first (see Line).
 func (s *Store) Snapshot() *StoreImage {
 	n := 0
-	for _, pg := range s.pages {
-		if pg != nil && pg.current(s.epoch) && pg.used != 0 {
+	for i := range s.pages {
+		slot := &s.pages[i]
+		if slot.data != nil && slot.epoch == s.epoch && slot.data.used != 0 {
 			n++
 		}
 	}
 	img := &StoreImage{lines: s.count, pages: make([]imagePage, 0, n)}
-	for pi, pg := range s.pages {
-		if pg == nil || !pg.current(s.epoch) || pg.used == 0 {
+	for pi := range s.pages {
+		slot := &s.pages[pi]
+		pg := slot.data
+		if pg == nil || slot.epoch != s.epoch || pg.used == 0 {
 			continue
 		}
-		img.pages = append(img.pages, imagePage{index: pi, used: pg.used, lines: pg.lines})
+		pg.sealed = true
+		img.pages = append(img.pages, imagePage{index: pi, data: pg})
 	}
 	return img
 }
 
 // Restore makes the store's contents exactly equal the image: an O(1)
-// epoch-bump Reset followed by one whole-page copy per image page. No
-// per-word writes, and no allocation beyond pages the store has never
-// materialized — a Reset-reused store restores allocation-free.
+// epoch-bump Reset followed by adopting the image's sealed page pointers —
+// no payload copies ever; the store copies a page only when (and if) it
+// later writes into it. No allocation beyond growing a page table that has
+// never reached the image's highest page.
 func (s *Store) Restore(img *StoreImage) {
 	s.Reset()
 	for i := range img.pages {
 		p := &img.pages[i]
-		if p.index >= len(s.pages) {
-			grown := make([]*storePage, p.index+p.index/2+1)
-			copy(grown, s.pages)
-			s.pages = grown
-		}
-		pg := s.pages[p.index]
-		if pg == nil {
-			pg = &storePage{}
-			s.pages[p.index] = pg
-		}
-		// The whole-page copy overwrites any stale lines from earlier
-		// generations, so no revalidate pass is needed.
-		pg.lines = p.lines
-		pg.used = p.used
-		pg.epoch = s.epoch
-		s.count += bits.OnesCount64(p.used)
+		s.grow(p.index)
+		slot := &s.pages[p.index]
+		slot.data = p.data
+		slot.epoch = s.epoch
+		s.count += bits.OnesCount64(p.data.used)
 	}
+}
+
+// ResidentPageBytes returns the host footprint of the distinct page
+// payloads the given images reference: a page shared by several images
+// (captured from stores that themselves restored from a common ancestor)
+// is counted once. With no sharing this equals the sum of Bytes; the
+// snapshot arena reports it as resident bytes next to the logical sum.
+func ResidentPageBytes(imgs []*StoreImage) int {
+	seen := make(map[*pageData]struct{})
+	for _, img := range imgs {
+		if img == nil {
+			continue
+		}
+		for i := range img.pages {
+			seen[img.pages[i].data] = struct{}{}
+		}
+	}
+	return len(seen) * pageBytes
 }
 
 // Addrs returns the base addresses of every materialized line in ascending

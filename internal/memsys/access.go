@@ -230,7 +230,7 @@ func (ms *MemSys) evictL2(core int, v *cache.LineMeta) (specHit bool) {
 		if e.state != dirExclusive || e.owner != core {
 			fail("evicting E/M line %#x not owned per directory", uint64(la))
 		}
-		*ms.store.Line(la) = v.Data
+		ms.store.StoreLine(la, &v.Data)
 		ms.ctr.Writebacks++
 		e.state, e.owner = dirInvalid, -1
 	case cache.ReducibleU:
@@ -241,7 +241,7 @@ func (ms *MemSys) evictL2(core int, v *cache.LineMeta) (specHit bool) {
 		others := e.sharers.Members()
 		if len(others) == 0 {
 			// Last sharer: the partial value is the full value.
-			*ms.store.Line(la) = v.Data
+			ms.store.StoreLine(la, &v.Data)
 			ms.ctr.Writebacks++
 			e.state, e.label = dirInvalid, cache.NoLabel
 			break
@@ -318,13 +318,13 @@ func (ms *MemSys) slowRead(req Req, la mem.Addr, wi int, e *dirEntry, lat uint64
 	switch e.state {
 	case dirInvalid:
 		l1, l2, self := ms.ensurePrivate(req.Core, la)
-		setLine(l1, l2, cache.Exclusive, cache.NoLabel, ms.store.Line(la), false)
+		setLine(l1, l2, cache.Exclusive, cache.NoLabel, ms.store.ReadLine(la), false)
 		e.state, e.owner = dirExclusive, req.Core
 		return ms.finish(req, l1, l2, OpRead, wi, 0), lat, self
 
 	case dirShared:
 		l1, l2, self := ms.ensurePrivate(req.Core, la)
-		setLine(l1, l2, cache.Shared, cache.NoLabel, ms.store.Line(la), false)
+		setLine(l1, l2, cache.Shared, cache.NoLabel, ms.store.ReadLine(la), false)
 		e.sharers.Set(req.Core)
 		return ms.finish(req, l1, l2, OpRead, wi, 0), lat, self
 
@@ -340,7 +340,7 @@ func (ms *MemSys) slowRead(req Req, la mem.Addr, wi int, e *dirEntry, lat uint64
 		}
 		lat += ms.invalLat(req.Core, o, la)
 		data := *ms.nonSpecData(o, la)
-		*ms.store.Line(la) = data // writeback on downgrade
+		ms.store.StoreLine(la, &data) // writeback on downgrade
 		ms.setPrivState(o, la, cache.Shared, cache.NoLabel)
 		e.state, e.owner = dirShared, -1
 		e.sharers.Reset()
@@ -362,7 +362,7 @@ func (ms *MemSys) slowWrite(req Req, la mem.Addr, wi int, wval uint64, e *dirEnt
 	switch e.state {
 	case dirInvalid:
 		l1, l2, self := ms.ensurePrivate(req.Core, la)
-		setLine(l1, l2, cache.Modified, cache.NoLabel, ms.store.Line(la), true)
+		setLine(l1, l2, cache.Modified, cache.NoLabel, ms.store.ReadLine(la), true)
 		e.state, e.owner = dirExclusive, req.Core
 		return ms.finish(req, l1, l2, OpWrite, wi, wval), lat, self
 
@@ -392,7 +392,7 @@ func (ms *MemSys) slowWrite(req Req, la mem.Addr, wi int, wval uint64, e *dirEnt
 			l1.State, l2.State = cache.Modified, cache.Modified
 			l1.Dirty, l2.Dirty = true, true
 		} else {
-			setLine(l1, l2, cache.Modified, cache.NoLabel, ms.store.Line(la), true)
+			setLine(l1, l2, cache.Modified, cache.NoLabel, ms.store.ReadLine(la), true)
 		}
 		e.state, e.owner = dirExclusive, req.Core
 		e.sharers.Reset()
@@ -434,7 +434,7 @@ func (ms *MemSys) slowLabeled(req Req, la mem.Addr, wi int, op Op, label LabelID
 	case dirInvalid:
 		// Case 1: no other private copies — the requester receives the data.
 		l1, l2, self := ms.ensurePrivate(req.Core, la)
-		setLine(l1, l2, cache.ReducibleU, label, ms.store.Line(la), true)
+		setLine(l1, l2, cache.ReducibleU, label, ms.store.ReadLine(la), true)
 		e.state, e.label = dirU, label
 		e.sharers.Reset()
 		e.sharers.Set(req.Core)
@@ -462,7 +462,7 @@ func (ms *MemSys) slowLabeled(req Req, la mem.Addr, wi int, op Op, label LabelID
 		}
 		lat += maxInval
 		l1, l2, self := ms.ensurePrivate(req.Core, la)
-		setLine(l1, l2, cache.ReducibleU, label, ms.store.Line(la), true)
+		setLine(l1, l2, cache.ReducibleU, label, ms.store.ReadLine(la), true)
 		e.state, e.label = dirU, label
 		e.sharers.Reset()
 		e.sharers.Set(req.Core)

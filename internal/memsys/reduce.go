@@ -55,7 +55,7 @@ func (rc *ReduceCtx) prepare(a mem.Addr, write bool) {
 		if ol1 := ms.privs[o].l1.Lookup(la); ol1 != nil && ol1.SpecAny() {
 			ms.abortVictim(o, CauseOther)
 		}
-		*ms.store.Line(la) = *ms.nonSpecData(o, la)
+		ms.store.StoreLine(la, ms.nonSpecData(o, la))
 		ms.dropPrivate(o, la)
 		e.state, e.owner = dirInvalid, -1
 		ms.ctr.Writebacks++
@@ -307,7 +307,7 @@ func (ms *MemSys) Drain() {
 			la := mem.Addr(pi)<<dirPageShift | mem.Addr(li)*mem.LineBytes
 			switch e.state {
 			case dirExclusive:
-				*ms.store.Line(la) = *ms.nonSpecData(e.owner, la)
+				ms.store.StoreLine(la, ms.nonSpecData(e.owner, la))
 				ms.dropPrivate(e.owner, la)
 				e.state, e.owner = dirInvalid, -1
 			case dirShared:
@@ -328,7 +328,7 @@ func (ms *MemSys) Drain() {
 				}
 				e.sharers.Reset()
 				e.state, e.label = dirInvalid, cache.NoLabel
-				*ms.store.Line(la) = acc
+				ms.store.StoreLine(la, &acc)
 			}
 		}
 	}

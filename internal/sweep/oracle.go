@@ -101,6 +101,9 @@ type DeterminismOptions struct {
 	// MachineCap / InputCap / SnapshotCap bound the re-run engine's pools
 	// (Engine semantics); 0 is unbounded.
 	MachineCap, InputCap, SnapshotCap int
+	// InputBudget / SnapshotBudget bound the re-run engine's arenas by
+	// bytes (Engine semantics); 0 is unbounded.
+	InputBudget, SnapshotBudget int
 	// Metrics, when non-nil, accumulates the re-run engine's host-side
 	// lifecycle counters.
 	Metrics *RunMetrics
@@ -164,6 +167,7 @@ func CheckDeterminismOpts(rs Results, o DeterminismOptions) error {
 	eng := Engine{
 		Workers: o.Workers, Reuse: o.Reuse, InputMode: o.InputMode, SnapshotMode: o.Snapshots,
 		MachineCap: o.MachineCap, InputCap: o.InputCap, SnapshotCap: o.SnapshotCap,
+		InputBudget: o.InputBudget, SnapshotBudget: o.SnapshotBudget,
 		Metrics: o.Metrics,
 	}
 	rerun, err := eng.Run(cells)
@@ -211,6 +215,10 @@ type OracleOptions struct {
 	// MachineCap / InputCap / SnapshotCap bound both runs' machine pools
 	// and arenas (Engine semantics); 0 is unbounded.
 	MachineCap, InputCap, SnapshotCap int
+	// InputBudget / SnapshotBudget bound both runs' engine-built arenas by
+	// bytes (Engine semantics); 0 is unbounded. External arenas carry
+	// their own budgets.
+	InputBudget, SnapshotBudget int
 	// DetSample / DetSampleSeed select the determinism oracle's sampled
 	// mode (DeterminismOptions.Sample semantics); zero means full.
 	DetSample     float64
@@ -240,6 +248,7 @@ func ConformanceOpts(mx Matrix, o OracleOptions) (Results, error) {
 		Workers: o.Workers, Sinks: o.Sinks, Reuse: o.Reuse, InputMode: o.InputMode, SnapshotMode: o.Snapshots,
 		Inputs: o.InputArena, Snapshots: o.SnapshotArena, Machines: o.MachinePool,
 		MachineCap: o.MachineCap, InputCap: o.InputCap, SnapshotCap: o.SnapshotCap,
+		InputBudget: o.InputBudget, SnapshotBudget: o.SnapshotBudget,
 		Metrics: o.Metrics,
 	}
 	cells := mx.Cells()
@@ -260,6 +269,7 @@ func ConformanceOpts(mx Matrix, o OracleOptions) (Results, error) {
 	det := DeterminismOptions{
 		Workers: o.Workers, Reuse: o.Reuse, InputMode: o.InputMode, Snapshots: o.Snapshots,
 		MachineCap: o.MachineCap, InputCap: o.InputCap, SnapshotCap: o.SnapshotCap,
+		InputBudget: o.InputBudget, SnapshotBudget: o.SnapshotBudget,
 		Metrics: o.Metrics, Sample: o.DetSample, SampleSeed: o.DetSampleSeed,
 	}
 	if err := CheckDeterminismOpts(rs, det); err != nil {

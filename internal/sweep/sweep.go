@@ -222,6 +222,19 @@ type RunMetrics struct {
 	SnapshotMisses    int64 `json:"snapshot_misses"`
 	SnapshotEvictions int64 `json:"snapshot_evictions"`
 	SnapshotBytes     int64 `json:"snapshot_bytes"`
+	// Copy-on-write page telemetry. CowPageCopies counts sealed store pages
+	// copied before a write — the only whole-page copies the copy-on-write
+	// snapshot scheme performs (capture and restore are pointer work).
+	// RestoreSkips counts Machine.Restore calls satisfied by the
+	// image-digest stamp alone. SharedPages and PrivatePages sum each
+	// cell's post-run page census: shared pages still alias a snapshot
+	// image, private ones were materialized or copied by the cell. The
+	// page-sharing ratio shared/(shared+private) is the number to read —
+	// it is how much of the working set restores left unshared.
+	CowPageCopies int64 `json:"cow_page_copies"`
+	RestoreSkips  int64 `json:"restore_skips"`
+	SharedPages   int64 `json:"shared_pages"`
+	PrivatePages  int64 `json:"private_pages"`
 }
 
 // add accumulates (atomically) into rm; nil-safe.
@@ -253,6 +266,17 @@ func (rm *RunMetrics) addInputs(s inputs.Stats) {
 	atomic.AddInt64(&rm.InputHits, int64(s.Hits))
 	atomic.AddInt64(&rm.InputMisses, int64(s.Misses))
 	atomic.AddInt64(&rm.InputEvictions, int64(s.Evictions))
+}
+
+// addCow folds one cell's copy-on-write page telemetry into rm.
+func (rm *RunMetrics) addCow(copies, skips, shared, private int64) {
+	if rm == nil {
+		return
+	}
+	atomic.AddInt64(&rm.CowPageCopies, copies)
+	atomic.AddInt64(&rm.RestoreSkips, skips)
+	atomic.AddInt64(&rm.SharedPages, shared)
+	atomic.AddInt64(&rm.PrivatePages, private)
 }
 
 // addSnapshots folds a snapshot arena's per-run stat deltas into rm.
@@ -433,10 +457,16 @@ func runCell(c Cell, wm *workerMachines, ia *inputs.Arena, sa *snapshots.Arena, 
 	start := time.Now()
 	res = Result{Cell: c}
 	var m *commtm.Machine
+	var cowBefore, skipsBefore uint64
 	defer func() {
 		res.WallNS = time.Since(start).Nanoseconds()
 		if r := recover(); r != nil {
 			res.Err = fmt.Sprintf("panic: %v", r)
+		}
+		if m != nil && rm != nil {
+			shared, private := m.PageStats()
+			rm.addCow(int64(m.CowCopies()-cowBefore), int64(m.RestoreSkips()-skipsBefore),
+				int64(shared), int64(private))
 		}
 		if res.Err != "" && m != nil {
 			// Only a machine the failed cell actually ran on is suspect; a
@@ -466,6 +496,7 @@ func runCell(c Cell, wm *workerMachines, ia *inputs.Arena, sa *snapshots.Arena, 
 	}
 	var reused bool
 	m, reused = wm.acquire(c)
+	cowBefore, skipsBefore = m.CowCopies(), m.RestoreSkips()
 	if wm == nil {
 		rm.add(1, 0, 0) // pooled builds are counted from the pool's stat deltas
 	}
@@ -567,7 +598,7 @@ const (
 	// SnapshotsOn (the default) shares one snapshot arena across the run's
 	// workers: the first cell of each (workload, params, seed, config modulo
 	// seed) runs Setup and captures the post-Setup machine image; repeated
-	// cells restore it with bulk page copies and skip Setup entirely.
+	// cells adopt its copy-on-write pages by pointer and skip Setup entirely.
 	// Results are bit-identical to SnapshotsOff — the golden conformance
 	// gate runs the golden matrix both ways against the same goldens.
 	SnapshotsOn SnapshotMode = iota
@@ -638,6 +669,16 @@ type Engine struct {
 	// SnapshotCap bounds the engine-built snapshot arena's entries the same
 	// way. 0 (default) is unbounded.
 	SnapshotCap int
+	// InputBudget, when > 0, bounds the engine-built input arena by
+	// estimated cached bytes instead of (or alongside) the entry cap —
+	// whichever limit is exceeded evicts LRU-first. External arenas carry
+	// their own budget.
+	InputBudget int
+	// SnapshotBudget bounds the engine-built snapshot arena by logical
+	// image bytes the same way. Byte budgets are the paper-scale knob: at
+	// -scale 1 images run to megabytes each, so an entry cap either admits
+	// too much memory or thrashes; a budget sizes the arena by footprint.
+	SnapshotBudget int
 	// Metrics, when non-nil, accumulates host-side lifecycle counters
 	// (machines built/reused/evicted, input arena hits/misses) across this
 	// engine's runs. Counters add up across runs sharing one RunMetrics.
@@ -785,11 +826,11 @@ func (e *Engine) Run(cells []Cell) (Results, error) {
 	// runs; metrics then report this run's deltas.
 	ia := e.Inputs
 	if ia == nil && e.InputMode == InputsOn {
-		ia = inputs.NewCapped(e.InputCap)
+		ia = inputs.NewBudgeted(e.InputCap, e.InputBudget)
 	}
 	sa := e.Snapshots
 	if sa == nil && e.SnapshotMode == SnapshotsOn {
-		sa = snapshots.NewCapped(e.SnapshotCap)
+		sa = snapshots.NewBudgeted(e.SnapshotCap, e.SnapshotBudget)
 	}
 	// The machine pool is shared by every worker the same way (keys are
 	// partitioned by worker index, so sharing the structure costs one short

@@ -26,7 +26,11 @@
 // closed (outside the arena lock).
 package inputs
 
-import "commtm/internal/arena"
+import (
+	"reflect"
+
+	"commtm/internal/arena"
+)
 
 // Key identifies one generated input. Two keys are equal exactly when the
 // generated input would be byte-identical: Kind names the workload family,
@@ -46,22 +50,28 @@ type User interface {
 	UseInputs(*Arena)
 }
 
-// Stats is a snapshot of an arena's cache behavior. Hits, Misses, and
-// Evictions are cumulative counters; Size is a current gauge.
+// Stats is a snapshot of an arena's cache behavior. Hits, Misses,
+// Evictions, and BytesAdded are cumulative counters; Size and Bytes are
+// current gauges. Bytes is the estimated deep host size of the cached
+// values (the unit -input-budget evicts against); the estimate walks
+// slices, maps, and nested structures once, at generation time.
 type Stats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Size      int    `json:"size"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+	BytesAdded uint64 `json:"bytes_added"`
+	Size       int    `json:"size"`
+	Bytes      int    `json:"bytes"`
 }
 
 // Delta returns the counter movement between prev and s, keeping s's Size
-// gauge. Engine runs sharing a process-lifetime arena use it to report
-// per-run metrics.
+// and Bytes gauges. Engine runs sharing a process-lifetime arena use it to
+// report per-run metrics.
 func (s Stats) Delta(prev Stats) Stats {
 	s.Hits -= prev.Hits
 	s.Misses -= prev.Misses
 	s.Evictions -= prev.Evictions
+	s.BytesAdded -= prev.BytesAdded
 	return s
 }
 
@@ -75,18 +85,132 @@ type Arena struct {
 }
 
 // New returns an unbounded arena.
-func New() *Arena { return NewCapped(0) }
+func New() *Arena { return NewBudgeted(0, 0) }
 
 // NewCapped returns an arena holding at most cap entries, evicting the
 // least recently used beyond that; cap <= 0 means unbounded. If an evicted
 // value implements io.Closer's shape (Close() or Close() error), it is
 // closed — outside the arena lock, so a Close that re-enters the arena or
 // takes long cannot deadlock or stall other workers.
-func NewCapped(cap int) *Arena {
+func NewCapped(cap int) *Arena { return NewBudgeted(cap, 0) }
+
+// NewBudgeted returns an arena bounded by an entry cap and/or a byte
+// budget; either limit evicts the least recently used entries beyond it,
+// and <= 0 disables that limit. The budget is in estimated deep host bytes
+// of the cached values (see sizeOf) — an estimate, so treat the budget as
+// a target, not an exact ceiling.
+func NewBudgeted(cap, budget int) *Arena {
 	a := &Arena{}
 	a.c.Cap = cap
+	a.c.Budget = budget
+	a.c.SizeOf = deepSize
 	a.c.OnRelease = closeValue
 	return a
+}
+
+// deepSize estimates the deep host size of a cached input: the value's own
+// bytes plus everything it references through pointers, slices, maps,
+// strings, arrays, structs, and interfaces, each referenced allocation
+// counted once. It runs once per generated value (the cold path), never on
+// hits. The estimate ignores allocator rounding and map bucket overhead —
+// good enough to size an eviction budget, not an exact accounting.
+func deepSize(v any) int {
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() {
+		return 0
+	}
+	return int(rv.Type().Size()) + payloadSize(rv, make(map[uintptr]bool))
+}
+
+// payloadSize returns the bytes rv references beyond its own inline
+// representation. seen tracks visited pointers/slices/maps so shared
+// allocations count once and cycles terminate.
+func payloadSize(rv reflect.Value, seen map[uintptr]bool) int {
+	switch rv.Kind() {
+	case reflect.Pointer:
+		if rv.IsNil() || seen[rv.Pointer()] {
+			return 0
+		}
+		seen[rv.Pointer()] = true
+		e := rv.Elem()
+		return int(e.Type().Size()) + payloadSize(e, seen)
+	case reflect.Slice:
+		if rv.IsNil() || seen[rv.Pointer()] {
+			return 0
+		}
+		seen[rv.Pointer()] = true
+		et := rv.Type().Elem()
+		n := rv.Cap() * int(et.Size())
+		if typeHasIndirect(et) {
+			for i := 0; i < rv.Len(); i++ {
+				n += payloadSize(rv.Index(i), seen)
+			}
+		}
+		return n
+	case reflect.String:
+		return rv.Len()
+	case reflect.Map:
+		if rv.IsNil() || seen[rv.Pointer()] {
+			return 0
+		}
+		seen[rv.Pointer()] = true
+		kt, vt := rv.Type().Key(), rv.Type().Elem()
+		n := rv.Len() * int(kt.Size()+vt.Size())
+		if typeHasIndirect(kt) || typeHasIndirect(vt) {
+			it := rv.MapRange()
+			for it.Next() {
+				n += payloadSize(it.Key(), seen) + payloadSize(it.Value(), seen)
+			}
+		}
+		return n
+	case reflect.Interface:
+		if rv.IsNil() {
+			return 0
+		}
+		e := rv.Elem()
+		n := payloadSize(e, seen)
+		if e.Kind() == reflect.Pointer || e.Kind() == reflect.Map {
+			return n // the interface word holds the pointer inline
+		}
+		return n + int(e.Type().Size()) // boxed value
+	case reflect.Struct:
+		n := 0
+		for i := 0; i < rv.NumField(); i++ {
+			n += payloadSize(rv.Field(i), seen)
+		}
+		return n
+	case reflect.Array:
+		if !typeHasIndirect(rv.Type().Elem()) {
+			return 0
+		}
+		n := 0
+		for i := 0; i < rv.Len(); i++ {
+			n += payloadSize(rv.Index(i), seen)
+		}
+		return n
+	}
+	return 0
+}
+
+// typeHasIndirect reports whether values of t can reference heap memory
+// beyond their inline bytes, gating the per-element walks above so flat
+// numeric slices are sized in O(1).
+func typeHasIndirect(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Pointer, reflect.Slice, reflect.Map, reflect.String,
+		reflect.Interface, reflect.Chan, reflect.Func, reflect.UnsafePointer:
+		return true
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if typeHasIndirect(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	case reflect.Array:
+		return typeHasIndirect(t.Elem())
+	}
+	return false
 }
 
 // closeValue is the input arena's eviction policy: close-if-closeable.
@@ -126,7 +250,10 @@ func (a *Arena) Stats() Stats {
 		return Stats{}
 	}
 	s := a.c.Stats()
-	return Stats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Size: s.Size}
+	return Stats{
+		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		BytesAdded: s.BytesAdded, Size: s.Size, Bytes: s.Bytes,
+	}
 }
 
 // Len returns the number of cached inputs. Nil-safe.

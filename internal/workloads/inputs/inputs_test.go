@@ -207,3 +207,60 @@ func TestPanickingGeneratorUnpublishes(t *testing.T) {
 		t.Fatalf("later Load = %d, want the waiter's cached 7", got)
 	}
 }
+
+// TestDeepSizeEstimates pins the size estimator the byte budget evicts
+// against: flat slices count their backing array once, nested structures
+// count referenced allocations once each (shared pointers are not
+// double-billed), and the estimate is exact for the flat shapes that
+// dominate cached inputs.
+func TestDeepSizeEstimates(t *testing.T) {
+	if got, want := deepSize([]uint64(nil)), 24; got != want {
+		t.Errorf("deepSize(nil slice) = %d, want the header alone (%d)", got, want)
+	}
+	if got, want := deepSize(make([]uint64, 100)), 24+800; got != want {
+		t.Errorf("deepSize([]uint64 x100) = %d, want %d", got, want)
+	}
+	type node struct {
+		payload []byte
+		next    *node
+	}
+	shared := make([]byte, 50)
+	a := &node{payload: shared}
+	b := &node{payload: shared, next: a}
+	sz := deepSize(b)
+	// One copy of the 50-byte payload, two node structs, one interface-boxed
+	// pointer: the exact figure is an implementation detail, but sharing must
+	// not be double-billed.
+	if lone := deepSize(a); sz >= lone+50 {
+		t.Errorf("shared payload double-billed: deepSize(b)=%d, deepSize(a)=%d", sz, lone)
+	}
+	if sz <= deepSize(a) {
+		t.Errorf("linked node adds nothing: deepSize(b)=%d <= deepSize(a)=%d", sz, deepSize(a))
+	}
+	m := map[string][]int{"k": make([]int, 10), "longerkey": nil}
+	if got := deepSize(m); got < 80 {
+		t.Errorf("deepSize(map) = %d, want at least the slice payload and keys", got)
+	}
+}
+
+// TestBudgetEvictsInputs: the byte budget wired through NewBudgeted evicts
+// cached inputs by their estimated deep size.
+func TestBudgetEvictsInputs(t *testing.T) {
+	a := NewBudgeted(0, 2000)
+	mk := func(n int) func() any {
+		return func() any { return make([]uint64, n) }
+	}
+	Load(a, Key{Kind: "x", Seed: 1}, mk(100)) // ~824 bytes
+	Load(a, Key{Kind: "x", Seed: 2}, mk(100))
+	if st := a.Stats(); st.Evictions != 0 || st.Size != 2 {
+		t.Fatalf("under budget: %+v, want both cached", st)
+	}
+	Load(a, Key{Kind: "x", Seed: 3}, mk(100)) // ~2472 > 2000: evicts seed 1
+	st := a.Stats()
+	if st.Evictions != 1 || st.Size != 2 || st.Bytes > 2000 {
+		t.Fatalf("over budget: %+v, want one eviction and bytes under budget", st)
+	}
+	if _, hit := a.c.Get(Key{Kind: "x", Seed: 1}); hit {
+		t.Fatal("LRU input survived budget eviction")
+	}
+}

@@ -5,8 +5,8 @@
 // With PR 4's input arenas the generated inputs are already cached, but
 // every cell still replays them into the machine word by word; the snapshot
 // arena caches the *installed* state instead, so a repeated cell skips
-// Setup entirely — Machine.Restore reinstates the image with bulk page
-// copies and the workload adopts the cached host state.
+// Setup entirely — Machine.Restore adopts the image's copy-on-write pages
+// by pointer and the workload adopts the cached host state.
 //
 // The contract (EXPERIMENTS.md "The machine-image snapshot contract"): a
 // cached entry is captured once, immediately after the owning instance's
@@ -81,14 +81,19 @@ type Entry struct {
 
 // Stats is a snapshot of an arena's cache behavior. Hits, Misses,
 // Evictions, and BytesAdded are cumulative counters (Delta subtracts two
-// readings); Size and Bytes are current gauges.
+// readings); Size, Bytes, and ResidentBytes are current gauges. Bytes is
+// the logical footprint (sum of per-image Bytes — what whole-page-copy
+// images would occupy, and the unit -snapshot-budget evicts against);
+// ResidentBytes deduplicates store pages shared between images, so it is
+// at most Bytes and shrinks as copy-on-write sharing grows.
 type Stats struct {
-	Hits       uint64 `json:"hits"`
-	Misses     uint64 `json:"misses"`
-	Evictions  uint64 `json:"evictions"`
-	BytesAdded uint64 `json:"bytes_added"` // total bytes of all images ever captured
-	Size       int    `json:"size"`        // entries currently cached
-	Bytes      int    `json:"bytes"`       // image bytes currently cached
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	BytesAdded    uint64 `json:"bytes_added"`    // total logical bytes of all images ever captured
+	Size          int    `json:"size"`           // entries currently cached
+	Bytes         int    `json:"bytes"`          // logical image bytes currently cached
+	ResidentBytes int    `json:"resident_bytes"` // distinct page payload bytes currently cached
 }
 
 // Delta returns the counter movement between prev and s, keeping s's
@@ -111,24 +116,44 @@ type Arena struct {
 }
 
 // New returns an unbounded arena.
-func New() *Arena { return NewCapped(0) }
+func New() *Arena { return NewBudgeted(0, 0) }
 
 // NewCapped returns an arena holding at most cap entries, evicting the
 // least recently used beyond that; cap <= 0 means unbounded.
-func NewCapped(cap int) *Arena {
+func NewCapped(cap int) *Arena { return NewBudgeted(cap, 0) }
+
+// NewBudgeted returns an arena bounded by an entry cap and/or a byte
+// budget; either limit evicts the least recently used entries beyond it,
+// and <= 0 disables that limit. The budget is in logical image bytes
+// (Entry sizes as reported by Image.Bytes), so it bounds the worst-case
+// footprint: the resident footprint is smaller whenever images share pages.
+func NewBudgeted(cap, budget int) *Arena {
 	a := &Arena{}
 	a.c.Cap = cap
+	a.c.Budget = budget
 	a.c.SizeOf = entryBytes
+	a.c.Residency = residentBytes
 	return a
 }
 
-// entryBytes is the snapshot arena's byte accounting: the image's resident
+// entryBytes is the snapshot arena's byte accounting: the image's logical
 // size (host state is negligible — label ids and small structs).
 func entryBytes(e Entry) int {
 	if e.Img == nil {
 		return 0
 	}
 	return e.Img.Bytes()
+}
+
+// residentBytes is the arena's host-footprint estimate: distinct store
+// pages across all cached images count once, so images captured from
+// machines restored off a common ancestor are not double-billed.
+func residentBytes(es []Entry) int {
+	imgs := make([]*commtm.Image, 0, len(es))
+	for _, e := range es {
+		imgs = append(imgs, e.Img)
+	}
+	return commtm.ResidentImageBytes(imgs)
 }
 
 // Load returns the cached snapshot for k, running capture on a miss and
@@ -158,6 +183,7 @@ func (a *Arena) Stats() Stats {
 	return Stats{
 		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
 		BytesAdded: s.BytesAdded, Size: s.Size, Bytes: s.Bytes,
+		ResidentBytes: s.ResidentBytes,
 	}
 }
 
