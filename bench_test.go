@@ -5,6 +5,7 @@ import (
 
 	"commtm/internal/experiments"
 	"commtm/internal/harness"
+	"commtm/internal/workloads/apps"
 )
 
 // Each benchmark regenerates one figure or table of the paper at a reduced
@@ -62,3 +63,27 @@ func BenchmarkFig18WastedBreakdown(b *testing.B) { runExperiment(b, "fig18") }
 func BenchmarkFig19GETBreakdown(b *testing.B)    { runExperiment(b, "fig19") }
 
 func BenchmarkAblationGather(b *testing.B) { runExperiment(b, "ablation-gather") }
+
+// BenchmarkVacationTxnCell runs a single vacation sweep cell (CommTM, 8
+// threads) end to end, mirroring the fig16e registration's input shape
+// (STAMP ratio r/t = 4, items fixed at 1024). Vacation's deep transactions
+// made this the cell whose wall time dominated every full-scale sweep —
+// the "vacation wall" — so its per-cell cost is pinned here as its own
+// benchmark rather than only inside the whole-figure macro run.
+func BenchmarkVacationTxnCell(b *testing.B) {
+	o := benchOptions()
+	t := o.ScaledOps(8192)
+	spec := harness.Spec{Name: apps.VacationName, Mk: func() harness.Workload {
+		return apps.NewVacation(1024, 4*t, t, 4, o.Seed)
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := harness.RunOne(spec, harness.VarCommTM, 8, o.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(st.Cycles), "sim-cycles")
+		}
+	}
+}

@@ -318,6 +318,11 @@ func main() {
 		}
 		fmt.Printf("cow: page_copies=%d restore_skips=%d shared_pages=%d private_pages=%d sharing=%.3f\n",
 			lc.CowPageCopies, lc.RestoreSkips, lc.SharedPages, lc.PrivatePages, sharing)
+		// Per-cell wall time: total versus slowest single cell. A max close
+		// to the total means the sweep is one simulation-bound cell — the
+		// profile-me signal shapes like vacation used to hide.
+		fmt.Printf("cells: total_wall_ms=%.1f max_cell_wall_ms=%.1f\n",
+			float64(lc.CellWallNS)/1e6, float64(lc.MaxCellWallNS)/1e6)
 		if hm.InputsArena != nil || hm.SnapshotsArena != nil || hm.MachinePool != nil {
 			fmt.Printf("arenas:")
 			if st := hm.InputsArena; st != nil {

@@ -171,6 +171,14 @@ func (c *Cache) victimIdx(la mem.Addr, avoid func(*LineMeta) bool) int {
 			return base + i
 		}
 	}
+	return c.lruVictim(base, avoid)
+}
+
+// lruVictim picks the least recently used non-avoided way of a full set
+// (falling back to plain LRU when every way is avoided). Shared tail of
+// victimIdx and insertIdx.
+func (c *Cache) lruVictim(base int, avoid func(*LineMeta) bool) int {
+	set := c.lines[base : base+c.ways]
 	best := -1
 	for i := range set {
 		w := &set[i]
@@ -191,6 +199,31 @@ func (c *Cache) victimIdx(la mem.Addr, avoid func(*LineMeta) bool) int {
 	return base + best
 }
 
+// insertIdx is victimIdx fused with the already-present invariant check:
+// the same pass that finds the first invalid way verifies la is absent, so
+// Insert no longer pays a separate defensive Lookup scan per fill. The
+// selection is identical to victimIdx's (first invalid way, else LRU among
+// non-avoided ways).
+func (c *Cache) insertIdx(la mem.Addr, avoid func(*LineMeta) bool) int {
+	base := c.setBase(la)
+	set := c.lines[base : base+c.ways]
+	tags := c.tags[base : base+c.ways]
+	// Dense tag scan first (the mirror exists so this loop never touches
+	// LineMeta), then an early-exit invalid scan: cheaper than one fused
+	// pass that loads every way's State.
+	for i, t := range tags {
+		if t == la && set[i].State != Invalid {
+			panic(fmt.Sprintf("cache: Insert of already-present line %#x", uint64(la)))
+		}
+	}
+	for i := range set {
+		if set[i].State == Invalid {
+			return base + i
+		}
+	}
+	return c.lruVictim(base, avoid)
+}
+
 // AvoidU is a Victim predicate that skips U-state lines.
 func AvoidU(l *LineMeta) bool { return l.State == ReducibleU }
 
@@ -209,10 +242,7 @@ func AvoidSpecOrU(l *LineMeta) bool { return l.SpecAny() || l.State == Reducible
 // retains it, keeping the path allocation-free). The caller is responsible
 // for protocol actions on the eviction.
 func (c *Cache) Insert(la mem.Addr, avoid func(*LineMeta) bool, evOut *LineMeta) (inserted *LineMeta, hadVictim bool) {
-	if got := c.Lookup(la); got != nil {
-		panic(fmt.Sprintf("cache: Insert of already-present line %#x", uint64(la)))
-	}
-	i := c.victimIdx(la, avoid)
+	i := c.insertIdx(la, avoid)
 	w := &c.lines[i]
 	if w.State != Invalid {
 		*evOut = *w

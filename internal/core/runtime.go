@@ -179,9 +179,14 @@ func (t *Thread) checkDoomed() {
 // access issues one memory operation, advances the clock by its latency,
 // and handles self-abort verdicts and remotely induced dooms.
 func (t *Thread) access(op memsys.Op, a mem.Addr, label memsys.LabelID, wval uint64) uint64 {
+	// No doom check on entry: a remote doom can only land while this proc
+	// is parked, and every in-transaction yield point re-checks right after
+	// resuming (Cycles after its Tick, this function after its Stall/Tick,
+	// Txn's commit stall explicitly; the begin tick cannot be doomed — the
+	// footprint is still empty). The post-stall check below is the one that
+	// can fire.
 	tx := &t.rt.txs[t.core]
 	st := &t.rt.stats[t.core]
-	t.checkDoomed()
 	st.Instructions++
 	if op == memsys.OpLabeledRead || op == memsys.OpLabeledWrite || op == memsys.OpGather {
 		st.LabeledOps++

@@ -24,6 +24,27 @@ func BenchmarkKernelYield(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelYieldStorm measures a yield storm at high proc counts:
+// every proc stalls by a different small amount each step, so the kernel
+// sees the full mix the hot path has to handle — horizon-absorbed yields
+// (the stalling proc is still the global minimum and keeps running without
+// a coroutine switch) interleaved with real replace-top handoffs through
+// the run queue.
+func BenchmarkKernelYieldStorm(b *testing.B) {
+	for _, procs := range []int{32, 128} {
+		b.Run(fmt.Sprintf("procs-%d", procs), func(b *testing.B) {
+			k := NewKernel(procs, 1)
+			iters := b.N/procs + 1
+			b.ResetTimer()
+			k.Run(func(p *Proc) {
+				for i := 0; i < iters; i++ {
+					p.Stall(uint64(1 + (i+p.ID*7)%13))
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkKernelYieldSelf measures the self-resumption fast path: a single
 // proc's Stall never needs a context switch at all.
 func BenchmarkKernelYieldSelf(b *testing.B) {

@@ -90,7 +90,19 @@ type Kernel struct {
 	// until releaseBarrier re-inserts them. (clock, id) is a total order —
 	// ids are unique — so pop order is deterministic and identical to a
 	// linear min-scan.
-	runq     []*Proc
+	runq []*Proc
+	// horizon mirrors runq[0]'s scheduling key whenever horizonOK, so the
+	// keep-running decision in yield — the single hottest branch under
+	// Stall-dense workloads — is two register compares with no heap access.
+	// Every heap mutation refreshes it.
+	horizonClock uint64
+	horizonID    int
+	horizonOK    bool
+	// handoff is the next proc to resume, set by a yielding proc that
+	// swapped itself into the heap top's slot (replace-top). It lets a
+	// switch cost one sift-down instead of a push sift-up plus a pop
+	// sift-down, and the scheduling loop skip the heap entirely.
+	handoff  *Proc
 	body     func(p *Proc) // current run's body, nil between runs
 	running  bool
 	draining bool
@@ -144,6 +156,8 @@ func (k *Kernel) Reset(seed uint64) {
 		panic("engine: Kernel.Reset during Run")
 	}
 	k.runq = k.runq[:0]
+	k.horizonOK = false
+	k.handoff = nil
 	k.draining = false
 	for i, p := range k.procs {
 		p.clock, p.lastYield, p.waitCycles = 0, 0, 0
@@ -218,6 +232,17 @@ func procLess(a, b *Proc) bool {
 	return a.clock < b.clock || (a.clock == b.clock && a.ID < b.ID)
 }
 
+// refreshHorizon re-mirrors runq[0] into the horizon fields after a heap
+// mutation (or marks the horizon absent on an empty queue).
+func (k *Kernel) refreshHorizon() {
+	if len(k.runq) == 0 {
+		k.horizonOK = false
+		return
+	}
+	top := k.runq[0]
+	k.horizonClock, k.horizonID, k.horizonOK = top.clock, top.ID, true
+}
+
 // push inserts p into the run queue. p's clock must be stable until it is
 // popped (parked procs never change their own clocks, so it is).
 func (k *Kernel) push(p *Proc) {
@@ -232,20 +257,15 @@ func (k *Kernel) push(p *Proc) {
 		i = parent
 	}
 	k.runq = q
+	k.refreshHorizon()
 }
 
-// pop removes and returns the run-queue minimum, or nil when empty.
-func (k *Kernel) pop() *Proc {
+// siftDown restores the heap property below index i and refreshes the
+// horizon. It is the shared tail of pop and the replace-top fast path in
+// yield.
+func (k *Kernel) siftDown(i int) {
 	q := k.runq
-	n := len(q) - 1
-	if n < 0 {
-		return nil
-	}
-	top := q[0]
-	q[0] = q[n]
-	q[n] = nil
-	q = q[:n]
-	i := 0
+	n := len(q)
 	for {
 		l := 2*i + 1
 		if l >= n {
@@ -261,7 +281,21 @@ func (k *Kernel) pop() *Proc {
 		q[i], q[m] = q[m], q[i]
 		i = m
 	}
-	k.runq = q
+	k.refreshHorizon()
+}
+
+// pop removes and returns the run-queue minimum, or nil when empty.
+func (k *Kernel) pop() *Proc {
+	q := k.runq
+	n := len(q) - 1
+	if n < 0 {
+		return nil
+	}
+	top := q[0]
+	q[0] = q[n]
+	q[n] = nil
+	k.runq = q[:n]
+	k.siftDown(0)
 	return top
 }
 
@@ -299,17 +333,21 @@ func (k *Kernel) Run(body func(p *Proc)) {
 	}
 
 	for {
-		next := k.pop()
-		if next == nil {
+		// A yielding proc that swapped itself into the heap hands the
+		// displaced minimum straight to this loop; only barrier parks and
+		// body completions fall back to a real pop.
+		next := k.handoff
+		if next != nil {
+			k.handoff = nil
+		} else if next = k.pop(); next == nil {
 			if k.allDone() {
 				return
 			}
 			k.releaseBarrier()
 			continue
 		}
-		// Resume runs the proc until its next yield; a yielding proc
-		// re-inserts itself into the run queue before switching back here.
-		// A body panic propagates out of resume into the drain defer above.
+		// Resume runs the proc until its next yield. A body panic
+		// propagates out of resume into the drain defer above.
 		next.resume()
 	}
 }
@@ -384,7 +422,10 @@ func (k *Kernel) drain() {
 		}
 	}
 	// Every live coroutine is reparked; the kernel is coherent again (a
-	// Reset is still required before the next run for pristine state).
+	// Reset is still required before the next run for pristine state). A
+	// cleanup-path Stall may have staged a handoff before its drainSig
+	// unwind; drop it so nothing leaks into the next run.
+	k.handoff = nil
 	k.draining = false
 }
 
@@ -440,14 +481,23 @@ func (p *Proc) park() {
 }
 
 // yield gives other procs a chance to run while p remains runnable. If p is
-// still the earliest runnable proc it keeps running with no context switch
-// at all — the scheduler would pick it again anyway.
+// still ahead of the horizon — the cached run-queue minimum — it keeps
+// running with no context switch at all: the scheduler would pick it again
+// anyway, so consecutive directory stalls of the earliest proc are absorbed
+// without touching the heap. When p must switch, it takes the heap top's
+// slot and hands the displaced minimum to the scheduling loop (replace-top:
+// one sift-down, versus the push sift-up plus pop sift-down it replaces;
+// both orderings pop the identical (clock, id) minimum, so the schedule is
+// unchanged).
 func (p *Proc) yield() {
 	k := p.k
-	if len(k.runq) == 0 || procLess(p, k.runq[0]) {
+	if !k.horizonOK || p.clock < k.horizonClock ||
+		(p.clock == k.horizonClock && p.ID < k.horizonID) {
 		return
 	}
-	k.push(p)
+	k.handoff = k.runq[0]
+	k.runq[0] = p
+	k.siftDown(0)
 	p.park()
 }
 

@@ -30,7 +30,18 @@ func appWorkloads(o harness.Options) map[string]harness.Spec {
 			return apps.NewGenome(512, 32, o.ScaledOps(32768), o.Seed)
 		}},
 		apps.VacationName: {Name: apps.VacationName, Mk: func() harness.Workload {
-			return apps.NewVacation(1024, 256, o.ScaledOps(8192), 4, o.Seed)
+			// STAMP's -r sizes the customer relation too (paper input
+			// -r32768 -t8192, so r/t = 4): reservation lists stay O(1)
+			// no matter how many tasks run. Items stay at a deliberately
+			// small 1024 to keep reserve-side contention interesting, but
+			// the customer pool must scale with the task count — with it
+			// fixed at 256, lists grew linearly in -scale until one
+			// delete-customer transaction's footprint overflowed an L1
+			// set's 8 ways and self-aborted identically on every retry: a
+			// permanent eviction livelock that made -scale 1
+			// unfinishable (the "vacation wall").
+			t := o.ScaledOps(8192)
+			return apps.NewVacation(1024, 4*t, t, 4, o.Seed)
 		}},
 	}
 }

@@ -73,7 +73,7 @@ func (ms *MemSys) Access(req Req, a mem.Addr, op Op, label LabelID, wval uint64)
 		if satisfies(l2.State, l2.Label, op, label) {
 			pv.l2.Touch(l2)
 			ms.ctr.L2Hits++
-			l1, fillAbort := ms.refillL1(req.Core, la)
+			l1, fillAbort := ms.refillL1(req.Core, la, l2)
 			if fillAbort != SelfNone {
 				self = fillAbort
 			}
@@ -124,35 +124,38 @@ func (ms *MemSys) Access(req Req, a mem.Addr, op Op, label LabelID, wval uint64)
 // the directory.
 const gatherOccupancy = 60
 
+// stateSat has bit op set when a line in state st can serve op regardless
+// of label (the state diagram of Fig. 3): M and E satisfy everything
+// (gathers degenerate to a local read — the owner holds the entire value),
+// S satisfies only conventional reads, and U satisfies labeled loads and
+// stores — never gathers, which always interact with the directory — with
+// the additional label-match requirement checked in satisfies.
+var stateSat = [...]uint8{
+	cache.Invalid:    0,
+	cache.Shared:     1 << OpRead,
+	cache.Exclusive:  1<<OpRead | 1<<OpWrite | 1<<OpLabeledRead | 1<<OpLabeledWrite | 1<<OpGather,
+	cache.Modified:   1<<OpRead | 1<<OpWrite | 1<<OpLabeledRead | 1<<OpLabeledWrite | 1<<OpGather,
+	cache.ReducibleU: 1<<OpLabeledRead | 1<<OpLabeledWrite,
+}
+
 // satisfies reports whether a private line in state st with line label ll
-// can serve op with label rl without a directory transaction (the state
-// diagram of Fig. 3).
+// can serve op with label rl without a directory transaction: one table
+// load plus the U-state label match.
 func satisfies(st cache.State, ll LabelID, op Op, rl LabelID) bool {
-	switch st {
-	case cache.Modified, cache.Exclusive:
-		// M (and E) satisfy all requests, conventional and labeled. Gathers
-		// degenerate to a local read: the owner holds the entire value.
-		return true
-	case cache.Shared:
-		return op == OpRead
-	case cache.ReducibleU:
-		// U lines satisfy only labeled accesses with a matching label.
-		// Gathers always interact with the directory.
-		return (op == OpLabeledRead || op == OpLabeledWrite) && ll == rl
-	}
-	return false
+	return stateSat[st]&(1<<op) != 0 && (st != cache.ReducibleU || ll == rl)
 }
 
 // refillL1 installs an L2-resident line into the L1 (an L1 refill after an
-// L1 miss / L2 hit). L1 evictions of speculative lines abort the
-// transaction; other L1 evictions are silent because the inclusive L2
-// retains the line and the non-speculative data.
-func (ms *MemSys) refillL1(core int, la mem.Addr) (*cache.LineMeta, SelfAbort) {
-	pv := &ms.privs[core]
-	l2 := pv.l2.Lookup(la)
+// L1 miss / L2 hit). Callers pass the line's L2 copy, which they already
+// hold from their own lookup — refilling used to redo the L2 tag scan. L1
+// evictions of speculative lines abort the transaction; other L1 evictions
+// are silent because the inclusive L2 retains the line and the
+// non-speculative data.
+func (ms *MemSys) refillL1(core int, la mem.Addr, l2 *cache.LineMeta) (*cache.LineMeta, SelfAbort) {
 	if l2 == nil {
 		fail("refillL1 without L2 copy of %#x", uint64(la))
 	}
+	pv := &ms.privs[core]
 	var ev cache.LineMeta
 	l1, evicted := pv.l1.Insert(la, cache.AvoidSpecOrU, &ev)
 	self := SelfNone

@@ -59,3 +59,45 @@ func BenchmarkAccess(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkAccessSlowPath measures the directory slow path end to end: every
+// access misses the requester's private hierarchy, takes an entry/busy slot,
+// pays the table-driven NoC latencies, and touches remote copies. InvalSharers
+// is the worst non-labeled case — one writer invalidating seven sharers, so
+// invalLat runs once per sharer. LabeledReduce drives the U-state machinery:
+// per-core labeled updates followed by a reading reduction that gathers and
+// folds every core's partial value.
+func BenchmarkAccessSlowPath(b *testing.B) {
+	b.Run("InvalSharers", func(b *testing.B) {
+		store := mem.NewStore()
+		ms := New(testParams(8, true), store, nil)
+		a := mem.Addr(4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now := uint64(i) * 1000
+			for c := 1; c < 8; c++ {
+				ms.Access(Req{Core: c, Now: now}, a, OpRead, NoLabel, 0)
+			}
+			ms.Access(Req{Core: 0, Now: now + 500}, a, OpWrite, NoLabel, uint64(i))
+		}
+	})
+
+	b.Run("LabeledReduce", func(b *testing.B) {
+		store := mem.NewStore()
+		arb := newFakeArb()
+		ms := New(testParams(8, true), store, arb)
+		arb.ms = ms
+		add := ms.RegisterLabel(addSpec())
+		a := mem.Addr(8192)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now := uint64(i) * 1000
+			for c := 0; c < 8; c++ {
+				ms.Access(Req{Core: c, Now: now}, a, OpLabeledWrite, add, 1)
+			}
+			ms.Access(Req{Core: 0, Now: now + 500}, a, OpLabeledRead, add, 0)
+		}
+	})
+}

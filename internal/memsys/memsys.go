@@ -282,7 +282,12 @@ type MemSys struct {
 	rng      *xrand.RNG
 	ctr      Counters
 	banks    int
-	epoch    uint64 // directory-page generation; see dirPage
+	// nocTab memoizes the mesh's analytic latency formulas (noc.LatTable);
+	// dirLat/invalLat run on every slow-path access and gather/reduce
+	// forward, so their Manhattan arithmetic is replaced by table loads.
+	// Like the mesh itself it is immutable: Reset does not touch it.
+	nocTab *noc.LatTable
+	epoch  uint64 // directory-page generation; see dirPage
 	// evScratch receives L2 eviction copies whose address flows into
 	// reduction handlers (see ensurePrivate); a long-lived home keeps the
 	// per-miss copy off the heap. Never valid across calls.
@@ -299,11 +304,12 @@ func New(p Params, store *mem.Store, arb Arbiter) *MemSys {
 		panic(fmt.Sprintf("memsys: %d cores exceeds BitSet capacity %d", p.Cores, maxBitSet))
 	}
 	ms := &MemSys{
-		p:     p,
-		store: store,
-		arb:   arb,
-		rng:   xrand.New(p.Seed ^ 0xc0ffee),
-		banks: p.Mesh.Tiles(),
+		p:      p,
+		store:  store,
+		arb:    arb,
+		rng:    xrand.New(p.Seed ^ 0xc0ffee),
+		banks:  p.Mesh.Tiles(),
+		nocTab: p.Mesh.Table(),
 	}
 	for i := 0; i < p.Cores; i++ {
 		l1 := cache.New(p.L1Bytes, p.L1Ways)
@@ -411,9 +417,11 @@ func (ms *MemSys) entry(la mem.Addr) *dirEntry {
 func (ms *MemSys) bankOf(la mem.Addr) int { return int(la/mem.LineBytes) % ms.banks }
 
 // dirLat is the round-trip latency of a request from core to the home L3
-// bank plus the L3 access itself (and memory on a cold miss).
+// bank plus the L3 access itself (and memory on a cold miss). The mesh
+// round-trip is one memoized table load (same values as the analytic
+// Mesh.CoreToBank; see noc.LatTable and TestLatTableMatchesAnalytic).
 func (ms *MemSys) dirLat(core int, la mem.Addr, e *dirEntry) uint64 {
-	lat := 2*ms.p.Mesh.CoreToBank(core, ms.bankOf(la)) + ms.p.L3Lat
+	lat := 2*ms.nocTab.CoreToBank(core, ms.bankOf(la)) + ms.p.L3Lat
 	ms.ctr.L3Accesses++
 	if !e.seen {
 		e.seen = true
@@ -425,12 +433,12 @@ func (ms *MemSys) dirLat(core int, la mem.Addr, e *dirEntry) uint64 {
 
 // invalLat approximates the latency of the directory invalidating or
 // downgrading a remote sharer and the data/ack reaching the requester:
-// bank→sharer, L2 access at the sharer, sharer→requester.
+// bank→sharer, L2 access at the sharer, sharer→requester. Two memoized
+// table loads replace three Manhattan-distance computations.
 func (ms *MemSys) invalLat(reqCore, remote int, la mem.Addr) uint64 {
-	bank := ms.bankOf(la)
-	return ms.p.Mesh.Latency(ms.p.Mesh.TileOfBank(bank), ms.p.Mesh.TileOfCore(remote)) +
+	return ms.nocTab.BankToCore(ms.bankOf(la), remote) +
 		ms.p.L2Lat +
-		ms.p.Mesh.CoreToCore(remote, reqCore)
+		ms.nocTab.CoreToCore(remote, reqCore)
 }
 
 // txActive reports whether core is in an active transaction.

@@ -219,15 +219,15 @@ func (ms *MemSys) slowGather(req Req, la mem.Addr, wi int, label LabelID, e *dir
 
 	l1 := pv.l1.Lookup(la)
 	l2 := pv.l2.Lookup(la)
+	if l2 == nil {
+		fail("gather requester lost its L2 copy of %#x", uint64(la))
+	}
 	if l1 == nil {
 		var self SelfAbort
-		l1, self = ms.refillL1(req.Core, la)
+		l1, self = ms.refillL1(req.Core, la, l2)
 		if self != SelfNone {
 			return 0, lat, self
 		}
-	}
-	if l2 == nil {
-		fail("gather requester lost its L2 copy of %#x", uint64(la))
 	}
 
 	numSharers := e.sharers.Count()

@@ -81,6 +81,62 @@ func (m *Mesh) MaxLatency() uint64 {
 	return m.Latency(0, m.Tiles()-1)
 }
 
+// LatTable is a precomputed latency table over an immutable Mesh. The
+// analytic accessors above recompute Manhattan distance — two divisions,
+// two abs, and range-check panics — on every call; on the coherence slow
+// path that arithmetic runs several times per miss. A LatTable answers the
+// same queries with one or two table loads. Ranges are validated once at
+// construction (the backing slices simply don't have out-of-range entries),
+// and the table is as immutable as the mesh it mirrors, so machines can
+// share it across runs and Resets with nothing to clear.
+type LatTable struct {
+	tiles    int
+	coreTile []int32  // core id -> tile id
+	tileLat  []uint64 // tileLat[src*tiles+dst] == Latency(src, dst)
+}
+
+// Table builds the latency table for m. For the default 4×4 mesh this is
+// 256 tile-pair entries plus a 128-entry core→tile map.
+func (m *Mesh) Table() *LatTable {
+	tiles := m.Tiles()
+	t := &LatTable{
+		tiles:    tiles,
+		coreTile: make([]int32, m.Cores()),
+		tileLat:  make([]uint64, tiles*tiles),
+	}
+	for c := range t.coreTile {
+		t.coreTile[c] = int32(m.TileOfCore(c))
+	}
+	for s := 0; s < tiles; s++ {
+		for d := 0; d < tiles; d++ {
+			t.tileLat[s*tiles+d] = m.Latency(s, d)
+		}
+	}
+	return t
+}
+
+// Latency returns Mesh.Latency(srcTile, dstTile) as one table load.
+func (t *LatTable) Latency(srcTile, dstTile int) uint64 {
+	return t.tileLat[srcTile*t.tiles+dstTile]
+}
+
+// CoreToBank returns Mesh.CoreToBank(core, bank). Banks sit one per tile
+// (TileOfBank is the identity), so the bank id indexes the table directly.
+func (t *LatTable) CoreToBank(core, bank int) uint64 {
+	return t.tileLat[int(t.coreTile[core])*t.tiles+bank]
+}
+
+// BankToCore returns the bank→core direction of the same path (the mesh
+// metric is symmetric, but callers read better naming both directions).
+func (t *LatTable) BankToCore(bank, core int) uint64 {
+	return t.tileLat[bank*t.tiles+int(t.coreTile[core])]
+}
+
+// CoreToCore returns Mesh.CoreToCore(a, b).
+func (t *LatTable) CoreToCore(a, b int) uint64 {
+	return t.tileLat[int(t.coreTile[a])*t.tiles+int(t.coreTile[b])]
+}
+
 func abs(x int) int {
 	if x < 0 {
 		return -x

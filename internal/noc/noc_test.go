@@ -87,6 +87,44 @@ func TestCoreToBankAgreesWithTiles(t *testing.T) {
 	}
 }
 
+// TestLatTableMatchesAnalytic gates the memoized tables on the analytic
+// formulas: every (src, dst) pair of Latency, CoreToBank, BankToCore, and
+// CoreToCore must agree, on the paper's default mesh and on a non-square
+// one (where a row-major/column-major mixup in the table fill would show).
+func TestLatTableMatchesAnalytic(t *testing.T) {
+	meshes := []*Mesh{
+		Default4x4(),
+		{Width: 5, Height: 2, CoresPerTile: 3, RouterCycles: 3, LinkCycles: 2},
+	}
+	for _, m := range meshes {
+		tab := m.Table()
+		for s := 0; s < m.Tiles(); s++ {
+			for d := 0; d < m.Tiles(); d++ {
+				if got, want := tab.Latency(s, d), m.Latency(s, d); got != want {
+					t.Fatalf("%dx%d Table.Latency(%d,%d) = %d, want %d", m.Width, m.Height, s, d, got, want)
+				}
+			}
+		}
+		for c := 0; c < m.Cores(); c++ {
+			for b := 0; b < m.Tiles(); b++ {
+				if got, want := tab.CoreToBank(c, b), m.CoreToBank(c, b); got != want {
+					t.Fatalf("%dx%d Table.CoreToBank(%d,%d) = %d, want %d", m.Width, m.Height, c, b, got, want)
+				}
+				if got, want := tab.BankToCore(b, c), m.Latency(m.TileOfBank(b), m.TileOfCore(c)); got != want {
+					t.Fatalf("%dx%d Table.BankToCore(%d,%d) = %d, want %d", m.Width, m.Height, b, c, got, want)
+				}
+			}
+		}
+		for a := 0; a < m.Cores(); a++ {
+			for b := 0; b < m.Cores(); b++ {
+				if got, want := tab.CoreToCore(a, b), m.CoreToCore(a, b); got != want {
+					t.Fatalf("%dx%d Table.CoreToCore(%d,%d) = %d, want %d", m.Width, m.Height, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestOutOfRangePanics(t *testing.T) {
 	m := Default4x4()
 	for _, f := range []func(){

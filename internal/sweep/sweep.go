@@ -235,6 +235,15 @@ type RunMetrics struct {
 	RestoreSkips  int64 `json:"restore_skips"`
 	SharedPages   int64 `json:"shared_pages"`
 	PrivatePages  int64 `json:"private_pages"`
+	// Per-cell wall-time telemetry: CellWallNS sums every cell's host
+	// wall-clock (lifecycle plus simulation) and MaxCellWallNS records the
+	// slowest single cell, so simulation-bound shapes — a sweep whose time
+	// is one cell's raw simulation cost, like vacation before the
+	// scaling-law fix — are visible from the host-metrics line without a
+	// profiler: max ≈ total/cells means uniform cells, max ≈ total means
+	// one cell is the sweep.
+	CellWallNS    int64 `json:"cell_wall_ns"`
+	MaxCellWallNS int64 `json:"max_cell_wall_ns"`
 }
 
 // add accumulates (atomically) into rm; nil-safe.
@@ -277,6 +286,20 @@ func (rm *RunMetrics) addCow(copies, skips, shared, private int64) {
 	atomic.AddInt64(&rm.RestoreSkips, skips)
 	atomic.AddInt64(&rm.SharedPages, shared)
 	atomic.AddInt64(&rm.PrivatePages, private)
+}
+
+// addCellWall folds one cell's host wall-clock into rm.
+func (rm *RunMetrics) addCellWall(ns int64) {
+	if rm == nil {
+		return
+	}
+	atomic.AddInt64(&rm.CellWallNS, ns)
+	for {
+		cur := atomic.LoadInt64(&rm.MaxCellWallNS)
+		if ns <= cur || atomic.CompareAndSwapInt64(&rm.MaxCellWallNS, cur, ns) {
+			return
+		}
+	}
 }
 
 // addSnapshots folds a snapshot arena's per-run stat deltas into rm.
@@ -460,6 +483,7 @@ func runCell(c Cell, wm *workerMachines, ia *inputs.Arena, sa *snapshots.Arena, 
 	var cowBefore, skipsBefore uint64
 	defer func() {
 		res.WallNS = time.Since(start).Nanoseconds()
+		rm.addCellWall(res.WallNS)
 		if r := recover(); r != nil {
 			res.Err = fmt.Sprintf("panic: %v", r)
 		}

@@ -58,6 +58,16 @@ func (vc *Vacation) UseInputs(a *inputs.Arena) { vc.inputs = a }
 
 func itemRef(table int, id uint64) uint64 { return uint64(table)<<48 | id }
 
+// pow2AtLeast returns the smallest power of two that is >= both n and floor
+// (floor must itself be a power of two).
+func pow2AtLeast(n, floor int) int {
+	p := floor
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // vacationInput is the machine-independent generated input: the item
 // {total, price} streams, in the exact draw order the uncached Setup
 // produces them (tables outermost, items innermost, total before price).
@@ -89,8 +99,10 @@ func (vc *Vacation) Setup(m *commtm.Machine) {
 	for ti := range vc.tables {
 		// Capacity covers the initial population with modest slack, so
 		// update-tables inserts exercise the counter and occasionally the
-		// resize path.
-		vc.tables[ti] = hashtab.New(m, vc.add, 256, vc.NItems+vc.NItems/8)
+		// resize path. Buckets scale with the relation (4 entries per chain,
+		// like STAMP's load factor), so chain length — and with it every
+		// lookup transaction's footprint — is independent of -scale.
+		vc.tables[ti] = hashtab.New(m, vc.add, pow2AtLeast(vc.NItems/4, 256), vc.NItems+vc.NItems/8)
 		for id := 1; id <= vc.NItems; id++ {
 			rec := m.AllocLines(1)
 			m.MemWrite64(rec+recTotal, in.totals[ti*vc.NItems+id-1])
@@ -98,7 +110,7 @@ func (vc *Vacation) Setup(m *commtm.Machine) {
 			vc.seedInsert(m, vc.tables[ti], uint64(id), uint64(rec))
 		}
 	}
-	vc.custTb = hashtab.New(m, vc.add, 256, vc.NCustomers+vc.NCustomers/8)
+	vc.custTb = hashtab.New(m, vc.add, pow2AtLeast(vc.NCustomers, 256), vc.NCustomers+vc.NCustomers/8)
 	for id := 1; id <= vc.NCustomers; id++ {
 		vc.seedInsert(m, vc.custTb, uint64(id), 0)
 	}
