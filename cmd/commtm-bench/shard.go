@@ -1,0 +1,244 @@
+// The CLI face of the staged sweep pipeline: -sweep runs a registered
+// matrix single-process (journaled and resumable when -shard-dir is set),
+// -shard i/n runs one shard as a worker process journaling its completions,
+// and -shards N is the coordinator that forks N workers over the same
+// matrix, waits, merges their journals into deterministic cell order, emits
+// to the -json/-csv sinks, and gates the merge with the cross-shard
+// determinism oracle. Every process — coordinator and workers alike —
+// expands the matrix from its registered id, so they agree on cells, keys,
+// and shard assignment without communicating anything but the id.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+
+	"commtm/internal/harness"
+	"commtm/internal/sweep"
+)
+
+// failFunc is main's fail: print, flush sinks, finalize profiles, exit.
+type failFunc func(code int, format string, args ...any)
+
+// sweepConfig carries the -sweep/-shard flag values into the mode runners.
+type sweepConfig struct {
+	Matrix    string   // registered matrix id (-sweep)
+	Shards    int      // coordinator worker count (-shards)
+	ShardSpec string   // worker shard spec "i/n" (-shard)
+	Dir       string   // journal directory (-shard-dir)
+	Check     float64  // cross-shard gate sample fraction (-shard-check)
+	CheckSeed uint64   // gate sampler seed (-det-sample-seed)
+	KillAfter int      // test hook: SIGKILL after N fresh records (-shard-kill-after)
+	Forward   []string // option flags the coordinator forwards to workers
+}
+
+// expandMatrix expands the registered matrix under the run options. The
+// expansion is deterministic in (id, options), which is what lets separate
+// worker processes agree on the plan.
+func expandMatrix(opts harness.Options, id string, fail failFunc) []sweep.Cell {
+	m, ok := harness.GetMatrix(id)
+	if !ok {
+		fail(2, "unknown matrix %q (use -list)\n", id)
+	}
+	cells := m.Cells(opts)
+	if len(cells) == 0 {
+		fail(2, "matrix %q expanded to no cells\n", id)
+	}
+	return cells
+}
+
+// runSweepModes dispatches among the three pipeline modes. It returns on
+// success; failures exit through fail.
+func runSweepModes(opts harness.Options, cfg sweepConfig, fail failFunc) {
+	if cfg.Matrix == "" {
+		fail(2, "-shard/-shards need -sweep <matrix-id> (use -list)\n")
+	}
+	switch {
+	case cfg.ShardSpec != "":
+		runShardWorker(opts, cfg, fail)
+	case cfg.Shards > 0:
+		runCoordinator(opts, cfg, fail)
+	default:
+		runSingleSweep(opts, cfg, fail)
+	}
+}
+
+// runSingleSweep runs the whole matrix in this process. With -shard-dir it
+// journals (one shard) and resumes; without, it is a plain engine run.
+// Either way the sinks see every row in deterministic cell order.
+func runSingleSweep(opts harness.Options, cfg sweepConfig, fail failFunc) {
+	cells := expandMatrix(opts, cfg.Matrix, fail)
+	eng := opts.Engine(false)
+	var rs sweep.Results
+	var err error
+	if cfg.Dir != "" {
+		rs, err = eng.RunSharded(cells, 1, cfg.Dir)
+	} else {
+		rs, err = eng.Run(cells)
+	}
+	if err != nil {
+		fail(1, "sweep %s: %v\n", cfg.Matrix, err)
+	}
+	reportSweep(cfg.Matrix, rs, fail)
+}
+
+// runShardWorker runs one shard of the plan, journaling completions so a
+// killed worker resumes instead of restarting. Workers never write the row
+// sinks — emission belongs to the coordinator's merge, which is how the
+// header-once and ordering contracts survive distribution.
+func runShardWorker(opts harness.Options, cfg sweepConfig, fail failFunc) {
+	if cfg.Dir == "" {
+		fail(2, "-shard needs -shard-dir (the journal is the worker's only output)\n")
+	}
+	shard, n, err := sweep.ParseShard(cfg.ShardSpec)
+	if err != nil {
+		fail(2, "%v\n", err)
+	}
+	p, err := sweep.NewPlan(expandMatrix(opts, cfg.Matrix, fail), n)
+	if err != nil {
+		fail(2, "%v\n", err)
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		fail(1, "shard dir: %v\n", err)
+	}
+	path := sweep.ShardJournalPath(cfg.Dir, shard, n)
+	j, err := sweep.OpenJournal(path)
+	if err != nil {
+		fail(1, "journal: %v\n", err)
+	}
+	recovered := j.Len()
+	var stop func() bool
+	if cfg.KillAfter > 0 {
+		stop = killAfterHook(path, j, recovered+cfg.KillAfter)
+	}
+	eng := opts.Engine(false)
+	eng.Sinks = nil
+	rs, err := eng.RunShard(p, shard, j, stop)
+	if cerr := j.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fail(1, "shard %d/%d: %v\n", shard, n, err)
+	}
+	fmt.Printf("shard %d/%d: %d cells journaled to %s (%d recovered from an earlier run)\n",
+		shard, n, len(rs), path, recovered)
+}
+
+// killAfterHook is the crash-injection test hook behind -shard-kill-after:
+// once the journal holds limit records, it appends half a record (the tear
+// a real crash mid-append leaves) and SIGKILLs this process — no deferred
+// cleanup, no flush, exactly what resume must tolerate. Implemented as an
+// ExecOptions.Stop so it fires between cells, off any worker goroutine.
+func killAfterHook(path string, j *sweep.Journal, limit int) func() bool {
+	var once sync.Once
+	return func() bool {
+		if j.Len() < limit {
+			return false
+		}
+		once.Do(func() {
+			if f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+				f.WriteString(`{"key":"torn-by-kill-hook","result":{"ind`)
+			}
+			p, _ := os.FindProcess(os.Getpid())
+			p.Kill()
+			select {} // SIGKILL is not instantaneous; never run past it
+		})
+		return true
+	}
+}
+
+// runCoordinator forks one worker process per shard over the same matrix,
+// waits for them, merges their journals back into plan order through the
+// sinks, and re-runs a hash-sampled fraction of the merged cells locally as
+// the cross-shard determinism gate. If workers die (killed, OOM, crashed),
+// the journals are kept and the same command resumes: re-forked workers
+// skip what their journals already hold.
+func runCoordinator(opts harness.Options, cfg sweepConfig, fail failFunc) {
+	if cfg.Dir == "" {
+		fail(2, "-shards needs -shard-dir (workers journal there; the coordinator merges from it)\n")
+	}
+	p, err := sweep.NewPlan(expandMatrix(opts, cfg.Matrix, fail), cfg.Shards)
+	if err != nil {
+		fail(2, "%v\n", err)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fail(1, "cannot re-exec self: %v\n", err)
+	}
+	procs := make([]*exec.Cmd, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		args := []string{
+			"-sweep", cfg.Matrix,
+			"-shard", fmt.Sprintf("%d/%d", s, cfg.Shards),
+			"-shard-dir", cfg.Dir,
+		}
+		args = append(args, cfg.Forward...)
+		if cfg.KillAfter > 0 && s == cfg.Shards-1 {
+			// The kill hook goes to exactly one worker — the point of the CI
+			// exercise is one dead shard among survivors, not a massacre.
+			args = append(args, "-shard-kill-after", strconv.Itoa(cfg.KillAfter))
+		}
+		cmd := exec.Command(self, args...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Start(); err != nil {
+			fail(1, "shard %d/%d: %v\n", s, cfg.Shards, err)
+		}
+		procs[s] = cmd
+	}
+	var dead int
+	for s, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "shard %d/%d worker: %v\n", s, cfg.Shards, err)
+			dead++
+		}
+	}
+	if dead > 0 {
+		fail(1, "%d of %d shard workers did not finish; journals in %s are kept — re-run the same command to resume\n",
+			dead, cfg.Shards, cfg.Dir)
+	}
+	done := make(map[string]sweep.Result, len(p.Cells))
+	for s := 0; s < cfg.Shards; s++ {
+		m, err := sweep.ReadJournal(sweep.ShardJournalPath(cfg.Dir, s, cfg.Shards))
+		if err != nil {
+			fail(1, "shard %d/%d journal: %v\n", s, cfg.Shards, err)
+		}
+		for k, r := range m {
+			done[k] = r
+		}
+	}
+	merged, err := sweep.Merge(p.Cells, done, opts.Sinks)
+	if err != nil {
+		fail(1, "merge: %v\n", err)
+	}
+	if cfg.Check > 0 {
+		det := sweep.DeterminismOptions{
+			Workers: opts.Workers, Reuse: opts.Reuse, InputMode: opts.Inputs, Snapshots: opts.Snapshots,
+			Sample: cfg.Check, SampleSeed: cfg.CheckSeed,
+		}
+		if err := sweep.CheckShards(merged, det); err != nil {
+			fail(1, "cross-shard oracle FAILED (cells computed by shard workers do not reproduce locally):\n%v\n", err)
+		}
+		fmt.Printf("cross-shard oracle: sampled %.0f%% of %d merged cells reproduce bit-identically\n",
+			cfg.Check*100, len(merged))
+	}
+	reportSweep(cfg.Matrix, merged, fail)
+}
+
+// reportSweep prints the sweep verdict and fails the process on any failed
+// cell — sweep modes run fixed conformance-grade matrices, so a failed
+// cell is a real regression, not an expected outcome.
+func reportSweep(matrix string, rs sweep.Results, fail failFunc) {
+	failed := 0
+	for _, r := range rs {
+		if r.Err != "" {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fail(1, "sweep %s: %d of %d cells failed (first: %v)\n", matrix, failed, len(rs), rs.FirstErr())
+	}
+	fmt.Printf("sweep %s: %d cells, all passed\n", matrix, len(rs))
+}

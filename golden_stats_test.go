@@ -55,17 +55,10 @@ func goldenOptions() harness.Options {
 	return o
 }
 
-// goldenCells expands the golden matrix: the reduced conformance matrix
-// followed by the geometry-swept group (non-default ways/sets), with cell
-// indexes renumbered into one sequence.
+// goldenCells expands the golden matrix: the registered "golden" matrix
+// (reduced conformance + geometry-swept group) at the pinned golden scale.
 func goldenCells() []sweep.Cell {
-	o := goldenOptions()
-	cells := experiments.ConformanceMatrix(o).Cells()
-	for _, c := range experiments.GeometryMatrix(o).Cells() {
-		c.Index = len(cells)
-		cells = append(cells, c)
-	}
-	return cells
+	return experiments.GoldenCells(goldenOptions())
 }
 
 func runGoldenMatrix(t *testing.T, reuse sweep.Reuse, in sweep.InputMode, sn sweep.SnapshotMode) sweep.Results {

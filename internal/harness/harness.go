@@ -384,12 +384,14 @@ func DefaultOptions() Options {
 	return Options{Threads: DefaultThreads, Seed: 1, Scale: 1.0, Workers: 1}
 }
 
-// engine builds the sweep engine configured by the options. Figure sweeps
-// fail fast: a broken workload aborts the rest of its matrix instead of
-// simulating every remaining cell first.
-func (o Options) engine() *sweep.Engine {
+// Engine builds the sweep engine configured by the options. Figure sweeps
+// pass failFast=true: a broken workload aborts the rest of its matrix
+// instead of simulating every remaining cell first. The CLI sweep and
+// shard modes pass false — a journaled sweep wants every cell's real
+// verdict, and FailFast skips are deliberately never journaled.
+func (o Options) Engine(failFast bool) *sweep.Engine {
 	return &sweep.Engine{
-		Workers: o.Workers, Sinks: o.Sinks, FailFast: true,
+		Workers: o.Workers, Sinks: o.Sinks, FailFast: failFast,
 		Reuse: o.Reuse, InputMode: o.Inputs, SnapshotMode: o.Snapshots,
 		Inputs: o.InputArena, Snapshots: o.SnapshotArena, Machines: o.MachinePool,
 		MachineCap: o.MachineCap, InputCap: o.InputCap, SnapshotCap: o.SnapshotCap,
@@ -397,6 +399,9 @@ func (o Options) engine() *sweep.Engine {
 		Metrics: o.Metrics,
 	}
 }
+
+// engine is the figure sweeps' fail-fast engine.
+func (o Options) engine() *sweep.Engine { return o.Engine(true) }
 
 // Oracle translates the options into the conformance-oracle configuration.
 func (o Options) Oracle() sweep.OracleOptions {
@@ -451,6 +456,44 @@ func Get(id string) (Experiment, bool) {
 func IDs() []string {
 	ids := make([]string, 0, len(registry))
 	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// MatrixSpec is a registered job matrix: a named, options-parameterized
+// cell expansion that every consumer — the CLI's -sweep/-shard modes, the
+// golden gate, the sharded-determinism tests — shares, so a shard worker
+// process and its coordinator expand identical cells (identical keys,
+// identical order) from the id alone. Cells must be deterministic in o:
+// the sharded pipeline's whole contract rests on every process computing
+// the same expansion.
+type MatrixSpec struct {
+	ID, Title string
+	Cells     func(o Options) []sweep.Cell
+}
+
+var matrices = map[string]MatrixSpec{}
+
+// RegisterMatrix adds a matrix; duplicate ids panic (registration bug).
+func RegisterMatrix(m MatrixSpec) {
+	if _, dup := matrices[m.ID]; dup {
+		panic("harness: duplicate matrix " + m.ID)
+	}
+	matrices[m.ID] = m
+}
+
+// GetMatrix returns a registered matrix.
+func GetMatrix(id string) (MatrixSpec, bool) {
+	m, ok := matrices[id]
+	return m, ok
+}
+
+// MatrixIDs returns all registered matrix ids, sorted.
+func MatrixIDs() []string {
+	ids := make([]string, 0, len(matrices))
+	for id := range matrices {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)

@@ -1,0 +1,109 @@
+// Package journal implements the crash-durable record log behind the sweep
+// pipeline's journal stage: an append-only JSONL file, one record per line.
+//
+// The file format is deliberately the dumbest thing that survives a crash:
+// every Append is a single unbuffered write of one whole line, so a process
+// killed mid-append (SIGKILL, OOM, power at the file level) can tear at most
+// the final line. Open recovers by scanning existing content, keeping every
+// whole valid JSON line, and truncating the file at the first torn or
+// corrupt line — the records after a corrupt line are dropped too (an
+// append-only writer cannot produce valid lines after an invalid one, so
+// anything there is suspect), and the cells they recorded simply re-run.
+//
+// This package knows nothing about sweep cells or results; it moves opaque
+// JSON lines. The record schema (key + result) lives in package sweep.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+)
+
+// Writer appends one JSON record per line to a journal file.
+type Writer struct {
+	f *os.File
+}
+
+// Open opens the journal at path for appending, creating it if absent, and
+// recovers existing records first: every whole, valid JSON line is returned
+// in file order, and anything after the last valid record — a torn final
+// line from a crash mid-append — is truncated away so subsequent appends
+// start on a clean line boundary. The returned slices alias one buffer;
+// unmarshal them rather than holding references.
+func Open(path string) (*Writer, [][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, err
+	}
+	recs, off := scan(data)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if off < int64(len(data)) {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return &Writer{f: f}, recs, nil
+}
+
+// Read returns the valid records of the journal at path without opening it
+// for writing (the merge stage reads completed shard journals this way). A
+// missing file is an empty journal, not an error; a torn tail is skipped
+// but — unlike Open — left on disk.
+func Read(path string) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	recs, _ := scan(data)
+	return recs, nil
+}
+
+// Append marshals v and appends it as one line in a single write, so a
+// crash between Appends never leaves a partial record and a crash during
+// one tears only the final line.
+func (w *Writer) Append(v any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.f.Write(buf)
+	return err
+}
+
+// Sync flushes the journal to stable storage. Appends are already durable
+// against process death (the write syscall completed); Sync extends that to
+// OS or power failure, at the caller's chosen cadence.
+func (w *Writer) Sync() error { return w.f.Sync() }
+
+// Close closes the underlying file.
+func (w *Writer) Close() error { return w.f.Close() }
+
+// scan splits data into whole valid JSON lines, stopping at the first torn
+// (no trailing newline) or corrupt (invalid JSON) line; off is the byte
+// offset just past the last valid record — the truncation point.
+func scan(data []byte) (recs [][]byte, off int64) {
+	for int(off) < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn tail: the final append never completed
+		}
+		line := data[off : int(off)+nl]
+		if !json.Valid(line) {
+			break // corrupt line: everything from here on is suspect
+		}
+		recs = append(recs, line)
+		off += int64(nl) + 1
+	}
+	return recs, off
+}

@@ -1,0 +1,141 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type rec struct {
+	Key string `json:"key"`
+	N   int    `json:"n"`
+}
+
+func mustOpen(t *testing.T, path string) (*Writer, [][]byte) {
+	t.Helper()
+	w, recs, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return w, recs
+}
+
+func TestAppendAndRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, recs := mustOpen(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal recovered %d records", len(recs))
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append(rec{Key: "k", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, recs := mustOpen(t, path)
+	defer w2.Close()
+	if len(recs) != 5 {
+		t.Fatalf("recovered %d records, want 5", len(recs))
+	}
+	for i, line := range recs {
+		var r rec
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("record %d does not unmarshal: %v", i, err)
+		}
+		if r.N != i {
+			t.Fatalf("record %d has N=%d; order not preserved", i, r.N)
+		}
+	}
+}
+
+// TestTornTailTruncatedOnOpen is the crash-mid-write contract: chopping the
+// file at EVERY byte offset inside the final record must recover exactly
+// the preceding whole records, truncate the tear, and leave the file
+// appendable — the re-appended record must survive a further reopen.
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	w, _ := mustOpen(t, full)
+	for i := 0; i < 3; i++ {
+		if err := w.Append(rec{Key: "k", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset of the final record's first byte.
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	tail := len(data) - len(lines[2])
+
+	for chop := tail; chop < len(data); chop++ {
+		path := filepath.Join(dir, "chop.jsonl")
+		if err := os.WriteFile(path, data[:chop], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, recs := mustOpen(t, path)
+		if len(recs) != 2 {
+			t.Fatalf("chop at %d: recovered %d records, want 2", chop, len(recs))
+		}
+		if fi, err := os.Stat(path); err != nil || fi.Size() != int64(tail) {
+			t.Fatalf("chop at %d: file not truncated to %d (size %d, err %v)", chop, tail, fi.Size(), err)
+		}
+		// The journal must be cleanly appendable after recovery.
+		if err := w.Append(rec{Key: "k", N: 2}); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		if _, recs, err := Open(path); err != nil || len(recs) != 3 {
+			t.Fatalf("chop at %d: after re-append recovered %d records (err %v), want 3", chop, len(recs), err)
+		}
+	}
+}
+
+// TestCorruptMiddleLineDropsTail: a corrupt line mid-file (real corruption,
+// not an append tear) drops that line and everything after it — an
+// append-only writer cannot produce valid lines after an invalid one, so
+// the conservative answer is to re-run those cells.
+func TestCorruptMiddleLineDropsTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	content := "{\"n\":0}\nnot json\n{\"n\":2}\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, recs := mustOpen(t, path)
+	defer w.Close()
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records past a corrupt line, want 1", len(recs))
+	}
+	if fi, _ := os.Stat(path); fi.Size() != int64(len("{\"n\":0}\n")) {
+		t.Fatalf("file not truncated at the corrupt line: size %d", fi.Size())
+	}
+}
+
+func TestReadDoesNotTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	content := "{\"n\":0}\n{\"n\":1}\n{\"torn"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("Read recovered %d records, want 2", len(recs))
+	}
+	if fi, _ := os.Stat(path); fi.Size() != int64(len(content)) {
+		t.Fatal("Read modified the file")
+	}
+	// A missing file is an empty journal.
+	recs, err = Read(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || recs != nil {
+		t.Fatalf("Read(missing) = %d records, %v; want empty, nil", len(recs), err)
+	}
+}

@@ -160,7 +160,7 @@ func CheckDeterminism(rs Results, workers int) error {
 func CheckDeterminismOpts(rs Results, o DeterminismOptions) error {
 	cells := make([]Cell, 0, len(rs))
 	for _, r := range rs {
-		if r.Err == "" && o.sampled(r.key()) {
+		if r.Err == "" && o.sampled(r.Key()) {
 			cells = append(cells, r.Cell)
 		}
 	}
@@ -183,14 +183,29 @@ func CheckDeterminismOpts(rs Results, o DeterminismOptions) error {
 		a := byIndex[b.Index]
 		switch {
 		case b.Err != "":
-			errs = append(errs, fmt.Errorf("%s: passed first run, failed re-run: %s", b.key(), b.Err))
+			errs = append(errs, fmt.Errorf("%s: passed first run, failed re-run: %s", b.Key(), b.Err))
 		case a.Stats != b.Stats:
-			errs = append(errs, fmt.Errorf("%s: Stats differ across identical re-runs:\n  first: %+v\n  rerun: %+v", b.key(), a.Stats, b.Stats))
+			errs = append(errs, fmt.Errorf("%s: Stats differ across identical re-runs:\n  first: %+v\n  rerun: %+v", b.Key(), a.Stats, b.Stats))
 		case a.Digest != b.Digest:
-			errs = append(errs, fmt.Errorf("%s: digest differs across identical re-runs: %s vs %s", b.key(), a.Digest, b.Digest))
+			errs = append(errs, fmt.Errorf("%s: digest differs across identical re-runs: %s vs %s", b.Key(), a.Digest, b.Digest))
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// CheckShards is the cross-shard acceptance gate of the sharded pipeline:
+// given merged results whose cells were computed by other processes (shard
+// workers), it re-runs a hash-sampled subset locally and requires
+// bit-identical Stats and digest — a cell must reproduce exactly no matter
+// which shard, process, or host computed it, the same bit-exactness
+// contract the determinism oracle enforces within one process. It is
+// CheckDeterminismOpts applied to merged results, which works because
+// Merge rebinds each journaled result to its plan cell (restoring the
+// workload constructor JSON cannot carry); raw journal records are not
+// re-runnable. Use DeterminismOptions.Sample to bound the gate's cost on
+// large matrices.
+func CheckShards(merged Results, o DeterminismOptions) error {
+	return CheckDeterminismOpts(merged, o)
 }
 
 // OracleOptions configures a Conformance run.

@@ -1,0 +1,419 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"commtm"
+)
+
+// resultsJSON renders results as JSON lines with WallNS zeroed — the
+// byte-identical-modulo-wall-clock form every pipeline equivalence test
+// compares.
+func resultsJSON(t *testing.T, rs Results) string {
+	t.Helper()
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	for _, r := range rs {
+		r.WallNS = 0
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// countingCells wraps each cell's constructor with a shared execution
+// counter, so tests can assert which cells actually ran (journaled cells
+// skip the constructor entirely).
+func countingCells(cells []Cell, n *atomic.Int64) []Cell {
+	out := make([]Cell, len(cells))
+	for i, c := range cells {
+		mk := c.Mk
+		c.Mk = func() Workload { n.Add(1); return mk() }
+		out[i] = c
+	}
+	return out
+}
+
+func TestParseShard(t *testing.T) {
+	if s, n, err := ParseShard("2/4"); err != nil || s != 2 || n != 4 {
+		t.Fatalf("ParseShard(2/4) = %d, %d, %v", s, n, err)
+	}
+	for _, bad := range []string{"", "3", "4/4", "-1/4", "1/0", "a/b", "1/4/2", "1//4"} {
+		if _, _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+}
+
+func TestShardOfStableAndSpread(t *testing.T) {
+	const n = 4
+	counts := make([]int, n)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("wl-%d/CommTM/%dt/seed=%d", i%7, 1+i%5, i)
+		s := ShardOf(k, n)
+		if s < 0 || s >= n {
+			t.Fatalf("ShardOf(%q, %d) = %d out of range", k, n, s)
+		}
+		if s != ShardOf(k, n) {
+			t.Fatalf("ShardOf(%q) unstable", k)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		// A uniform hash puts ~250 of 1000 keys per shard; an order of
+		// magnitude under that means the reduction is broken, not unlucky.
+		if c < 25 {
+			t.Errorf("shard %d got %d of 1000 keys; partition badly skewed: %v", s, c, counts)
+		}
+	}
+	if ShardOf("anything", 1) != 0 || ShardOf("anything", 0) != 0 {
+		t.Error("ShardOf with n<=1 must be 0")
+	}
+}
+
+func TestPlanPartition(t *testing.T) {
+	cells := testMatrix().Cells()
+	p, err := NewPlan(cells, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for s := 0; s < p.Shards; s++ {
+		last := -1
+		for _, c := range p.Shard(s) {
+			if seen[c.Index] {
+				t.Fatalf("cell %d assigned to two shards", c.Index)
+			}
+			seen[c.Index] = true
+			if c.Index <= last {
+				t.Fatalf("shard %d cells out of plan order: %d after %d", s, c.Index, last)
+			}
+			last = c.Index
+			if ShardOf(c.Key(), p.Shards) != s {
+				t.Fatalf("cell %s in shard %d, ShardOf says %d", c.Key(), s, ShardOf(c.Key(), p.Shards))
+			}
+		}
+	}
+	if len(seen) != len(cells) {
+		t.Fatalf("shards cover %d of %d cells", len(seen), len(cells))
+	}
+	// Duplicate keys must be rejected: journals key results by Cell.Key.
+	dup := append([]Cell{}, cells...)
+	dup = append(dup, cells[0])
+	if _, err := NewPlan(dup, 2); err == nil || !strings.Contains(err.Error(), "share key") {
+		t.Fatalf("NewPlan accepted duplicate keys (err %v)", err)
+	}
+}
+
+// TestRunShardedMatchesRun is the in-process half of the sharding
+// contract: any shard count, journaled or not, merges to byte-identical,
+// identically-ordered results (modulo wall clock) versus plain Engine.Run.
+func TestRunShardedMatchesRun(t *testing.T) {
+	cells := testMatrix().Cells()
+	rs, err := (&Engine{Workers: 0}).Run(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultsJSON(t, rs)
+	for _, shards := range []int{1, 2, 4} {
+		for _, dir := range []string{"", t.TempDir()} {
+			got, err := (&Engine{Workers: 0}).RunSharded(cells, shards, dir)
+			if err != nil {
+				t.Fatalf("shards=%d journal=%v: %v", shards, dir != "", err)
+			}
+			if g := resultsJSON(t, got); g != want {
+				t.Fatalf("shards=%d journal=%v: merged results differ from Engine.Run", shards, dir != "")
+			}
+		}
+	}
+}
+
+// TestResumeSkipsJournaledCells interrupts a journaled shard mid-run, then
+// resumes: the resumed pipeline must re-run exactly the cells the journal
+// does not hold — never a journaled one — and still produce results
+// byte-identical to an uninterrupted run.
+func TestResumeSkipsJournaledCells(t *testing.T) {
+	base := testMatrix().Cells()
+	rs, err := (&Engine{Workers: 0}).Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultsJSON(t, rs)
+
+	var runs atomic.Int64
+	cells := countingCells(base, &runs)
+	dir := t.TempDir()
+	p, err := NewPlan(cells, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := ShardJournalPath(dir, 0, 1)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop once the journal holds a few records; a sequential worker makes
+	// the interruption point deterministic enough to assert on.
+	if _, err := (&Engine{Workers: 1}).RunShard(p, 0, j, func() bool { return j.Len() >= 4 }); err != nil {
+		t.Fatal(err)
+	}
+	journaled := j.Len()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if journaled == 0 || journaled == len(cells) {
+		t.Fatalf("interrupted run journaled %d of %d cells; test needs a partial journal", journaled, len(cells))
+	}
+	if got := int(runs.Load()); got != journaled {
+		t.Fatalf("interrupted run executed %d cells, journaled %d", got, journaled)
+	}
+	// Tear the tail the way a crash mid-append would before resuming.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"torn`)
+	f.Close()
+
+	got, err := (&Engine{Workers: 0}).RunSharded(cells, 1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := resultsJSON(t, got); g != want {
+		t.Fatal("resumed results differ from an uninterrupted run")
+	}
+	if total := int(runs.Load()); total != len(cells) {
+		t.Fatalf("interrupted+resumed runs executed %d cells, want exactly %d (journaled cells must not re-run)", total, len(cells))
+	}
+}
+
+// TestResumeIgnoresForeignJournal: a journal record whose key matches but
+// whose index disagrees with the plan (a stale or foreign journal) must be
+// ignored — the cell re-runs rather than adopt a suspect result.
+func TestResumeIgnoresForeignJournal(t *testing.T) {
+	var runs atomic.Int64
+	cells := countingCells(testMatrix().Cells(), &runs)
+	dir := t.TempDir()
+	path := ShardJournalPath(dir, 0, 1)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := Result{Cell: cells[0], Stats: commtm.Stats{Cycles: 12345}}
+	foreign.Index = cells[0].Index + 100
+	j.record(foreign)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := (&Engine{Workers: 0}).RunSharded(cells, 1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(runs.Load()) != len(cells) {
+		t.Fatalf("foreign journal record suppressed a cell run: %d of %d executed", runs.Load(), len(cells))
+	}
+	if rs[0].Stats.Cycles == 12345 {
+		t.Fatal("foreign journal result leaked into the merge")
+	}
+}
+
+func TestMergeIncompleteFails(t *testing.T) {
+	cells := testMatrix().Cells()
+	rs, err := (&Engine{Workers: 0}).Run(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(map[string]Result, len(rs))
+	for _, r := range rs {
+		done[r.Key()] = r
+	}
+	delete(done, cells[3].Key())
+	if _, err := Merge(cells, done, nil); err == nil || !strings.Contains(err.Error(), "no journaled result") {
+		t.Fatalf("Merge over an incomplete journal returned %v; must refuse to emit a partial matrix", err)
+	}
+}
+
+// TestSinkHeaderOnceAcrossResume is the resume-safety regression test for
+// the row sinks: the header must appear exactly once whether rows come
+// from a live run, a merged journal, or a resumed append to pre-headered
+// output (the *Resume constructors).
+func TestSinkHeaderOnceAcrossResume(t *testing.T) {
+	cells := testMatrix().Cells()
+	rs, err := (&Engine{Workers: 0}).Run(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(map[string]Result, len(rs))
+	for _, r := range rs {
+		done[r.Key()] = r
+	}
+
+	countHeaders := func(out, marker string) int {
+		n := 0
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, marker) {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Merged-journal emission: first row the sink ever sees comes from
+	// Merge, not a live cell — header still exactly once, at the top.
+	var csvBuf bytes.Buffer
+	if _, err := Merge(cells, done, []Sink{NewCSV(&csvBuf)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := countHeaders(csvBuf.String(), "index,workload"); got != 1 {
+		t.Fatalf("CSV header appeared %d times after a merged emit", got)
+	}
+	if !strings.HasPrefix(csvBuf.String(), "index,workload") {
+		t.Fatal("CSV header is not the first row")
+	}
+
+	// Resumed append: the original run wrote the header and some rows; the
+	// resumed process re-opens the same output and must not write another.
+	var resumed bytes.Buffer
+	first := NewCSV(&resumed)
+	for _, r := range rs[:2] {
+		if err := first.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first.Close()
+	second := NewCSVResume(&resumed)
+	for _, r := range rs[2:] {
+		if err := second.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second.Close()
+	if got := countHeaders(resumed.String(), "index,workload"); got != 1 {
+		t.Fatalf("CSV header appeared %d times across an original+resumed run", got)
+	}
+	if rows := strings.Count(strings.TrimSpace(resumed.String()), "\n"); rows != len(rs) {
+		t.Fatalf("resumed CSV has %d data rows, want %d", rows, len(rs))
+	}
+
+	var tbl bytes.Buffer
+	tfirst := NewTable(&tbl)
+	if err := tfirst.Emit(rs[0]); err != nil {
+		t.Fatal(err)
+	}
+	tsecond := NewTableResume(&tbl)
+	if err := tsecond.Emit(rs[1]); err != nil {
+		t.Fatal(err)
+	}
+	// "digest" appears only in the table's header line, never in data rows
+	// (digests render as hex), so its count is the header count.
+	if got := countHeaders(tbl.String(), "digest"); got != 1 {
+		t.Fatalf("table header appeared %d times across an original+resumed emit", got)
+	}
+}
+
+// FuzzJournalRoundTrip fuzzes the pipeline's durability boundary: a Result
+// journaled to JSONL and read back must reproduce its deterministic fields
+// exactly; arbitrary corruption of the file tail must never break recovery
+// (valid prefix kept, file re-appendable); and ParseShard must reject
+// garbage without panicking and round-trip every valid spec.
+func FuzzJournalRoundTrip(f *testing.F) {
+	f.Add("add", "CommTM", 4, uint64(1), uint64(98765), "", 3, []byte(`{"torn`))
+	f.Add("list p=0.5", "Baseline", 128, uint64(42), uint64(0), "validate: boom", 0, []byte("\x00\xff garbage"))
+	f.Add("a/b", "2/4", 1, uint64(7), uint64(1), "", 1000, []byte("{}\n{}"))
+	f.Fuzz(func(t *testing.T, workload, label string, threads int, seed, cycles uint64, cellErr string, chop int, tail []byte) {
+		// Cell identities are Go string constants, always valid UTF-8; JSON
+		// replaces invalid bytes with U+FFFD, which would change the key on
+		// the way through the journal (a resume miss — a re-run — never a
+		// mis-merge). Normalize the fuzzed identities to what real cells
+		// carry so the exact round-trip property holds.
+		workload = strings.ToValidUTF8(workload, "�")
+		label = strings.ToValidUTF8(label, "�")
+		cellErr = strings.ToValidUTF8(cellErr, "�")
+		r := Result{
+			Cell: Cell{
+				Index:    int(seed % 1000),
+				Workload: workload,
+				Variant:  Variant{Label: label},
+				Threads:  threads,
+				Seed:     seed,
+			},
+			Stats:  commtm.Stats{Cycles: cycles, Commits: cycles / 3, Aborts: cycles / 7},
+			Digest: fmt.Sprintf("%016x", cycles*2654435761),
+			Err:    cellErr,
+			WallNS: int64(cycles % 1e9),
+		}
+		path := filepath.Join(t.TempDir(), "j.jsonl")
+		j, err := OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.record(r)
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		done, err := ReadJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := done[r.Key()]
+		if !ok {
+			t.Fatalf("journaled result missing under its own key %q", r.Key())
+		}
+		if got.Stats != r.Stats || got.Digest != r.Digest || got.Err != r.Err ||
+			got.Index != r.Index || got.WallNS != r.WallNS {
+			t.Fatalf("round trip drifted:\n  wrote %+v\n  read  %+v", r, got)
+		}
+
+		// Corrupt the tail: chop bytes off the end, splice in garbage, and
+		// require recovery to keep exactly the valid prefix and leave the
+		// file appendable.
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chop < 0 {
+			chop = -chop
+		}
+		chop %= len(data) + 1
+		corrupted := append(append([]byte{}, data[:len(data)-chop]...), tail...)
+		if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("recovery failed on corrupt tail: %v", err)
+		}
+		j2.record(r)
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		reread, err := ReadJournal(path)
+		if err != nil {
+			t.Fatalf("journal unreadable after recovery+append: %v", err)
+		}
+		if _, ok := reread[r.Key()]; !ok {
+			t.Fatal("re-appended record missing after recovery")
+		}
+
+		// Shard-spec parsing must never panic, and valid specs round-trip.
+		if s, n, err := ParseShard(workload); err == nil {
+			if s < 0 || s >= n || n < 1 {
+				t.Fatalf("ParseShard(%q) = %d/%d out of contract", workload, s, n)
+			}
+			if s2, n2, err := ParseShard(fmt.Sprintf("%d/%d", s, n)); err != nil || s2 != s || n2 != n {
+				t.Fatalf("ParseShard round trip broke: %d/%d -> %d/%d (%v)", s, n, s2, n2, err)
+			}
+		}
+		if sh := ShardOf(r.Key(), 1+threads%8); sh < 0 {
+			t.Fatalf("ShardOf returned %d", sh)
+		}
+	})
+}

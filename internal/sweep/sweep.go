@@ -21,6 +21,14 @@
 // and an in-order emit buffer. The figure/table layer in internal/harness
 // and the differential conformance oracle in oracle.go both run on top of
 // this engine.
+//
+// The engine's control flow is a staged pipeline — expand → plan → execute
+// → journal → merge → emit. Matrix.Cells is the expand stage; this file
+// holds the execute stage's cell runner and worker pool, sched.go its
+// scheduler, and pipeline.go the rest (Plan, Journal, Merge, emitter) plus
+// the compositions: Engine.Run is the degenerate one (one shard, no
+// journal), RunShard/RunSharded — and cmd/commtm-bench's -shard modes —
+// are the sharded, crash-resumable ones.
 package sweep
 
 import (
@@ -158,8 +166,11 @@ func (c Cell) Config() commtm.Config {
 	}
 }
 
-// key identifies a cell's configuration for error messages.
-func (c Cell) key() string {
+// Key identifies a cell's configuration: the stable identity under which
+// the pipeline journals results, assigns shards (ShardOf), and reports
+// errors. It deliberately omits Index, so it is stable across matrix
+// renumbering; NewPlan requires it to be unique within a plan.
+func (c Cell) Key() string {
 	s := fmt.Sprintf("%s/%s/%dt/seed=%d", c.Workload, c.Variant.Label, c.Threads, c.Seed)
 	if !c.Geometry.IsDefault() {
 		s += "/" + c.Geometry.Label
@@ -185,7 +196,7 @@ type Results []Result
 func (rs Results) FirstErr() error {
 	for _, r := range rs {
 		if r.Err != "" {
-			return fmt.Errorf("sweep: cell %s: %s", r.key(), r.Err)
+			return fmt.Errorf("sweep: cell %s: %s", r.Key(), r.Err)
 		}
 	}
 	return nil
@@ -709,126 +720,21 @@ type Engine struct {
 	Metrics *RunMetrics
 }
 
-// sched hands out cells with configuration affinity: cells are grouped by
-// arena key, a worker drains the group it owns before claiming another, and
-// once every group is owned, idle workers steal — in chunks — from a victim
-// group. A steal splits off half the victim's remainder as a new private
-// group owned by the stealer, so the stealer builds one machine for the
-// configuration and drains its chunk without further contention, instead of
-// re-stealing (and re-building machines for) a different configuration
-// after every single cell — at worker counts far above the number of
-// distinct configurations, one-at-a-time stealing made every stealer a
-// machine factory. Victim selection is affinity-aware: a stealer prefers
-// groups whose configuration it already has pooled machines (and snapshots)
-// for — those steals cost no machine build at all — and falls back to the
-// largest remainder otherwise. With a single group the scheduler
-// degenerates to the plain shared index-order queue, which is how ReuseOff
-// runs.
-type sched struct {
-	mu     sync.Mutex
-	groups []*schedGroup
-}
-
-type schedGroup struct {
-	key   commtm.Config // arena key of the group's cells (split groups inherit it)
-	cells []int         // cell indexes, in index order (shared by split groups)
-	next  int           // cells[next:end] still to hand out from this group
-	end   int
-	owned bool
-}
-
-func (g *schedGroup) remaining() int { return g.end - g.next }
-
-// newSched groups cell indexes by arena key in first-appearance order (so
-// group order tracks index order); byConfig=false puts every cell in one
-// shared group.
-func newSched(cells []Cell, byConfig bool) *sched {
-	s := &sched{}
-	if !byConfig {
-		all := &schedGroup{cells: make([]int, len(cells))}
-		for i := range cells {
-			all.cells[i] = i
-		}
-		all.end = len(all.cells)
-		s.groups = append(s.groups, all)
-		return s
-	}
-	byKey := make(map[commtm.Config]*schedGroup)
-	for i, c := range cells {
-		k := arenaKey(c)
-		g := byKey[k]
-		if g == nil {
-			g = &schedGroup{key: k}
-			byKey[k] = g
-			s.groups = append(s.groups, g)
-		}
-		g.cells = append(g.cells, i)
-		g.end = len(g.cells)
-	}
-	return s
-}
-
-// next returns the next cell index for a worker whose current group is cur
-// (nil at start). It prefers the current group, then an unowned group, then
-// steals half the remainder of a victim group as a new group owned by the
-// caller. have — nil when the worker pools no machines — reports whether
-// the worker already holds a pooled machine for a configuration; among
-// steal victims, groups the worker has affinity with win (largest remainder
-// among them), then the overall largest remainder. have is called with
-// s.mu held, so it must not take locks ordered before the scheduler's.
-// ok=false means the sweep is fully claimed.
-func (s *sched) next(cur *schedGroup, have func(commtm.Config) bool) (g *schedGroup, cell int, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	take := func(g *schedGroup) (*schedGroup, int, bool) {
-		i := g.cells[g.next]
-		g.next++
-		return g, i, true
-	}
-	if cur != nil && cur.remaining() > 0 {
-		return take(cur)
-	}
-	for _, g := range s.groups {
-		if !g.owned && g.remaining() > 0 {
-			g.owned = true
-			return take(g)
-		}
-	}
-	// All groups owned: pick a steal victim. Chunked: split off the tail
-	// half as the caller's private group (stolen chunks are owned, so they
-	// are themselves steal victims only by remainder size).
-	var best *schedGroup
-	if have != nil {
-		for _, g := range s.groups {
-			if g.remaining() > 0 && have(g.key) && (best == nil || g.remaining() > best.remaining()) {
-				best = g
-			}
-		}
-	}
-	if best == nil {
-		for _, g := range s.groups {
-			if g.remaining() > 0 && (best == nil || g.remaining() > best.remaining()) {
-				best = g
-			}
-		}
-	}
-	if best == nil {
-		return nil, 0, false
-	}
-	k := best.remaining() / 2
-	if k == 0 {
-		k = 1
-	}
-	ng := &schedGroup{key: best.key, cells: best.cells, next: best.end - k, end: best.end, owned: true}
-	best.end -= k
-	s.groups = append(s.groups, ng)
-	return take(ng)
-}
-
 // Run executes all cells and returns their results ordered by cell index.
 // Cell-level failures (validation errors, panics) are reported in the
-// results, not as an error; the returned error covers sink I/O only.
+// results, not as an error; the returned error covers sink I/O only. Run
+// is the staged pipeline's degenerate composition: one shard, no journal,
+// live ordered emit.
 func (e *Engine) Run(cells []Cell) (Results, error) {
+	return e.run(cells, ExecOptions{})
+}
+
+// run is the execute stage: the worker pool that Run, RunShard, and the
+// multi-process worker mode all share. Beyond plain execution it honors
+// ExecOptions — emit already-journaled results without re-running them,
+// journal each fresh completion before emit, and stop claiming when asked
+// — all of which the zero ExecOptions disables.
+func (e *Engine) run(cells []Cell, x ExecOptions) (Results, error) {
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -884,11 +790,24 @@ func (e *Engine) Run(cells []Cell) (Results, error) {
 			}
 			var cur *schedGroup
 			for {
+				if x.Stop != nil && x.Stop() {
+					return
+				}
 				g, i, ok := q.next(cur, have)
 				if !ok {
 					return
 				}
 				cur = g
+				if r, ok := x.done(cells[i]); ok {
+					// Completed by an interrupted run: emit the journaled
+					// result without re-running — no machine, no metrics.
+					// Journaled failures still arm FailFast.
+					if r.Err != "" {
+						failed.Store(true)
+					}
+					em.put(i, r)
+					continue
+				}
 				if e.FailFast && failed.Load() {
 					em.put(i, Result{Cell: cells[i], Err: "skipped: earlier cell failed"})
 					continue
@@ -897,6 +816,10 @@ func (e *Engine) Run(cells []Cell) (Results, error) {
 				if r.Err != "" {
 					failed.Store(true)
 				}
+				// Journal before emit: a crash after the journal write re-emits
+				// on resume; a crash before it re-runs. Skipped (FailFast)
+				// cells are never journaled — a resume runs them for real.
+				x.Journal.record(r)
 				em.put(i, r)
 			}
 		}(w)
@@ -908,35 +831,12 @@ func (e *Engine) Run(cells []Cell) (Results, error) {
 	if pool != nil && pool != e.Machines {
 		pool.Close()
 	}
-	return results, em.err
-}
-
-// emitter reorders completions back into cell-index order and forwards the
-// longest completed prefix to the sinks.
-type emitter struct {
-	mu      sync.Mutex
-	results Results
-	done    int // results[:done] flushed to sinks
-	pending map[int]bool
-	sinks   []Sink
-	err     error
-}
-
-func (em *emitter) put(i int, r Result) {
-	em.mu.Lock()
-	defer em.mu.Unlock()
-	em.results[i] = r
-	if em.pending == nil {
-		em.pending = make(map[int]bool)
+	err := em.err
+	if err == nil {
+		// A journal that stopped persisting makes the run non-resumable;
+		// surface it like a sink failure rather than return silently partial
+		// durability.
+		err = x.Journal.Err()
 	}
-	em.pending[i] = true
-	for em.pending[em.done] {
-		delete(em.pending, em.done)
-		for _, s := range em.sinks {
-			if err := s.Emit(em.results[em.done]); err != nil && em.err == nil {
-				em.err = fmt.Errorf("sweep: sink: %w", err)
-			}
-		}
-		em.done++
-	}
+	return results, err
 }

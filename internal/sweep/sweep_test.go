@@ -454,7 +454,7 @@ func TestInputArenaMatchesFresh(t *testing.T) {
 		for i := range fresh {
 			if fresh[i].Stats != cached[i].Stats || fresh[i].Digest != cached[i].Digest {
 				t.Errorf("workers=%d: cell %d (%s) differs between fresh and cached inputs",
-					workers, i, fresh[i].key())
+					workers, i, fresh[i].Key())
 			}
 		}
 		if rm.InputMisses == 0 || rm.InputHits == 0 {
@@ -767,7 +767,7 @@ func TestSampledDeterminism(t *testing.T) {
 		o := DeterminismOptions{Sample: sample, SampleSeed: seed}
 		sel := make(map[int]bool)
 		for _, r := range rs {
-			if o.sampled(r.key()) {
+			if o.sampled(r.Key()) {
 				sel[r.Index] = true
 			}
 		}
@@ -818,7 +818,7 @@ func TestSampledDeterminism(t *testing.T) {
 	tampered := append(Results(nil), rs...)
 	found := false
 	for i := range tampered {
-		if o.sampled(tampered[i].key()) {
+		if o.sampled(tampered[i].Key()) {
 			tampered[i].Stats.Commits++
 			found = true
 			break

@@ -1,0 +1,121 @@
+package commtm_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"commtm/internal/sweep"
+)
+
+// shardResultsJSON renders results as JSON lines with WallNS zeroed — the
+// byte-identical form the sharded acceptance gate compares (wall clock is
+// the one documented nondeterministic field).
+func shardResultsJSON(t *testing.T, rs sweep.Results) string {
+	t.Helper()
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	for _, r := range rs {
+		r.WallNS = 0
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// TestShardedMatchesSingleProcess is the acceptance gate of the staged
+// pipeline on the full golden matrix: running it as 1, 2, and 4 shards
+// (journaled, in-process) must merge to byte-identical, identically-ordered
+// Results versus plain Engine.Run — the same property the multi-process
+// coordinator relies on, proven here without forking.
+func TestShardedMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix runs at fixed scale; skipped in -short")
+	}
+	cells := goldenCells()
+	single, err := (&sweep.Engine{Workers: 0}).Run(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	want := shardResultsJSON(t, single)
+	for _, shards := range []int{1, 2, 4} {
+		merged, err := (&sweep.Engine{Workers: 0}).RunSharded(cells, shards, t.TempDir())
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		if got := shardResultsJSON(t, merged); got != want {
+			t.Fatalf("%d shards: merged results are not byte-identical to Engine.Run", shards)
+		}
+	}
+}
+
+// TestShardedKillAndResume interrupts one shard of a 2-shard golden sweep
+// mid-run — journal torn mid-append, exactly what a SIGKILL leaves — then
+// resumes the whole pipeline over the same journal directory. The resumed
+// run must skip every journaled cell (counted via the cell constructors)
+// and the final merge must be byte-identical to an uninterrupted
+// single-process run.
+func TestShardedKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix runs at fixed scale; skipped in -short")
+	}
+	base := goldenCells()
+	single, err := (&sweep.Engine{Workers: 0}).Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := shardResultsJSON(t, single)
+
+	var runs atomic.Int64
+	cells := make([]sweep.Cell, len(base))
+	for i, c := range base {
+		mk := c.Mk
+		c.Mk = func() sweep.Workload { runs.Add(1); return mk() }
+		cells[i] = c
+	}
+	const shards = 2
+	dir := t.TempDir()
+	p, err := sweep.NewPlan(cells, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := sweep.ShardJournalPath(dir, 0, shards)
+	j, err := sweep.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&sweep.Engine{Workers: 1}).RunShard(p, 0, j, func() bool { return j.Len() >= 3 }); err != nil {
+		t.Fatal(err)
+	}
+	journaled := j.Len()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if journaled == 0 || journaled >= len(p.Shard(0)) {
+		t.Fatalf("interruption journaled %d of shard 0's %d cells; test needs a partial shard", journaled, len(p.Shard(0)))
+	}
+	// The torn final record a crash mid-append leaves behind.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"torn-mid-append","result":{"in`)
+	f.Close()
+
+	merged, err := (&sweep.Engine{Workers: 0}).RunSharded(cells, shards, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shardResultsJSON(t, merged); got != want {
+		t.Fatal("kill-and-resume merge is not byte-identical to an uninterrupted run")
+	}
+	if total := int(runs.Load()); total != len(cells) {
+		t.Fatalf("interrupted+resumed runs executed %d cells, want exactly %d (journaled cells must not re-run)", total, len(cells))
+	}
+}
