@@ -53,8 +53,9 @@
 // -machine-cap / -input-cap / -snapshot-cap bound the pools with LRU
 // eviction for long-lived processes (0, the default, is unbounded);
 // -input-budget / -snapshot-budget bound them in bytes instead (estimated
-// deep host bytes for inputs, logical image bytes for snapshots), evicting
-// the least recently used entries until back under budget. Caps and budgets
+// deep host bytes for inputs, deduplicated resident bytes for snapshots —
+// pages shared between cached images are charged once), evicting the least
+// recently used entries until back under budget. Caps and budgets
 // compose: either limit alone triggers eviction.
 // -oracle runs the differential conformance + determinism oracle over the
 // reduced matrix (plus the geometry-swept group) and exits nonzero on
@@ -151,7 +152,7 @@ func main() {
 		iCap     = flag.Int("input-cap", 0, "cap on cached workload inputs, LRU-evicted beyond it (0 = unbounded)")
 		sCap     = flag.Int("snapshot-cap", 0, "cap on cached machine images, LRU-evicted beyond it (0 = unbounded)")
 		iBudget  = flag.Int("input-budget", 0, "byte budget for cached workload inputs (estimated deep host bytes), LRU-evicted beyond it (0 = unbounded)")
-		sBudget  = flag.Int("snapshot-budget", 0, "byte budget for cached machine images (logical image bytes), LRU-evicted beyond it (0 = unbounded)")
+		sBudget  = flag.Int("snapshot-budget", 0, "byte budget for cached machine images (deduplicated resident bytes: shared pages charged once), LRU-evicted beyond it (0 = unbounded)")
 		jsonOut  = flag.String("json", "", "write per-cell results as JSON lines to this file")
 		csvOut   = flag.String("csv", "", "write per-cell results as CSV to this file")
 		oracle   = flag.Bool("oracle", false, "run the differential conformance + determinism oracle and exit")
@@ -334,9 +335,10 @@ func main() {
 		fmt.Printf("host: allocs=%d alloc_bytes=%d gc_cycles=%d heap_sys_bytes=%d\n",
 			hm.Allocs, hm.AllocBytes, hm.GCCycles, hm.HeapSysBytes)
 		lc := hm.Lifecycle
-		fmt.Printf("lifecycle: machines_built=%d machine_reuses=%d machines_evicted=%d input_hits=%d input_misses=%d input_evictions=%d snapshot_hits=%d snapshot_misses=%d snapshot_evictions=%d snapshot_bytes=%d\n",
+		fmt.Printf("lifecycle: machines_built=%d machine_reuses=%d machines_evicted=%d input_hits=%d input_misses=%d input_evictions=%d snapshot_hits=%d snapshot_misses=%d snapshot_evictions=%d snapshot_bytes=%d snapshot_base_hits=%d snapshot_base_misses=%d\n",
 			lc.MachinesBuilt, lc.MachineReuses, lc.MachinesEvicted, lc.InputHits, lc.InputMisses, lc.InputEvictions,
-			lc.SnapshotHits, lc.SnapshotMisses, lc.SnapshotEvictions, lc.SnapshotBytes)
+			lc.SnapshotHits, lc.SnapshotMisses, lc.SnapshotEvictions, lc.SnapshotBytes,
+			lc.SnapshotBaseHits, lc.SnapshotBaseMisses)
 		// The copy-on-write line: page copies triggered by first writes to
 		// shared pages, restores skipped by the image-digest stamp, and the
 		// post-run page census summed over cells — sharing = shared pages /
@@ -359,7 +361,16 @@ func main() {
 				fmt.Printf(" inputs{size=%d bytes=%d hits=%d misses=%d evictions=%d}", st.Size, st.Bytes, st.Hits, st.Misses, st.Evictions)
 			}
 			if st := hm.SnapshotsArena; st != nil {
-				fmt.Printf(" snapshots{size=%d bytes=%d resident_bytes=%d hits=%d misses=%d evictions=%d}", st.Size, st.Bytes, st.ResidentBytes, st.Hits, st.Misses, st.Evictions)
+				// dedup is the content-dedup ratio of all pages ever interned:
+				// the fraction that resolved to an already-pooled payload
+				// instead of adding a new one.
+				dedup := 0.0
+				if tot := st.PagesInterned + st.PagesDeduped; tot > 0 {
+					dedup = float64(st.PagesDeduped) / float64(tot)
+				}
+				fmt.Printf(" snapshots{size=%d bytes=%d resident_bytes=%d hits=%d misses=%d evictions=%d base_size=%d base_hits=%d base_misses=%d base_evictions=%d pool_pages=%d page_dedup=%.3f}",
+					st.Size, st.Bytes, st.ResidentBytes, st.Hits, st.Misses, st.Evictions,
+					st.BaseSize, st.BaseHits, st.BaseMisses, st.BaseEvictions, st.PoolPages, dedup)
 			}
 			if st := hm.MachinePool; st != nil {
 				fmt.Printf(" machines{size=%d hits=%d misses=%d evictions=%d}", st.Size, st.Hits, st.Misses, st.Evictions)

@@ -267,6 +267,18 @@ func ResidentImageBytes(imgs []*Image) int {
 	return mem.ResidentPageBytes(stores)
 }
 
+// ResidentBaseImageBytes is ResidentImageBytes for base images: the host
+// footprint of the distinct store pages the given bases reference.
+func ResidentBaseImageBytes(bases []*BaseImage) int {
+	stores := make([]*mem.StoreImage, 0, len(bases))
+	for _, b := range bases {
+		if b != nil {
+			stores = append(stores, b.store)
+		}
+	}
+	return mem.ResidentPageBytes(stores)
+}
+
 // Snapshot captures the machine's post-Setup state into an immutable Image.
 // It must be called after Setup-style preparation and before Run: snapshots
 // record installed state, not run outcomes (caches are empty and the
@@ -350,6 +362,130 @@ func (m *Machine) Restore(img *Image) {
 	m.k.RestoreRands(img.rands)
 	m.imgDigest, m.imgStamped = img.digest, true
 }
+
+// BaseImage is the geometry-invariant half of a split machine image: the
+// backing-store pages, the allocator break, and the label registry — no PRNG
+// positions and no thread count. A workload whose Setup installs identical
+// state at every thread count (snapshots.ThreadInvariant) captures one base
+// per parameter point and adopts it across the whole thread sweep;
+// RestoreBase reinstates it on a machine of any geometry by ResetSeed +
+// page-pointer adoption, with the PRNG streams correct by construction
+// (capture requires them pristine, and ResetSeed re-derives exactly the
+// pristine positions for the target geometry).
+type BaseImage struct {
+	cfg    Config // capturing machine's config; Threads advisory only
+	store  *mem.StoreImage
+	brk    Addr
+	labels []LabelSpec
+	digest uint64
+}
+
+// Config returns the configuration of the machine the base was captured
+// from. Unlike Image.Config, the Threads field is informational: a base is
+// adoptable at any thread count.
+func (b *BaseImage) Config() Config { return b.cfg }
+
+// Digest returns the base's content address: an FNV-1a hash over memory
+// contents, allocator break, and label names — deliberately excluding PRNG
+// positions and thread count, so bases captured at different geometries from
+// the same Setup digest equal.
+func (b *BaseImage) Digest() uint64 { return b.digest }
+
+// Bytes returns the logical size of the base's page payloads.
+func (b *BaseImage) Bytes() int { return b.store.Bytes() }
+
+// Pages returns the number of 4 KiB pages the base references.
+func (b *BaseImage) Pages() int { return b.store.Pages() }
+
+// Lines returns the number of captured simulated-memory lines.
+func (b *BaseImage) Lines() int { return b.store.Lines() }
+
+// SnapshotBase captures the geometry-invariant half of the machine's
+// post-Setup state. Like Snapshot it must run between Setup and Run (panics
+// after Run). It additionally requires every PRNG stream to still sit at its
+// post-Reset derivation: a base records no PRNG positions, so adopting one at
+// another thread count is only exact if the positions were derivable from
+// (seed, proc index) alone. A Setup that draws from machine RNGs trips the
+// panic and the workload must not declare SnapshotThreadInvariant.
+// SnapshotBase does not stamp the machine's image digest (the stamp tracks
+// full-image identity, which includes geometry).
+func (m *Machine) SnapshotBase() *BaseImage {
+	if m.ran {
+		panic("commtm: Machine.SnapshotBase after Run; base images capture post-Setup state (Reset first)")
+	}
+	if !m.k.RandsPristine(m.cfg.Seed) || !m.ms.RandPristine(m.cfg.Seed) {
+		panic("commtm: Machine.SnapshotBase with non-pristine PRNG streams; Setup drew from machine RNGs, so its state is not thread-invariant")
+	}
+	b := &BaseImage{
+		cfg:    m.cfg,
+		store:  m.store.Snapshot(),
+		brk:    m.alloc.Brk(),
+		labels: m.ms.SnapshotLabels(),
+	}
+	h := m.MemDigest()
+	h = digestWord(h, uint64(b.brk))
+	for _, l := range b.labels {
+		h = digestWord(h, uint64(len(l.Name)))
+		for i := 0; i < len(l.Name); i++ {
+			h = digestWord(h, uint64(l.Name[i]))
+		}
+		h = digestWord(h, l.ReduceCost)
+		h = digestWord(h, l.SplitCost)
+	}
+	b.digest = h
+	return b
+}
+
+// RestoreBase reinstates a base image on a machine of any thread count: a
+// full ResetSeed to the given seed, then pointer adoption of the base's
+// sealed pages, the allocator break, and the label registry. The PRNG
+// streams are left at their post-ResetSeed derivations, which is exactly
+// where the capturing machine's streams sat (SnapshotBase requires it).
+// Cache geometry must still match — only the thread count, seed, protocol,
+// and gather knob may differ. RestoreBase never stamp-skips: the caller is
+// about to adopt per-workload host state and capture a full per-geometry
+// Image on top, so the reset always runs.
+func (m *Machine) RestoreBase(b *BaseImage, seed uint64) {
+	mc, bc := m.cfg, b.cfg
+	mc.Seed, bc.Seed = 0, 0
+	mc.Protocol, bc.Protocol = 0, 0
+	mc.DisableGather, bc.DisableGather = false, false
+	mc.Threads, bc.Threads = 0, 0
+	if mc != bc {
+		panic(fmt.Sprintf("commtm: RestoreBase of base captured under %+v onto machine configured %+v", b.cfg, m.cfg))
+	}
+	m.ResetSeed(seed)
+	m.store.Restore(b.store)
+	m.alloc.Restore(b.brk)
+	m.ms.RestoreLabels(b.labels)
+}
+
+// PagePool is a content-addressed registry of sealed store pages shared
+// across images; see mem.PagePool. The snapshot arena interns every captured
+// image (full and base) into one pool so bit-identical pages alias a single
+// payload even across unrelated arena keys.
+type PagePool = mem.PagePool
+
+// PagePoolStats is a point-in-time snapshot of a PagePool's counters.
+type PagePoolStats = mem.PagePoolStats
+
+// NewPagePool returns an empty content-addressed page pool.
+func NewPagePool() *PagePool { return mem.NewPagePool() }
+
+// InternPages registers the image's store pages in the pool, rewriting them
+// to the pool's canonical payloads. Must happen before the image is shared
+// with concurrent readers; balance with ReleasePages.
+func (img *Image) InternPages(p *PagePool) { p.Intern(img.store) }
+
+// ReleasePages drops the pool references InternPages took.
+func (img *Image) ReleasePages(p *PagePool) { p.Release(img.store) }
+
+// InternPages registers the base's store pages in the pool; see
+// Image.InternPages.
+func (b *BaseImage) InternPages(p *PagePool) { p.Intern(b.store) }
+
+// ReleasePages drops the pool references InternPages took.
+func (b *BaseImage) ReleasePages(p *PagePool) { p.Release(b.store) }
 
 // RestoreSkips returns how many Restore calls were satisfied by the
 // image-digest stamp alone (no Reset, no page work) over the machine's

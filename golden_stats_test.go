@@ -179,6 +179,24 @@ func TestGoldenConformance(t *testing.T) {
 		t.Errorf("one-page snapshot budget never evicted over the golden matrix; the budgeted leg is not exercising eviction (metrics: %+v)", budgetRM)
 	}
 
+	// Thread-invariant split snapshots: the golden matrix sweeps counter and
+	// oput (both ThreadInvariant opt-ins) across threads {1,8,32}, so with
+	// snapshots on the split path must take base hits — the 8- and 32-thread
+	// cells adopt the 1-thread cell's base image via RestoreBase instead of
+	// running Setup — while every cell still reproduces the committed goldens
+	// bit-identically. A base image that dropped any state (a store line, the
+	// brk, a label) or a PRNG position that survived adoption diverges here.
+	// The goldens are NOT re-baselined for this mode.
+	tiRM := &sweep.RunMetrics{}
+	tiEng := sweep.Engine{
+		Workers: 0, Reuse: sweep.ReuseOn, InputMode: sweep.InputsOn,
+		SnapshotMode: sweep.SnapshotsOn, Metrics: tiRM,
+	}
+	checkAgainstGolden(t, runGoldenEngine(t, tiEng), want, "thread-invariant")
+	if tiRM.SnapshotBaseHits == 0 {
+		t.Errorf("golden matrix took no base-image hits; the thread-invariant split path is not engaging (metrics: %+v)", tiRM)
+	}
+
 	// Cross-sweep machine pool: two consecutive runs share one externally
 	// owned pool, so the second run executes almost entirely on machines
 	// built (and mutated) by the first and reset at acquire. Both runs must

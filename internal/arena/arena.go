@@ -111,6 +111,15 @@ type Arena[K comparable, V any] struct {
 	// snapshot of the settled values; it must not re-enter the arena. When
 	// nil, ResidentBytes mirrors Bytes.
 	Residency func(vals []V) int
+	// BudgetResidency, when true (and both Budget and Residency are set),
+	// makes Budget evict against the Residency hook's deduplicated host
+	// footprint instead of the logical Stats.Bytes sum. Clients whose values
+	// share storage (snapshot images aliasing pooled pages) set it so shared
+	// pages are not multi-counted against the budget, which would evict
+	// earlier than the budget implies. Residency is recomputed per eviction
+	// iteration, so budget eviction costs O(entries) per victim — acceptable
+	// for the snapshot arena's entry counts.
+	BudgetResidency bool
 	// OnRelease, when non-nil, runs for every value leaving the arena
 	// (eviction, Remove, RemoveAll) — the client's close policy. It is
 	// always called OUTSIDE the arena lock: a hook may re-enter the arena
@@ -295,7 +304,7 @@ func (a *Arena[K, V]) evictOverLocked() []*entry[K, V] {
 		return nil
 	}
 	var victims []*entry[K, V]
-	for (a.Cap > 0 && len(a.entries) > a.Cap) || (a.Budget > 0 && a.bytes > a.Budget) {
+	for (a.Cap > 0 && len(a.entries) > a.Cap) || a.overBudgetLocked() {
 		var v *entry[K, V]
 		for c := a.back; c != nil; c = c.prev {
 			if c.done && c.pins == 0 {
@@ -313,6 +322,32 @@ func (a *Arena[K, V]) evictOverLocked() []*entry[K, V] {
 		victims = append(victims, v)
 	}
 	return victims
+}
+
+// overBudgetLocked reports whether the byte budget is exceeded, charging
+// either the logical byte sum or (BudgetResidency) the Residency hook's
+// deduplicated footprint. Caller holds mu.
+func (a *Arena[K, V]) overBudgetLocked() bool {
+	if a.Budget <= 0 {
+		return false
+	}
+	if a.BudgetResidency && a.Residency != nil {
+		return a.residencyLocked() > a.Budget
+	}
+	return a.bytes > a.Budget
+}
+
+// residencyLocked computes the Residency hook's footprint over the settled
+// values. Caller holds mu (the hook's contract permits this: it is always
+// called under the arena lock and must not re-enter the arena).
+func (a *Arena[K, V]) residencyLocked() int {
+	vals := make([]V, 0, len(a.entries))
+	for _, e := range a.entries {
+		if e.done {
+			vals = append(vals, e.val)
+		}
+	}
+	return a.Residency(vals)
 }
 
 // runHooks applies the release hook to evicted/removed entries, outside
@@ -453,13 +488,7 @@ func (a *Arena[K, V]) Stats() Stats {
 		ResidentBytes: a.bytes,
 	}
 	if a.Residency != nil {
-		vals := make([]V, 0, len(a.entries))
-		for _, e := range a.entries {
-			if e.done {
-				vals = append(vals, e.val)
-			}
-		}
-		st.ResidentBytes = a.Residency(vals)
+		st.ResidentBytes = a.residencyLocked()
 	}
 	return st
 }

@@ -167,6 +167,26 @@ func (k *Kernel) Reset(seed uint64) {
 	}
 }
 
+// RandsPristine reports whether every proc's PRNG streams still sit at their
+// post-Reset(seed) derivations — i.e. nothing has drawn from them since the
+// last Reset. Thread-invariant base snapshots rely on this: a base image
+// records no PRNG positions, which is only sound if the positions are fully
+// determined by (seed, proc index) at capture time.
+func (k *Kernel) RandsPristine(seed uint64) bool {
+	var tmp xrand.RNG
+	for i, p := range k.procs {
+		tmp.SeedDerived(seed, uint64(i))
+		if p.Rand.State() != tmp.State() {
+			return false
+		}
+		tmp.SeedDerived(seed, uint64(i)+1<<32)
+		if p.SysRand.State() != tmp.State() {
+			return false
+		}
+	}
+	return true
+}
+
 // ProcRands is one proc's captured PRNG positions: the architectural stream
 // (Proc.Rand) and the microarchitectural stream (Proc.SysRand).
 type ProcRands struct {

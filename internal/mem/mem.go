@@ -11,6 +11,7 @@ package mem
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // Addr is a simulated physical byte address.
@@ -62,7 +63,52 @@ const PageBytes = pageBytes
 type pageData struct {
 	used   uint64
 	sealed bool
+	// digest is the page's content address (FNV-1a over the used bitmap and
+	// the used lines), computed once when the page is first sealed — sealed
+	// payloads are immutable, so it never goes stale. Private pages carry a
+	// meaningless zero; only sealed pages enter a PagePool.
+	digest uint64
 	lines  [linesPerPage]Line
+}
+
+// FNV-1a 64-bit parameters for page content digests (the same function the
+// machine-level digests use, restated here so mem stays dependency-free).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvWord(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xff
+		h *= fnvPrime64
+		w >>= 8
+	}
+	return h
+}
+
+// contentDigest hashes the page's payload: the used bitmap plus every used
+// line's words. Lines outside the bitmap are guaranteed zero within the
+// capture epoch (see imagePage), so hashing only used lines is exact; the
+// bitmap is included because two pages with equal line contents but
+// different materialization (an all-zero line present vs absent) are
+// observably different through Peek/Len and must not pool together.
+func (pg *pageData) contentDigest() uint64 {
+	h := fnvWord(fnvOffset64, pg.used)
+	for m := pg.used; m != 0; m &= m - 1 {
+		l := &pg.lines[bits.TrailingZeros64(m)]
+		for _, w := range l {
+			h = fnvWord(h, w)
+		}
+	}
+	return h
+}
+
+// contentEqual reports whether two pages hold bit-identical payloads — the
+// collision check behind PagePool's digest chains. Both the bitmap and the
+// full line array must match (see contentDigest for why the bitmap counts).
+func contentEqual(a, b *pageData) bool {
+	return a.used == b.used && a.lines == b.lines
 }
 
 // pageSlot is a store's per-page view: the shared (or private) payload plus
@@ -356,7 +402,10 @@ func (s *Store) Snapshot() *StoreImage {
 		if pg == nil || slot.epoch != s.epoch || pg.used == 0 {
 			continue
 		}
-		pg.sealed = true
+		if !pg.sealed {
+			pg.sealed = true
+			pg.digest = pg.contentDigest()
+		}
 		img.pages = append(img.pages, imagePage{index: pi, data: pg})
 	}
 	return img
@@ -395,6 +444,132 @@ func ResidentPageBytes(imgs []*StoreImage) int {
 		}
 	}
 	return len(seen) * pageBytes
+}
+
+// poolPage is one canonical page in a PagePool's digest chain, refcounted by
+// the number of Intern calls that resolved to it (minus Releases).
+type poolPage struct {
+	data *pageData
+	refs int
+}
+
+// PagePool is a content-addressed registry of sealed page payloads. Interning
+// an image rewrites each of its page pointers to the pool's canonical page
+// with the same content, so images captured from unrelated stores — different
+// arena keys, different sweeps — alias one physical payload whenever the
+// bytes match. Pointer-identity dedup (ResidentPageBytes) then reports true
+// cross-image content dedup for free. Entries are refcounted: Release drops
+// an image's references and forgets payloads nothing else holds, so the pool
+// never outgrows the set of live interned images. Safe for concurrent use.
+type PagePool struct {
+	mu    sync.Mutex
+	pages map[uint64][]*poolPage // digest → collision chain
+
+	interned       uint64 // pages inserted as new canonical payloads
+	deduped        uint64 // pages resolved to an existing canonical payload
+	contentDeduped uint64 // subset of deduped: distinct pointer, equal content
+}
+
+// NewPagePool returns an empty pool.
+func NewPagePool() *PagePool {
+	return &PagePool{pages: make(map[uint64][]*poolPage)}
+}
+
+// Intern registers every page of img in the pool, rewriting img's page
+// pointers to the canonical payloads. img must be sealed (i.e. produced by
+// Store.Snapshot) and not yet visible to concurrent readers — interning
+// mutates its page table. Each Intern must be balanced by exactly one
+// Release with the same (post-intern) image.
+func (p *PagePool) Intern(img *StoreImage) {
+	if p == nil || img == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range img.pages {
+		ip := &img.pages[i]
+		chain := p.pages[ip.data.digest]
+		var found *poolPage
+		for _, c := range chain {
+			if c.data == ip.data {
+				found = c
+				break
+			}
+			if contentEqual(c.data, ip.data) {
+				found = c
+				p.contentDeduped++
+				break
+			}
+		}
+		if found != nil {
+			found.refs++
+			p.deduped++
+			ip.data = found.data
+			continue
+		}
+		p.pages[ip.data.digest] = append(chain, &poolPage{data: ip.data, refs: 1})
+		p.interned++
+	}
+}
+
+// Release drops the references a previous Intern of img took, forgetting
+// canonical payloads whose refcount reaches zero. The image itself remains
+// valid — its pages are kept alive by the image's own pointers until the GC
+// collects the image.
+func (p *PagePool) Release(img *StoreImage) {
+	if p == nil || img == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range img.pages {
+		ip := &img.pages[i]
+		d := ip.data.digest
+		chain := p.pages[d]
+		for ci, c := range chain {
+			if c.data != ip.data {
+				continue
+			}
+			c.refs--
+			if c.refs == 0 {
+				chain[ci] = chain[len(chain)-1]
+				chain = chain[:len(chain)-1]
+				if len(chain) == 0 {
+					delete(p.pages, d)
+				} else {
+					p.pages[d] = chain
+				}
+			}
+			break
+		}
+	}
+}
+
+// PagePoolStats is a point-in-time snapshot of a pool's counters.
+type PagePoolStats struct {
+	Interned       uint64 // pages inserted as new canonical payloads, cumulative
+	Deduped        uint64 // pages resolved to an already-pooled payload, cumulative
+	ContentDeduped uint64 // deduped pages that were distinct pointers with equal bytes
+	Pages          int    // live canonical pages right now
+}
+
+// Stats returns the pool's counters.
+func (p *PagePool) Stats() PagePoolStats {
+	if p == nil {
+		return PagePoolStats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, chain := range p.pages {
+		n += len(chain)
+	}
+	return PagePoolStats{
+		Interned:       p.interned,
+		Deduped:        p.deduped,
+		ContentDeduped: p.contentDeduped,
+		Pages:          n,
+	}
 }
 
 // Addrs returns the base addresses of every materialized line in ascending

@@ -386,6 +386,12 @@ func (ms *MemSys) RestoreLabels(ls []LabelSpec) {
 func (ms *MemSys) SnapshotRand() uint64     { return ms.rng.State() }
 func (ms *MemSys) RestoreRand(state uint64) { ms.rng.Restore(state) }
 
+// RandPristine reports whether the memory-system PRNG still sits at its
+// post-Reset(seed) state (xrand seeding stores the seed directly without
+// drawing, so the pristine state is the seeded value itself). Base-image
+// capture requires this — see engine.Kernel.RandsPristine.
+func (ms *MemSys) RandPristine(seed uint64) bool { return ms.rng.State() == seed^0xc0ffee }
+
 // Counters returns the live counter block.
 func (ms *MemSys) Counters() *Counters { return &ms.ctr }
 

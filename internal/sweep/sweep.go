@@ -233,6 +233,18 @@ type RunMetrics struct {
 	SnapshotMisses    int64 `json:"snapshot_misses"`
 	SnapshotEvictions int64 `json:"snapshot_evictions"`
 	SnapshotBytes     int64 `json:"snapshot_bytes"`
+	// Split-image counters (thread-invariant workloads): a base hit is a
+	// whole Setup skipped because another geometry's cell already captured
+	// the config-modulo-threads base; base misses count distinct bases
+	// captured. Page-pool counters measure cross-image content dedup:
+	// PagesDeduped/PagesInterned of all pages ever interned resolved to an
+	// already-pooled payload (PagesContentDeduped is the subset that only
+	// content addressing — not pointer identity — could have caught).
+	SnapshotBaseHits    int64 `json:"snapshot_base_hits"`
+	SnapshotBaseMisses  int64 `json:"snapshot_base_misses"`
+	PagesInterned       int64 `json:"pages_interned"`
+	PagesDeduped        int64 `json:"pages_deduped"`
+	PagesContentDeduped int64 `json:"pages_content_deduped"`
 	// Copy-on-write page telemetry. CowPageCopies counts sealed store pages
 	// copied before a write — the only whole-page copies the copy-on-write
 	// snapshot scheme performs (capture and restore are pointer work).
@@ -322,6 +334,11 @@ func (rm *RunMetrics) addSnapshots(s snapshots.Stats) {
 	atomic.AddInt64(&rm.SnapshotMisses, int64(s.Misses))
 	atomic.AddInt64(&rm.SnapshotEvictions, int64(s.Evictions))
 	atomic.AddInt64(&rm.SnapshotBytes, int64(s.BytesAdded))
+	atomic.AddInt64(&rm.SnapshotBaseHits, int64(s.BaseHits))
+	atomic.AddInt64(&rm.SnapshotBaseMisses, int64(s.BaseMisses))
+	atomic.AddInt64(&rm.PagesInterned, int64(s.PagesInterned))
+	atomic.AddInt64(&rm.PagesDeduped, int64(s.PagesDeduped))
+	atomic.AddInt64(&rm.PagesContentDeduped, int64(s.ContentDeduped))
 }
 
 // arenaKey returns c's machine configuration with the seed erased (Reset
@@ -562,11 +579,39 @@ func runCell(c Cell, wm *workerMachines, ia *inputs.Arena, sa *snapshots.Arena, 
 				// on a hit the cached image is copied over the machine by
 				// Restore — whose internal ResetSeed is the hit path's one and
 				// only reset — and the host state adopted, skipping Setup.
-				ent, hit := sa.Load(key, func() snapshots.Entry {
-					ensurePristine()
-					w.Setup(m)
-					return snapshots.Entry{Img: m.Snapshot(), Host: sn.SnapshotHost()}
-				})
+				var ent snapshots.Entry
+				var hit bool
+				if ti, isTI := w.(snapshots.ThreadInvariant); isTI && ti.SnapshotThreadInvariant() {
+					// Thread-invariant workloads split the snapshot: the base
+					// (pages, brk, labels) is keyed with the thread count
+					// erased too, so the first geometry's Setup serves the
+					// whole thread sweep — later geometries adopt the base via
+					// RestoreBase (its ResetSeed is that path's one reset) and
+					// only capture their thin full-key entry on top.
+					bkey := key
+					bkey.Config.Threads = 0
+					ent, hit = sa.LoadSplit(key, bkey,
+						func() {
+							ensurePristine()
+							w.Setup(m)
+						},
+						func(be snapshots.BaseEntry) {
+							m.RestoreBase(be.Img, c.Seed)
+							ti.AdoptBaseHost(m, be.Host)
+						},
+						func() snapshots.BaseEntry {
+							return snapshots.BaseEntry{Img: m.SnapshotBase(), Host: sn.SnapshotHost()}
+						},
+						func() snapshots.Entry {
+							return snapshots.Entry{Img: m.Snapshot(), Host: sn.SnapshotHost()}
+						})
+				} else {
+					ent, hit = sa.Load(key, func() snapshots.Entry {
+						ensurePristine()
+						w.Setup(m)
+						return snapshots.Entry{Img: m.Snapshot(), Host: sn.SnapshotHost()}
+					})
+				}
 				if hit {
 					m.Restore(ent.Img)
 					sn.AdoptHost(m, ent.Host)
@@ -709,10 +754,14 @@ type Engine struct {
 	// whichever limit is exceeded evicts LRU-first. External arenas carry
 	// their own budget.
 	InputBudget int
-	// SnapshotBudget bounds the engine-built snapshot arena by logical
-	// image bytes the same way. Byte budgets are the paper-scale knob: at
-	// -scale 1 images run to megabytes each, so an entry cap either admits
-	// too much memory or thrashes; a budget sizes the arena by footprint.
+	// SnapshotBudget bounds the engine-built snapshot arena by DEDUPLICATED
+	// resident image bytes the same way: pages shared between cached images
+	// (copy-on-write siblings, content-pooled duplicates) are charged once,
+	// so the budget admits everything that physically fits rather than
+	// evicting when the logical sum — which multi-counts shared pages —
+	// crosses it. Byte budgets are the paper-scale knob: at -scale 1 images
+	// run to megabytes each, so an entry cap either admits too much memory
+	// or thrashes; a budget sizes the arena by true footprint.
 	SnapshotBudget int
 	// Metrics, when non-nil, accumulates host-side lifecycle counters
 	// (machines built/reused/evicted, input arena hits/misses) across this

@@ -185,6 +185,18 @@ func (km *KMeans) AdoptHost(_ *commtm.Machine, host any) {
 	km.ptsA, km.centA, km.sumsA = h.ptsA, h.centA, h.sumsA
 }
 
+// SnapshotThreadInvariant implements snapshots.ThreadInvariant: Setup's
+// machine writes (point cloud, seed centroids, accumulator allocations) are
+// sized by Points/Dims/K only — the thread count shapes nothing but Body's
+// point partitioning, which AdoptBaseHost recomputes.
+func (km *KMeans) SnapshotThreadInvariant() bool { return true }
+
+// AdoptBaseHost implements snapshots.ThreadInvariant.
+func (km *KMeans) AdoptBaseHost(m *commtm.Machine, host any) {
+	km.AdoptHost(m, host)
+	km.threads = m.Config().Threads
+}
+
 // Body implements harness.Workload.
 func (km *KMeans) Body(t *commtm.Thread) {
 	id := t.ID()

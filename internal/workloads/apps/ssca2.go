@@ -115,6 +115,17 @@ func (s *SSCA2) AdoptHost(_ *commtm.Machine, host any) {
 	s.degA, s.metaA, s.adjA = h.degA, h.metaA, h.adjA
 }
 
+// SnapshotThreadInvariant implements snapshots.ThreadInvariant: Setup's
+// allocations are sized by V alone and it writes no memory, so the installed
+// state is identical at every thread count.
+func (s *SSCA2) SnapshotThreadInvariant() bool { return true }
+
+// AdoptBaseHost implements snapshots.ThreadInvariant.
+func (s *SSCA2) AdoptBaseHost(m *commtm.Machine, host any) {
+	s.AdoptHost(m, host)
+	s.threads = m.Config().Threads
+}
+
 // Body implements harness.Workload.
 func (s *SSCA2) Body(t *commtm.Thread) {
 	id := t.ID()

@@ -61,6 +61,16 @@ func (c *Counter) AdoptHost(_ *commtm.Machine, host any) {
 	c.threads, c.add, c.ctr = h.threads, h.add, h.ctr
 }
 
+// SnapshotThreadInvariant implements snapshots.ThreadInvariant: Setup is one
+// label and one line allocation regardless of geometry.
+func (c *Counter) SnapshotThreadInvariant() bool { return true }
+
+// AdoptBaseHost implements snapshots.ThreadInvariant.
+func (c *Counter) AdoptBaseHost(m *commtm.Machine, host any) {
+	c.AdoptHost(m, host)
+	c.threads = m.Config().Threads
+}
+
 // Body implements harness.Workload.
 func (c *Counter) Body(t *commtm.Thread) {
 	n := share(c.Ops, c.threads, t.ID())

@@ -54,8 +54,16 @@ func (o *OPut) Setup(m *commtm.Machine) {
 	o.oput = m.DefineLabel(commtm.OPutLabel("OPUT"))
 	o.pair = m.AllocLines(1)
 	m.MemWrite64(o.pair, ^uint64(0)) // identity key
+	o.adoptInputs(m.Config().Seed)
+}
+
+// adoptInputs installs the host-side op streams for the current o.threads:
+// the cached per-thread key streams when an input arena is wired, or fresh
+// live-draw minima otherwise. Machine state is untouched — this is the
+// geometry-dependent half of Setup, re-run by AdoptBaseHost at the adopting
+// machine's own thread count.
+func (o *OPut) adoptInputs(seed uint64) {
 	if o.inputs != nil {
-		seed := m.Config().Seed
 		in := inputs.Load(o.inputs,
 			inputs.Key{Kind: OPutName, Params: fmt.Sprintf("ops=%d t=%d", o.Ops, o.threads), Seed: seed},
 			func() *oputInput {
@@ -121,6 +129,24 @@ func (o *OPut) AdoptHost(_ *commtm.Machine, host any) {
 	for i := range o.mins {
 		o.mins[i] = ^uint64(0)
 	}
+}
+
+// SnapshotThreadInvariant implements snapshots.ThreadInvariant: Setup's
+// machine half (label, one line, the identity-key write) is geometry-free;
+// the per-thread key streams are host state, regenerated per geometry by
+// AdoptBaseHost.
+func (o *OPut) SnapshotThreadInvariant() bool { return true }
+
+// AdoptBaseHost implements snapshots.ThreadInvariant. The base host carries
+// the capturing geometry's key streams, which are useless here; only the
+// machine scalars are adopted, and the input path re-runs at this machine's
+// own thread count (cache-hot in the input arena whenever this geometry ran
+// before).
+func (o *OPut) AdoptBaseHost(m *commtm.Machine, host any) {
+	h := host.(oputHost)
+	o.oput, o.pair = h.oput, h.pair
+	o.threads = m.Config().Threads
+	o.adoptInputs(m.Config().Seed)
 }
 
 // Body implements harness.Workload.

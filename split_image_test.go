@@ -1,0 +1,121 @@
+package commtm_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"commtm"
+	"commtm/internal/sweep"
+	"commtm/internal/workloads/apps"
+)
+
+// countingKMeans wraps KMeans to count how many times Setup actually runs;
+// everything else (including the snapshot and thread-invariance hooks) is
+// promoted from the embedded workload.
+type countingKMeans struct {
+	*apps.KMeans
+	setups *int64
+}
+
+func (c countingKMeans) Setup(m *commtm.Machine) {
+	atomic.AddInt64(c.setups, 1)
+	c.KMeans.Setup(m)
+}
+
+// TestSplitImageCutsCaptures pins the tentpole payoff: a kmeans thread sweep
+// runs Setup once per config-modulo-threads key, not once per thread count.
+// Four thread counts of one parameter point form ONE base key, so Setup must
+// run exactly once, base misses must equal the distinct config-modulo-threads
+// keys (1), and the other three cells must adopt the base (3 base hits) while
+// still reproducing the snapshots-off sweep bit-identically.
+func TestSplitImageCutsCaptures(t *testing.T) {
+	threads := []int{1, 2, 4, 8}
+	var setups int64
+	mx := sweep.Matrix{
+		Workloads: []sweep.WorkloadSpec{{Name: apps.KMeansName, Mk: func() sweep.Workload {
+			return countingKMeans{KMeans: apps.NewKMeans(256, 4, 4, 2, 7), setups: &setups}
+		}}},
+		Variants: []sweep.Variant{{Label: "commtm", Protocol: commtm.CommTM}},
+		Threads:  threads,
+		Seeds:    []uint64{7},
+	}
+
+	rm := &sweep.RunMetrics{}
+	eng := sweep.Engine{Workers: 1, Reuse: sweep.ReuseOn, InputMode: sweep.InputsOn, SnapshotMode: sweep.SnapshotsOn, Metrics: rm}
+	got, err := eng.Run(mx.Cells())
+	if err != nil {
+		t.Fatalf("split sweep failed: %v", err)
+	}
+	if err := got.FirstErr(); err != nil {
+		t.Fatalf("split sweep cell failed: %v", err)
+	}
+
+	if setups != 1 {
+		t.Errorf("Setup ran %d times across %d thread counts; the split image should capture it once per config-modulo-threads key", setups, len(threads))
+	}
+	if rm.SnapshotBaseMisses != 1 {
+		t.Errorf("base misses = %d, want 1 (one distinct config-modulo-threads key)", rm.SnapshotBaseMisses)
+	}
+	if rm.SnapshotBaseHits != int64(len(threads)-1) {
+		t.Errorf("base hits = %d, want %d (every other geometry adopts the base)", rm.SnapshotBaseHits, len(threads)-1)
+	}
+	// Each geometry still captures its own thin full-key overlay.
+	if rm.SnapshotMisses != int64(len(threads)) {
+		t.Errorf("full-key misses = %d, want %d (one overlay per thread count)", rm.SnapshotMisses, len(threads))
+	}
+
+	// The base-adopted cells must be indistinguishable from cells that ran
+	// Setup themselves.
+	off := sweep.Engine{Workers: 1, Reuse: sweep.ReuseOn, InputMode: sweep.InputsOn, SnapshotMode: sweep.SnapshotsOff}
+	want, err := off.Run(mx.Cells())
+	if err != nil {
+		t.Fatalf("snapshots-off sweep failed: %v", err)
+	}
+	for i := range want {
+		if got[i].Stats != want[i].Stats || got[i].Digest != want[i].Digest {
+			t.Errorf("cell %s diverged under split snapshots:\n  off: %+v %s\n  on:  %+v %s",
+				want[i].Key(), want[i].Stats, want[i].Digest, got[i].Stats, got[i].Digest)
+		}
+	}
+}
+
+// BenchmarkSnapshotCaptureSplit measures the steady-state cost of a split
+// capture — base image plus full overlay — on a kmeans-installed machine.
+// After the first iteration every page is already sealed, so this is the
+// pointer-work floor of the capture path.
+func BenchmarkSnapshotCaptureSplit(b *testing.B) {
+	m := commtm.New(commtm.Config{Threads: 8, Protocol: commtm.CommTM, Seed: 1})
+	defer m.Close()
+	km := apps.NewKMeans(1024, 8, 8, 2, 1)
+	km.Setup(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.SnapshotBase()
+		_ = m.Snapshot()
+	}
+}
+
+// BenchmarkRestoreAcrossThreads measures base-image adoption onto machines
+// of other geometries: the ResetSeed plus page-pointer work a thread sweep
+// pays per cell instead of re-running Setup.
+func BenchmarkRestoreAcrossThreads(b *testing.B) {
+	const seed = 1
+	src := commtm.New(commtm.Config{Threads: 1, Protocol: commtm.CommTM, Seed: seed})
+	km := apps.NewKMeans(1024, 8, 8, 2, 1)
+	km.Setup(src)
+	base := src.SnapshotBase()
+	src.Close()
+
+	var dsts []*commtm.Machine
+	for _, th := range []int{2, 4, 8} {
+		m := commtm.New(commtm.Config{Threads: th, Protocol: commtm.CommTM, Seed: seed})
+		defer m.Close()
+		dsts = append(dsts, m)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsts[i%len(dsts)].RestoreBase(base, seed)
+	}
+}
